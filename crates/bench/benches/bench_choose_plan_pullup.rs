@@ -1,0 +1,37 @@
+//! Ablation: ChoosePlan pull-up above joins (§5.1.2) on vs off — pull-up
+//! costs optimization time but can produce larger remote subqueries.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::{bind_select, optimize, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+
+fn bench(c: &mut Criterion) {
+    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let db = cache.db.read();
+    let Statement::Select(sel) = parse_statement(
+        "SELECT c.cname, o.total FROM customer AS c, orders AS o \
+         WHERE c.cid = o.ckey AND c.cid <= @v",
+    )
+    .unwrap() else {
+        panic!()
+    };
+    for (name, enable) in [("with_pullup", true), ("without_pullup", false)] {
+        let options = OptimizerOptions {
+            enable_choose_plan_pullup: enable,
+            ..Default::default()
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let plan = bind_select(black_box(&sel), &db).unwrap();
+                optimize(plan, &db, &options).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation: parameterized query execution with dynamic plans (optimize
+//! once, switch branch at run time) vs re-optimizing for every parameter
+//! value — the §5.1 motivation: "dynamic plans … avoid the need for
+//! frequent reoptimization".
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::eval::Bindings;
+use mtc_engine::{bind_select, execute, optimize, ExecContext, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+use mtc_types::Value;
+
+fn bench(c: &mut Criterion) {
+    let (backend, cache, _hub) = common::customer_fixture(10_000);
+    let sql = "SELECT cid, cname, caddress FROM customer WHERE cid <= @v";
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        panic!()
+    };
+    let options = OptimizerOptions::default();
+    let db = cache.db.read();
+
+    // Dynamic plan: optimized once, executed for alternating parameters.
+    let plan = bind_select(&sel, &db).unwrap();
+    let optimized = optimize(plan, &db, &options).unwrap();
+    let remote: &dyn mtc_engine::RemoteExecutor = &*backend;
+    c.bench_function("dynamic_plan_reuse", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let v = if flip { 100 } else { 5000 };
+            let mut params = Bindings::new();
+            params.insert("v".into(), Value::Int(v));
+            let ctx = ExecContext {
+                db: &db,
+                remote: Some(remote),
+                params: &params,
+                work: &options.cost,
+            };
+            execute(black_box(&optimized.physical), &ctx).unwrap()
+        })
+    });
+
+    // Reoptimize-per-value: bind + optimize on every execution.
+    c.bench_function("reoptimize_every_call", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let v = if flip { 100 } else { 5000 };
+            let mut params = Bindings::new();
+            params.insert("v".into(), Value::Int(v));
+            let plan = bind_select(&sel, &db).unwrap();
+            let optimized = optimize(plan, &db, &options).unwrap();
+            let ctx = ExecContext {
+                db: &db,
+                remote: Some(remote),
+                params: &params,
+                work: &options.cost,
+            };
+            execute(black_box(&optimized.physical), &ctx).unwrap()
+        })
+    });
+
+    // Always-remote: dynamic plans disabled entirely.
+    let no_dyn = OptimizerOptions {
+        enable_dynamic_plans: false,
+        ..Default::default()
+    };
+    let plan = bind_select(&sel, &db).unwrap();
+    let all_remote = optimize(plan, &db, &no_dyn).unwrap();
+    c.bench_function("always_remote", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let v = if flip { 100 } else { 5000 };
+            let mut params = Bindings::new();
+            params.insert("v".into(), Value::Int(v));
+            let ctx = ExecContext {
+                db: &db,
+                remote: Some(remote),
+                params: &params,
+                work: &options.cost,
+            };
+            execute(black_box(&all_remote.physical), &ctx).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Microbenchmark: physical execution of local plans (scan, seek, hash
+//! join, aggregation).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::eval::Bindings;
+
+fn bench(c: &mut Criterion) {
+    let (backend, _cache, _hub) = common::customer_fixture(10_000);
+    let cases = [
+        ("clustered_seek", "SELECT cname FROM customer WHERE cid = 42"),
+        ("range_scan", "SELECT cid FROM customer WHERE cid BETWEEN 100 AND 600"),
+        (
+            "hash_join_agg",
+            "SELECT c.cid, COUNT(*) AS n FROM customer AS c, orders AS o WHERE c.cid = o.ckey GROUP BY c.cid",
+        ),
+        ("top_sort", "SELECT TOP 10 total FROM orders ORDER BY total DESC"),
+    ];
+    for (name, sql) in cases {
+        c.bench_function(&format!("execute_{name}"), |b| {
+            b.iter(|| {
+                backend
+                    .execute(black_box(sql), &Bindings::new(), "dbo")
+                    .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

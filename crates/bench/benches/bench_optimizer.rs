@@ -1,0 +1,41 @@
+//! Microbenchmark: end-to-end optimization time on the cache server's
+//! shadow database (bind → pushdown → view match → location → build).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::{bind_select, optimize, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+
+fn bench(c: &mut Criterion) {
+    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let db = cache.db.read();
+    let options = OptimizerOptions::default();
+    let cases = [
+        ("point_lookup", "SELECT cname FROM customer WHERE cid = 42"),
+        (
+            "param_range",
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= @v",
+        ),
+        (
+            "join_two_tables",
+            "SELECT c.cname, o.total FROM customer AS c, orders AS o WHERE c.cid = o.ckey AND c.cid <= @v",
+        ),
+    ];
+    for (name, sql) in cases {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        c.bench_function(&format!("optimize_{name}"), |b| {
+            b.iter(|| {
+                let plan = bind_select(black_box(&sel), &db).unwrap();
+                optimize(plan, &db, &options).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Microbenchmark: SQL parsing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let simple = "SELECT cid, cname FROM customer WHERE cid <= 1000";
+    let complex = "SELECT TOP 50 i_id, i_title, a_fname, a_lname, SUM(ol_qty) AS qty \
+                   FROM order_line, item, author \
+                   WHERE ol_o_id > @t AND ol_i_id = i_id AND i_subject = @s AND i_a_id = a_id \
+                   GROUP BY i_id, i_title, a_fname, a_lname ORDER BY qty DESC";
+    c.bench_function("parse_simple_select", |b| {
+        b.iter(|| mtc_sql::parse_statement(black_box(simple)).unwrap())
+    });
+    c.bench_function("parse_bestseller_query", |b| {
+        b.iter(|| mtc_sql::parse_statement(black_box(complex)).unwrap())
+    });
+    c.bench_function("print_roundtrip", |b| {
+        let stmt = mtc_sql::parse_statement(complex).unwrap();
+        b.iter(|| {
+            let text = black_box(&stmt).to_string();
+            mtc_sql::parse_statement(&text).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: REMOTE_COST_FACTOR sweep — how strongly the optimizer is
+//! biased toward local execution (§5's "multiply all remote costs by a
+//! small factor greater than 1.0").
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::{bind_select, optimize, CostModel, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+
+fn bench(c: &mut Criterion) {
+    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let db = cache.db.read();
+    let Statement::Select(sel) =
+        parse_statement("SELECT cid, cname FROM customer WHERE cid <= 900").unwrap()
+    else {
+        panic!()
+    };
+    for factor in [1.0, 1.3, 2.0, 4.0] {
+        let options = OptimizerOptions {
+            cost: CostModel {
+                remote_cost_factor: factor,
+                ..CostModel::default()
+            },
+            ..Default::default()
+        };
+        c.bench_function(&format!("optimize_remote_factor_{factor}"), |b| {
+            b.iter(|| {
+                let plan = bind_select(black_box(&sel), &db).unwrap();
+                optimize(plan, &db, &options).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: replication pipeline throughput — committing on the
+//! backend and pumping the change through the log reader, distributor and
+//! subscriber apply path.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mtc_storage::RowChange;
+use mtc_types::row;
+
+fn bench(c: &mut Criterion) {
+    let (backend, _cache, hub) = common::customer_fixture(10_000);
+    let mut next_id = 1_000_000i64;
+    c.bench_function("replicate_one_insert_delete_txn", |b| {
+        b.iter(|| {
+            next_id += 1;
+            backend
+                .db
+                .write()
+                .apply(
+                    next_id,
+                    vec![RowChange::Insert {
+                        table: "customer".into(),
+                        row: row![next_id, "bench", "addr"],
+                    }],
+                )
+                .unwrap();
+            backend
+                .db
+                .write()
+                .apply(
+                    next_id,
+                    vec![RowChange::Delete {
+                        table: "customer".into(),
+                        row: row![next_id, "bench", "addr"],
+                    }],
+                )
+                .unwrap();
+            hub.lock().pump(next_id).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

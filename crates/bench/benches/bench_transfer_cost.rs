@@ -1,0 +1,43 @@
+//! Ablation: DataTransfer cost knobs (startup + per-byte volume, §5) —
+//! sweeping them shifts the local/remote break-even point.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::{bind_select, optimize, CostModel, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+
+fn bench(c: &mut Criterion) {
+    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let db = cache.db.read();
+    let Statement::Select(sel) =
+        parse_statement("SELECT cid, cname, caddress FROM customer WHERE cid <= 5000").unwrap()
+    else {
+        panic!()
+    };
+    for (name, startup, per_byte) in [
+        ("cheap_network", 20.0, 0.002),
+        ("default_network", 200.0, 0.02),
+        ("slow_network", 2000.0, 0.2),
+    ] {
+        let options = OptimizerOptions {
+            cost: CostModel {
+                transfer_startup: startup,
+                transfer_per_byte: per_byte,
+                ..CostModel::default()
+            },
+            ..Default::default()
+        };
+        c.bench_function(&format!("optimize_transfer_{name}"), |b| {
+            b.iter(|| {
+                let plan = bind_select(black_box(&sel), &db).unwrap();
+                optimize(plan, &db, &options).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

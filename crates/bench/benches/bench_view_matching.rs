@@ -1,0 +1,36 @@
+//! Ablation: optimization with view matching on vs off. With matching the
+//! plan reads the local cached view; without it every query ships to the
+//! backend.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtc_engine::{bind_select, optimize, OptimizerOptions};
+use mtc_sql::{parse_statement, Statement};
+
+fn bench(c: &mut Criterion) {
+    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let db = cache.db.read();
+    let Statement::Select(sel) =
+        parse_statement("SELECT cid, cname FROM customer WHERE cid <= 500").unwrap()
+    else {
+        panic!()
+    };
+    for (name, enable) in [("with_view_matching", true), ("without_view_matching", false)] {
+        let options = OptimizerOptions {
+            enable_view_matching: enable,
+            ..Default::default()
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let plan = bind_select(black_box(&sel), &db).unwrap();
+                optimize(plan, &db, &options).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benches.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mtc_replication::ReplicationHub;
+use mtcache::{BackendServer, CacheServer};
+
+/// A small backend + cache pair with the paper's running example: a
+/// `customer` table and a cached `cust1000` view.
+pub fn customer_fixture(rows: i64) -> (Arc<BackendServer>, Arc<CacheServer>, Arc<Mutex<ReplicationHub>>) {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cname VARCHAR, caddress VARCHAR);
+             CREATE TABLE orders (oid INT NOT NULL PRIMARY KEY, ckey INT, total FLOAT);
+             CREATE INDEX ix_orders_ckey ON orders (ckey);",
+        )
+        .unwrap();
+    {
+        let mut db = backend.db.write();
+        let mut changes = Vec::new();
+        for i in 1..=rows {
+            changes.push(mtc_storage::RowChange::Insert {
+                table: "customer".into(),
+                row: mtc_types::row![i, format!("c{i}"), format!("addr{i}")],
+            });
+            changes.push(mtc_storage::RowChange::Insert {
+                table: "orders".into(),
+                row: mtc_types::row![i, (i % rows) + 1, (i % 97) as f64],
+            });
+        }
+        db.apply(0, changes).unwrap();
+    }
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view(
+            "cust1000",
+            &format!(
+                "SELECT cid, cname, caddress FROM customer WHERE cid <= {}",
+                rows / 10
+            ),
+        )
+        .unwrap();
+    (backend, cache, hub)
+}

@@ -1,0 +1,23 @@
+//! Runs the complete §6 evaluation and prints the paper-vs-measured report.
+//!
+//! Usage: `exp_all [items] [emulated_browsers] [samples]`
+
+use mtc_bench::{render_experiments, run_all};
+use mtc_tpcw::datagen::Scale;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let items = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let ebs = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let samples = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let scale = Scale {
+        items,
+        emulated_browsers: ebs,
+        seed: 42,
+    };
+    eprintln!(
+        "running full evaluation: {items} items, {ebs} EBs, {samples} samples per config..."
+    );
+    let results = run_all(scale, samples);
+    println!("{}", render_experiments(&results));
+}

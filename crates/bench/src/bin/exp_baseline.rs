@@ -1,0 +1,17 @@
+//! Regenerates the §6.2.1 baseline table (WIPS without caching).
+
+use mtc_bench::run_all;
+use mtc_tpcw::datagen::Scale;
+
+fn main() {
+    let samples = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
+    let r = run_all(Scale::default(), samples);
+    println!("| Workload | WIPS (paper) | WIPS (ours) |");
+    println!("|---|---|---|");
+    for ((w, wips), (_, pw)) in r.baseline.iter().zip(mtc_bench::paper::BASELINE_WIPS) {
+        println!("| {} | {pw:.0} | {wips:.0} |", w.name());
+    }
+}

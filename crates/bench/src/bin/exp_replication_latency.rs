@@ -1,0 +1,13 @@
+//! Regenerates Experiment 3 (§6.2.3): commit-to-apply propagation latency
+//! under light and heavy load.
+
+use mtc_bench::{paper, run_all};
+use mtc_tpcw::datagen::Scale;
+
+fn main() {
+    let r = run_all(Scale::default(), 400);
+    println!("| Load | Paper avg (s) | Ours avg (s) |");
+    println!("|---|---|---|");
+    println!("| Light | {:.2} | {:.2} |", paper::EXP3_LIGHT_S, r.exp3.light_avg_s);
+    println!("| Heavy | {:.2} | {:.2} |", paper::EXP3_HEAVY_S, r.exp3.heavy_avg_s);
+}

@@ -1,0 +1,27 @@
+//! Regenerates Experiment 2 (§6.2.2): replication overhead on the backend
+//! (log reader on/off) and on an idle mid-tier subscriber.
+
+use mtc_bench::{paper, run_all};
+use mtc_tpcw::datagen::Scale;
+
+fn main() {
+    let r = run_all(Scale::default(), 400);
+    println!("| Metric | Paper | Ours |");
+    println!("|---|---|---|");
+    println!(
+        "| Idle mid-tier apply CPU | {:.0}% | {:.1}% |",
+        paper::EXP2_MIDTIER_APPLY_CPU,
+        r.exp2.midtier_apply_cpu_pct
+    );
+    println!(
+        "| Ordering WIPS, reader ON | {:.0} | {:.0} |",
+        paper::EXP2_READER_ON_WIPS,
+        r.exp2.reader_on_wips
+    );
+    println!(
+        "| Ordering WIPS, reader OFF | {:.0} | {:.0} |",
+        paper::EXP2_READER_OFF_WIPS,
+        r.exp2.reader_off_wips
+    );
+    println!("| Backend overhead | 10% | {:.1}% |", r.exp2.overhead_pct);
+}

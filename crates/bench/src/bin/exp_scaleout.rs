@@ -1,0 +1,30 @@
+//! Regenerates Figure 6(a), Figure 6(b), the §6.2.1 summary table and the
+//! speculative extrapolation. Pass `--extrapolate` to print only the
+//! speculative analysis.
+
+use mtc_bench::{render_experiments, run_all};
+use mtc_tpcw::datagen::Scale;
+
+fn main() {
+    let extrapolate_only = std::env::args().any(|a| a == "--extrapolate");
+    let r = run_all(Scale::default(), 400);
+    if extrapolate_only {
+        println!("| Workload | Servers to saturate backend | WIPS |");
+        println!("|---|---|---|");
+        for (w, servers, wips) in &r.extrapolation {
+            println!("| {} | {servers:.0} | {wips:.0} |", w.name());
+        }
+        return;
+    }
+    let text = render_experiments(&r);
+    // Print only the scale-out sections.
+    let mut printing = false;
+    for line in text.lines() {
+        if line.starts_with("## ") {
+            printing = line.contains("Figure 6") || line.contains("Summary") || line.contains("Speculative");
+        }
+        if printing {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the §6.1.1 workload-mix table.
+
+use mtc_tpcw::mix::Workload;
+
+fn main() {
+    println!("| Workload | Browse % | Order % |  (paper: 95/5, 80/20, 50/50)");
+    println!("|---|---|---|");
+    for w in Workload::ALL {
+        let b = w.mix().browse_fraction() * 100.0;
+        println!("| {} | {b:.1} | {:.1} |", w.name(), 100.0 - b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Deployment builder: backend + distributor + cache, loaded with TPC-W.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mtc_replication::{Clock, ManualClock, ReplicationHub};
+use mtc_tpcw::datagen::{generate, Scale};
+use mtc_tpcw::deploy::configure_cache;
+use mtc_tpcw::procs::register_all;
+use mtc_tpcw::session::IdAllocator;
+use mtcache::{BackendServer, CacheServer, Connection};
+
+/// A complete test deployment.
+pub struct Deployment {
+    pub backend: Arc<BackendServer>,
+    pub hub: Arc<Mutex<ReplicationHub>>,
+    /// A representative cache server (the capacity model multiplies it to
+    /// `k` identical ones, exactly as the paper ran identical web/cache
+    /// machines).
+    pub cache: Option<Arc<CacheServer>>,
+    pub scale: Scale,
+    pub clock: ManualClock,
+    pub ids: Arc<IdAllocator>,
+}
+
+impl Deployment {
+    /// Builds a backend with TPC-W data, procedures and a replication hub;
+    /// with `cached`, also one fully configured cache server (§6.1.2
+    /// cached views, indexes and copied procedures).
+    pub fn new(scale: Scale, cached: bool) -> Deployment {
+        let clock = ManualClock::new(0);
+        let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
+        generate(&backend, scale).expect("TPC-W data generation");
+        register_all(&backend).expect("procedure registration");
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        let cache = if cached {
+            let cache = CacheServer::create("cache1", backend.clone(), hub.clone());
+            configure_cache(&cache).expect("cache configuration");
+            Some(cache)
+        } else {
+            None
+        };
+        let ids = IdAllocator::new(&scale);
+        Deployment {
+            backend,
+            hub,
+            cache,
+            scale,
+            clock,
+            ids,
+        }
+    }
+
+    /// An application connection: to the cache when one exists (the
+    /// re-routed ODBC source), otherwise straight to the backend.
+    pub fn connection(&self) -> Connection {
+        match &self.cache {
+            Some(c) => Connection::connect_as(c.clone(), "app"),
+            None => Connection::connect_as(self.backend.clone(), "app"),
+        }
+    }
+
+    /// A connection pinned to the backend regardless of caching (baseline
+    /// routing).
+    pub fn backend_connection(&self) -> Connection {
+        Connection::connect_as(self.backend.clone(), "app")
+    }
+
+    /// Advances simulated time and runs one replication pass.
+    pub fn pump_replication(&self, advance_ms: i64) {
+        self.clock.advance(advance_ms);
+        let _ = self.hub.lock().pump(self.clock.now_ms());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_deployment_builds_and_answers_locally() {
+        let d = Deployment::new(Scale::tiny(), true);
+        let conn = d.connection();
+        let r = conn.query("EXEC getBook @i_id = 5").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.metrics.remote_calls, 0,
+            "getBook should be answered from cv_item/cv_author"
+        );
+    }
+
+    #[test]
+    fn uncached_deployment_routes_to_backend() {
+        let d = Deployment::new(Scale::tiny(), false);
+        let conn = d.connection();
+        let r = conn.query("EXEC getBook @i_id = 5").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(d.backend.stats.lock().queries > 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Cache-design advisor (§7: "there are currently no tools to help a DBA
+//! define a caching strategy by analyzing a workload ... such a design tool
+//! would be highly desirable").
+//!
+//! Given a workload trace (SQL text + relative frequency), the advisor
+//! scores each base table by how much *read* work touches it versus how
+//! much *write* traffic it receives, and recommends select-project cached
+//! views (projecting exactly the referenced columns) for the tables where
+//! offloading pays. Stored procedures whose statements are read-only and
+//! fully covered by the recommended views are suggested for copying.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mtc_sql::{Select, Statement, TableRef};
+use mtc_storage::Database;
+use mtc_types::Result;
+
+/// One workload entry: a statement and its relative frequency.
+#[derive(Debug, Clone)]
+pub struct WorkloadEntry {
+    pub sql: String,
+    pub frequency: f64,
+}
+
+/// A recommended cached view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    pub view_name: String,
+    /// `CREATE MATERIALIZED VIEW …` definition text, ready to run against a
+    /// cache server.
+    pub create_sql: String,
+    /// Estimated read work units per unit time offloaded by this view.
+    pub benefit: f64,
+    /// Estimated replication apply work per unit time it costs.
+    pub maintenance: f64,
+}
+
+/// Advisor configuration.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    /// Only recommend views whose benefit exceeds `min_benefit_ratio` times
+    /// their maintenance cost.
+    pub min_benefit_ratio: f64,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> AdvisorOptions {
+        AdvisorOptions {
+            min_benefit_ratio: 2.0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct TableTraffic {
+    read_freq: f64,
+    write_freq: f64,
+    columns: BTreeSet<String>,
+}
+
+/// Analyzes a workload against the backend catalog and recommends cached
+/// views.
+pub fn recommend(
+    db: &Database,
+    workload: &[WorkloadEntry],
+    options: &AdvisorOptions,
+) -> Result<Vec<Recommendation>> {
+    let mut traffic: BTreeMap<String, TableTraffic> = BTreeMap::new();
+
+    for entry in workload {
+        let statements = match mtc_sql::parse_statements(&entry.sql) {
+            Ok(s) => s,
+            Err(_) => continue, // skip unparseable trace entries
+        };
+        for stmt in statements {
+            match &stmt {
+                Statement::Select(sel) => {
+                    record_select(db, sel, entry.frequency, &mut traffic);
+                }
+                Statement::Insert { table, .. }
+                | Statement::Update { table, .. }
+                | Statement::Delete { table, .. } => {
+                    traffic.entry(table.clone()).or_default().write_freq +=
+                        entry.frequency;
+                }
+                Statement::Exec { proc, .. } => {
+                    if let Some(def) = db.catalog.procedure(proc) {
+                        for s in &def.body {
+                            match s {
+                                Statement::Select(sel) => {
+                                    record_select(db, sel, entry.frequency, &mut traffic)
+                                }
+                                Statement::Insert { table, .. }
+                                | Statement::Update { table, .. }
+                                | Statement::Delete { table, .. } => {
+                                    traffic.entry(table.clone()).or_default().write_freq +=
+                                        entry.frequency;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut recs = Vec::new();
+    for (table, t) in &traffic {
+        if t.read_freq <= 0.0 {
+            continue;
+        }
+        let Ok(base) = db.table_ref(table) else {
+            continue;
+        };
+        let rows = db
+            .catalog
+            .stats(table)
+            .map(|s| s.row_count as f64)
+            .unwrap_or(1000.0);
+        // Benefit: read frequency × per-query scan work saved.
+        let benefit = t.read_freq * rows;
+        // Maintenance: write frequency × per-change apply work.
+        let maintenance = t.write_freq * 3.0;
+        if benefit < options.min_benefit_ratio * maintenance.max(1.0) {
+            continue;
+        }
+        // Project referenced columns plus the primary key (required for
+        // replication apply).
+        let mut cols: BTreeSet<String> = t
+            .columns
+            .iter()
+            .filter(|c| base.schema().contains(c))
+            .cloned()
+            .collect();
+        for &pk in base.primary_key() {
+            cols.insert(base.schema().column(pk).name.clone());
+        }
+        // Keep schema order.
+        let ordered: Vec<String> = base
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .filter(|c| cols.contains(c))
+            .collect();
+        let view_name = format!("cv_{table}");
+        recs.push(Recommendation {
+            create_sql: format!(
+                "CREATE MATERIALIZED VIEW {view_name} AS SELECT {} FROM {table}",
+                ordered.join(", ")
+            ),
+            view_name,
+            benefit,
+            maintenance,
+        });
+    }
+    recs.sort_by(|a, b| b.benefit.total_cmp(&a.benefit));
+    Ok(recs)
+}
+
+fn record_select(
+    db: &Database,
+    sel: &Select,
+    freq: f64,
+    traffic: &mut BTreeMap<String, TableTraffic>,
+) {
+    fn tables(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Table { name, .. } => out.push(name.clone()),
+            TableRef::Join { left, right, .. } => {
+                tables(left, out);
+                tables(right, out);
+            }
+        }
+    }
+    let mut names = Vec::new();
+    for t in &sel.from {
+        tables(t, &mut names);
+    }
+    // Column references anywhere in the statement, assigned to whichever
+    // table's schema contains them.
+    let mut cols: Vec<String> = Vec::new();
+    if let Some(w) = &sel.selection {
+        cols.extend(w.columns().iter().map(|c| c.to_string()));
+    }
+    for item in &sel.projection {
+        if let mtc_sql::SelectItem::Expr { expr, .. } = item {
+            cols.extend(expr.columns().iter().map(|c| c.to_string()));
+        }
+    }
+    for g in &sel.group_by {
+        cols.extend(g.columns().iter().map(|c| c.to_string()));
+    }
+    for o in &sel.order_by {
+        cols.extend(o.expr.columns().iter().map(|c| c.to_string()));
+    }
+    for name in names {
+        let entry = traffic.entry(name.clone()).or_default();
+        entry.read_freq += freq;
+        if let Ok(t) = db.table_ref(&name) {
+            let wildcard = sel
+                .projection
+                .iter()
+                .any(|i| matches!(i, mtc_sql::SelectItem::Wildcard));
+            if wildcard {
+                for c in t.schema().columns() {
+                    entry.columns.insert(c.name.clone());
+                }
+            }
+            for c in &cols {
+                let suffix = c.rsplit('.').next().unwrap_or(c);
+                if t.schema().contains(suffix) {
+                    entry.columns.insert(suffix.to_string());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_storage::RowChange;
+    use mtc_types::{row, Column, DataType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            "item",
+            Schema::new(vec![
+                Column::not_null("i_id", DataType::Int),
+                Column::new("i_title", DataType::Str),
+                Column::new("i_cost", DataType::Float),
+                Column::new("i_desc", DataType::Str),
+            ]),
+            &["i_id".into()],
+        )
+        .unwrap();
+        db.create_table(
+            "cart",
+            Schema::new(vec![
+                Column::not_null("sc_id", DataType::Int),
+                Column::new("sc_total", DataType::Float),
+            ]),
+            &["sc_id".into()],
+        )
+        .unwrap();
+        let changes: Vec<_> = (1..=5000)
+            .map(|i| RowChange::Insert {
+                table: "item".into(),
+                row: row![i, format!("t{i}"), 1.0, "d"],
+            })
+            .collect();
+        db.apply(0, changes).unwrap();
+        db.analyze();
+        db
+    }
+
+    #[test]
+    fn read_heavy_table_recommended_write_heavy_not() {
+        let db = db();
+        let workload = vec![
+            WorkloadEntry {
+                sql: "SELECT i_title FROM item WHERE i_id = @id".into(),
+                frequency: 100.0,
+            },
+            WorkloadEntry {
+                sql: "UPDATE cart SET sc_total = 1 WHERE sc_id = @id".into(),
+                frequency: 100.0,
+            },
+            WorkloadEntry {
+                sql: "SELECT sc_total FROM cart WHERE sc_id = @id".into(),
+                frequency: 1.0,
+            },
+        ];
+        let recs = recommend(&db, &workload, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1, "{recs:?}");
+        assert_eq!(recs[0].view_name, "cv_item");
+        assert!(recs[0].create_sql.contains("i_id"), "{}", recs[0].create_sql);
+        assert!(recs[0].create_sql.contains("i_title"));
+        assert!(
+            !recs[0].create_sql.contains("i_desc"),
+            "unreferenced column must not be projected: {}",
+            recs[0].create_sql
+        );
+    }
+
+    #[test]
+    fn recommended_sql_parses() {
+        let db = db();
+        let workload = vec![WorkloadEntry {
+            sql: "SELECT i_title, i_cost FROM item WHERE i_cost < 10".into(),
+            frequency: 50.0,
+        }];
+        let recs = recommend(&db, &workload, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(mtc_sql::parse_statement(&recs[0].create_sql).is_ok());
+    }
+
+    #[test]
+    fn unparseable_entries_are_skipped() {
+        let db = db();
+        let workload = vec![WorkloadEntry {
+            sql: "THIS IS NOT SQL".into(),
+            frequency: 1000.0,
+        }];
+        let recs = recommend(&db, &workload, &AdvisorOptions::default()).unwrap();
+        assert!(recs.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::{BackendServer, Connection};
+
+    /// The §7 workflow end to end: trace the live workload on the backend,
+    /// feed the trace to the advisor, get cached-view DDL out.
+    #[test]
+    fn advisor_consumes_a_live_statement_trace() {
+        let backend = BackendServer::new("b");
+        backend
+            .run_script(
+                "CREATE TABLE item (i_id INT NOT NULL PRIMARY KEY, i_title VARCHAR, i_extra VARCHAR);
+                 CREATE TABLE scratch (s_id INT NOT NULL PRIMARY KEY, s_v INT);
+                 GRANT SELECT ON item TO app;
+                 GRANT INSERT ON scratch TO app;
+                 GRANT UPDATE ON scratch TO app;",
+            )
+            .unwrap();
+        let rows: Vec<String> = (1..=2000)
+            .map(|i| format!("INSERT INTO item VALUES ({i}, 't{i}', 'x')"))
+            .collect();
+        backend.run_script(&rows.join(";")).unwrap();
+        backend.analyze();
+
+        backend.start_statement_trace();
+        let conn = Connection::connect_as(backend.clone(), "app");
+        for i in 1..=40 {
+            conn.query(&format!("SELECT i_title FROM item WHERE i_id = {i}"))
+                .unwrap();
+        }
+        conn.query("INSERT INTO scratch VALUES (1, 0)").unwrap();
+        for _ in 0..30 {
+            conn.query("UPDATE scratch SET s_v = s_v + 1 WHERE s_id = 1")
+                .unwrap();
+        }
+        let trace = backend.stop_statement_trace();
+        assert!(trace.len() >= 2);
+        // Identical statements aggregate by count.
+        let update_entry = trace
+            .iter()
+            .find(|e| e.sql.starts_with("UPDATE scratch"))
+            .expect("update traced");
+        assert_eq!(update_entry.frequency, 30.0);
+
+        let recs = recommend(&backend.db.read(), &trace, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1, "{recs:?}");
+        assert_eq!(recs[0].view_name, "cv_item");
+        assert!(!recs[0].create_sql.contains("i_extra"));
+        // Tracing is off again: no further growth.
+        conn.query("SELECT i_title FROM item WHERE i_id = 1").unwrap();
+        assert!(backend.stop_statement_trace().is_empty());
+    }
+}

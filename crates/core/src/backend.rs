@@ -1,0 +1,571 @@
+//! The backend database server.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mtc_engine::eval::Bindings;
+use mtc_engine::{
+    bind_select, execute, ExecContext, OptimizerOptions, QueryResult, RemoteExecutor,
+};
+use mtc_replication::{Clock, WallClock};
+use mtc_sql::{parse_statement, parse_statements, Permission, Select, Statement, TableRef};
+use mtc_storage::{Database, ProcedureDef, RowChange, ViewMeta};
+use mtc_types::{Column, Error, Result, Row, Schema};
+
+use crate::dml::{compile_dml, derive_view_changes, DML_STATEMENT_OVERHEAD, WORK_PER_CHANGE};
+use crate::procs::{bind_proc_args, parse_proc_body};
+use crate::stats::ServerStats;
+
+/// The backend server: database of record, local execution of everything,
+/// eager materialized-view maintenance, and the replication publisher.
+pub struct BackendServer {
+    name: String,
+    pub db: Arc<RwLock<Database>>,
+    pub options: OptimizerOptions,
+    pub clock: Arc<dyn Clock>,
+    pub stats: Mutex<ServerStats>,
+    /// Statement trace for the cache advisor: normalized statement text →
+    /// execution count. `None` when tracing is off.
+    trace: Mutex<Option<BTreeMap<String, u64>>>,
+}
+
+impl BackendServer {
+    pub fn new(name: &str) -> Arc<BackendServer> {
+        BackendServer::with_clock(name, Arc::new(WallClock))
+    }
+
+    pub fn with_clock(name: &str, clock: Arc<dyn Clock>) -> Arc<BackendServer> {
+        Arc::new(BackendServer {
+            name: name.to_string(),
+            db: Arc::new(RwLock::new(Database::new(name))),
+            options: OptimizerOptions::default(),
+            clock,
+            stats: Mutex::new(ServerStats::default()),
+            trace: Mutex::new(None),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs a multi-statement script as `dbo` (setup convenience).
+    pub fn run_script(&self, sql: &str) -> Result<()> {
+        for stmt in parse_statements(sql)? {
+            self.execute_statement(&stmt, &Bindings::new(), "dbo")?;
+        }
+        Ok(())
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&self, sql: &str, params: &Bindings, principal: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        if let Some(trace) = self.trace.lock().as_mut() {
+            *trace.entry(stmt.to_string()).or_insert(0) += 1;
+        }
+        self.execute_statement(&stmt, params, principal)
+    }
+
+    /// Starts recording a workload trace (normalized statement text and
+    /// counts) for the cache advisor — the paper's §7 workflow: observe the
+    /// workload on the backend, then decide what to cache.
+    pub fn start_statement_trace(&self) {
+        *self.trace.lock() = Some(BTreeMap::new());
+    }
+
+    /// Stops tracing and returns the trace as advisor workload entries.
+    pub fn stop_statement_trace(&self) -> Vec<crate::advisor::WorkloadEntry> {
+        self.trace
+            .lock()
+            .take()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(sql, n)| crate::advisor::WorkloadEntry {
+                sql,
+                frequency: n as f64,
+            })
+            .collect()
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute_statement(
+        &self,
+        stmt: &Statement,
+        params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => self.execute_select(sel, params, principal),
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => {
+                let perm = match stmt {
+                    Statement::Insert { .. } => Permission::Insert,
+                    Statement::Update { .. } => Permission::Update,
+                    _ => Permission::Delete,
+                };
+                self.db
+                    .read()
+                    .catalog
+                    .check_permission(principal, table, perm)?;
+                self.execute_dml(stmt, params)
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                let cols: Vec<Column> = columns
+                    .iter()
+                    .map(|c| {
+                        if c.not_null {
+                            Column::not_null(&c.name, c.dtype)
+                        } else {
+                            Column::new(&c.name, c.dtype)
+                        }
+                    })
+                    .collect();
+                self.db
+                    .write()
+                    .create_table(name, Schema::new(cols), primary_key)?;
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
+                self.db.write().create_index(name, table, columns, *unique)?;
+                Ok(QueryResult::default())
+            }
+            Statement::CreateView {
+                name,
+                materialized,
+                query,
+            } => {
+                if *materialized {
+                    self.create_materialized_view(name, query)?;
+                } else {
+                    self.db.write().catalog.create_view(ViewMeta {
+                        name: name.clone(),
+                        definition: query.clone(),
+                        materialized: false,
+                        is_cached: false,
+                    })?;
+                }
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name } => {
+                self.db.write().drop_table(name)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropView { name } => {
+                let mut db = self.db.write();
+                let meta = db.catalog.drop_view(name)?;
+                if meta.materialized && db.has_table(name) {
+                    db.drop_table(name)?;
+                }
+                Ok(QueryResult::default())
+            }
+            Statement::Grant {
+                permission,
+                object,
+                principal: grantee,
+            } => {
+                self.db.write().catalog.grant(grantee, object, *permission);
+                Ok(QueryResult::default())
+            }
+            Statement::Exec { proc, args } => self.execute_proc(proc, args, params, principal),
+        }
+    }
+
+    /// Runs a SELECT entirely locally (the backend is the data of record).
+    pub fn execute_select(
+        &self,
+        sel: &Select,
+        params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        let db = self.db.read();
+        check_select_permissions(&db, sel, principal)?;
+        let plan = bind_select(sel, &db)?;
+        let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        let ctx = ExecContext {
+            db: &db,
+            remote: None,
+            params,
+            work: &self.options.cost,
+        };
+        let result = execute(&opt.physical, &ctx)?;
+        self.stats
+            .lock()
+            .record_query(&result.metrics, result.rows.len());
+        Ok(result)
+    }
+
+    /// Compiles and applies a DML statement as one transaction, including
+    /// eager maintenance of select-project materialized views.
+    pub fn execute_dml(&self, stmt: &Statement, params: &Bindings) -> Result<QueryResult> {
+        let mut db = self.db.write();
+        let (mut changes, locate_work) = compile_dml(stmt, &db, params, &self.options)?;
+        let derived = derive_view_changes(&db, &changes)?;
+        let affected = changes.len();
+        changes.extend(derived);
+        if !changes.is_empty() {
+            db.apply(self.clock.now_ms(), changes.clone())?;
+        }
+        drop(db);
+        // Statement overhead (parse/lock/log-flush/commit) + target lookup
+        // + per-row write and index maintenance.
+        let work =
+            DML_STATEMENT_OVERHEAD + locate_work + WORK_PER_CHANGE * changes.len() as f64;
+        self.stats.lock().record_dml(work);
+        let mut result = QueryResult::default();
+        result.metrics.local_rows = affected as u64;
+        result.metrics.local_work = work;
+        Ok(result)
+    }
+
+    /// Registers a stored procedure.
+    pub fn create_procedure(&self, name: &str, params: &[&str], body_sql: &str) -> Result<()> {
+        let params: Vec<String> = params.iter().map(|p| mtc_types::normalize_ident(p)).collect();
+        let body = parse_proc_body(name, &params, body_sql)?;
+        self.db.write().catalog.create_procedure(ProcedureDef {
+            name: name.to_string(),
+            params,
+            body,
+        })
+    }
+
+    /// Executes a stored procedure; the result is that of its last SELECT.
+    pub fn execute_proc(
+        &self,
+        proc: &str,
+        args: &[(String, mtc_sql::Expr)],
+        caller_params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        let def = self
+            .db
+            .read()
+            .catalog
+            .procedure(proc)
+            .cloned()
+            .ok_or_else(|| Error::catalog(format!("procedure `{proc}` not found")))?;
+        let bound = bind_proc_args(&def, args, caller_params)?;
+        self.stats.lock().procs += 1;
+        let mut last = QueryResult::default();
+        let mut accumulated = mtc_engine::ExecMetrics::default();
+        for stmt in &def.body {
+            let r = self.execute_statement(stmt, &bound, principal)?;
+            accumulated.absorb(&r.metrics);
+            if matches!(stmt, Statement::Select(_)) {
+                last = r;
+            }
+        }
+        last.metrics = accumulated;
+        Ok(last)
+    }
+
+    /// Creates a materialized view: backing table + initial population.
+    /// Select-project views are maintained eagerly on every transaction;
+    /// anything else must be refreshed with
+    /// [`BackendServer::refresh_materialized_view`].
+    pub fn create_materialized_view(&self, name: &str, definition: &Select) -> Result<()> {
+        let (schema, rows) = {
+            let db = self.db.read();
+            let plan = bind_select(definition, &db)?;
+            let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+            let ctx = ExecContext {
+                db: &db,
+                remote: None,
+                params: &Bindings::new(),
+                work: &self.options.cost,
+            };
+            let result = execute(&opt.physical, &ctx)?;
+            (result.schema, result.rows)
+        };
+        // Primary key: the base table's key columns when fully projected.
+        let pk = {
+            let db = self.db.read();
+            base_pk_if_projected(&db, definition, &schema)
+        };
+        let mut db = self.db.write();
+        db.create_table(name, schema, &pk)?;
+        let changes: Vec<RowChange> = rows
+            .into_iter()
+            .map(|row| RowChange::Insert {
+                table: name.to_string(),
+                row,
+            })
+            .collect();
+        db.apply_unlogged(&changes)?;
+        db.catalog.create_view(ViewMeta {
+            name: name.to_string(),
+            definition: definition.clone(),
+            materialized: true,
+            is_cached: false,
+        })?;
+        db.analyze_table(name);
+        Ok(())
+    }
+
+    /// Recomputes a materialized view and applies (and logs) the diff —
+    /// needed for join/aggregate views, which are not maintained eagerly.
+    pub fn refresh_materialized_view(&self, name: &str) -> Result<usize> {
+        let definition = self
+            .db
+            .read()
+            .catalog
+            .view(name)
+            .filter(|v| v.materialized)
+            .map(|v| v.definition.clone())
+            .ok_or_else(|| Error::catalog(format!("materialized view `{name}` not found")))?;
+        let fresh: Vec<Row> = {
+            let db = self.db.read();
+            let plan = bind_select(&definition, &db)?;
+            let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+            let ctx = ExecContext {
+                db: &db,
+                remote: None,
+                params: &Bindings::new(),
+                work: &self.options.cost,
+            };
+            execute(&opt.physical, &ctx)?.rows
+        };
+        let mut db = self.db.write();
+        let current: Vec<Row> = db.table_ref(name)?.scan().cloned().collect();
+        let fresh_set: std::collections::HashSet<Row> = fresh.iter().cloned().collect();
+        let current_set: std::collections::HashSet<Row> = current.iter().cloned().collect();
+        let mut changes = Vec::new();
+        for row in &current {
+            if !fresh_set.contains(row) {
+                changes.push(RowChange::Delete {
+                    table: name.to_string(),
+                    row: row.clone(),
+                });
+            }
+        }
+        for row in &fresh {
+            if !current_set.contains(row) {
+                changes.push(RowChange::Insert {
+                    table: name.to_string(),
+                    row: row.clone(),
+                });
+            }
+        }
+        let n = changes.len();
+        if n > 0 {
+            db.apply(self.clock.now_ms(), changes)?;
+        }
+        Ok(n)
+    }
+
+    /// Recomputes optimizer statistics for all tables.
+    pub fn analyze(&self) {
+        self.db.write().analyze();
+    }
+
+    /// Optimizes a SELECT and returns its physical plan text (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = parse_statement(sql)? else {
+            return Err(Error::plan("EXPLAIN supports SELECT statements"));
+        };
+        let db = self.db.read();
+        let plan = bind_select(&sel, &db)?;
+        let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        Ok(format!(
+            "estimated cost: {:.1}\nestimated rows: {:.0}\n{}",
+            opt.est_cost, opt.est_rows, opt.physical.explain()
+        ))
+    }
+}
+
+/// The backend acts as the remote executor for cache servers: shipped SQL
+/// is re-parsed and re-optimized here, exactly as in the paper.
+impl RemoteExecutor for BackendServer {
+    fn execute_remote(&self, sql: &str, params: &Bindings) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => self.execute_select(&sel, params, "dbo"),
+            other => self.execute_statement(&other, params, "dbo"),
+        }
+    }
+}
+
+/// Checks SELECT permission on every object named in the FROM clause.
+pub(crate) fn check_select_permissions(
+    db: &Database,
+    sel: &Select,
+    principal: &str,
+) -> Result<()> {
+    fn objects(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Table { name, .. } => out.push(name.clone()),
+            TableRef::Join { left, right, .. } => {
+                objects(left, out);
+                objects(right, out);
+            }
+        }
+    }
+    let mut names = Vec::new();
+    for t in &sel.from {
+        objects(t, &mut names);
+    }
+    for name in names {
+        let local = name.rsplit('.').next().unwrap_or(&name);
+        db.catalog
+            .check_permission(principal, local, Permission::Select)?;
+    }
+    Ok(())
+}
+
+/// If the view projects the base table's full primary key, reuse it as the
+/// backing table's key; otherwise fall back to a hidden rowid.
+fn base_pk_if_projected(db: &Database, definition: &Select, out_schema: &Schema) -> Vec<String> {
+    let [TableRef::Table { name, .. }] = definition.from.as_slice() else {
+        return vec![];
+    };
+    let Ok(base) = db.table_ref(name) else {
+        return vec![];
+    };
+    let pk_names: Vec<String> = base
+        .primary_key()
+        .iter()
+        .map(|&i| base.schema().column(i).name.clone())
+        .collect();
+    if !pk_names.is_empty() && pk_names.iter().all(|c| out_schema.contains(c)) {
+        pk_names
+    } else {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_types::Value;
+
+    fn backend() -> Arc<BackendServer> {
+        let b = BackendServer::new("backend");
+        b.run_script(
+            "CREATE TABLE item (i_id INT NOT NULL PRIMARY KEY, i_title VARCHAR, i_cost FLOAT);
+             CREATE INDEX ix_item_cost ON item (i_cost);
+             INSERT INTO item VALUES (1, 'rust in action', 30.0), (2, 'the art of sql', 20.0), (3, 'cheap book', 5.0);",
+        )
+        .unwrap();
+        b.analyze();
+        b
+    }
+
+    #[test]
+    fn script_and_select() {
+        let b = backend();
+        let r = b
+            .execute("SELECT i_id FROM item WHERE i_cost < 25 ORDER BY i_id ASC", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn dml_roundtrip_and_log() {
+        let b = backend();
+        let r = b
+            .execute("UPDATE item SET i_cost = 50 WHERE i_id = 3", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.metrics.local_rows, 1);
+        let r = b
+            .execute("SELECT i_cost FROM item WHERE i_id = 3", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(50.0));
+        // The DML was logged for replication.
+        assert!(b.db.read().log().len() >= 2);
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let b = backend();
+        let err = b
+            .execute("SELECT i_id FROM item", &Bindings::new(), "app")
+            .unwrap_err();
+        assert_eq!(err.kind(), "permission");
+        b.run_script("GRANT SELECT ON item TO app").unwrap();
+        assert!(b.execute("SELECT i_id FROM item", &Bindings::new(), "app").is_ok());
+        let err = b
+            .execute("DELETE FROM item WHERE i_id = 1", &Bindings::new(), "app")
+            .unwrap_err();
+        assert_eq!(err.kind(), "permission");
+    }
+
+    #[test]
+    fn procedures_execute_with_args() {
+        let b = backend();
+        b.create_procedure(
+            "getItem",
+            &["id"],
+            "SELECT i_title, i_cost FROM item WHERE i_id = @id",
+        )
+        .unwrap();
+        let r = b
+            .execute("EXEC getItem @id = 2", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::str("the art of sql"));
+    }
+
+    #[test]
+    fn materialized_view_eagerly_maintained() {
+        let b = backend();
+        b.run_script("CREATE MATERIALIZED VIEW cheap AS SELECT i_id, i_cost FROM item WHERE i_cost <= 10")
+            .unwrap();
+        assert_eq!(b.db.read().table_ref("cheap").unwrap().row_count(), 1);
+        b.run_script("INSERT INTO item VALUES (4, 'pamphlet', 2.0)").unwrap();
+        assert_eq!(b.db.read().table_ref("cheap").unwrap().row_count(), 2);
+        b.run_script("UPDATE item SET i_cost = 99 WHERE i_id = 3").unwrap();
+        assert_eq!(b.db.read().table_ref("cheap").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_view_refreshes_manually() {
+        let b = backend();
+        b.create_materialized_view(
+            "cost_by_title",
+            &match parse_statement("SELECT i_title, SUM(i_cost) AS total FROM item GROUP BY i_title").unwrap() {
+                Statement::Select(s) => s,
+                _ => panic!(),
+            },
+        )
+        .unwrap();
+        assert_eq!(b.db.read().table_ref("cost_by_title").unwrap().row_count(), 3);
+        b.run_script("INSERT INTO item VALUES (9, 'rust in action', 1.0)").unwrap();
+        // Aggregates are not eagerly maintained...
+        assert_eq!(b.db.read().table_ref("cost_by_title").unwrap().row_count(), 3);
+        // ...until refreshed, which logs the diff for replication.
+        let log_before = b.db.read().log().len();
+        let changed = b.refresh_materialized_view("cost_by_title").unwrap();
+        assert!(changed >= 1);
+        assert!(b.db.read().log().len() > log_before);
+    }
+
+    #[test]
+    fn remote_executor_roundtrip() {
+        let b = backend();
+        let r = b
+            .execute_remote("SELECT COUNT(*) AS n FROM item", &Bindings::new())
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn drop_view_removes_backing_table() {
+        let b = backend();
+        b.run_script("CREATE MATERIALIZED VIEW cheap AS SELECT i_id FROM item WHERE i_cost <= 10")
+            .unwrap();
+        b.run_script("DROP VIEW cheap").unwrap();
+        assert!(b.db.read().table_ref("cheap").is_err());
+        assert!(b.db.read().catalog.view("cheap").is_none());
+    }
+}

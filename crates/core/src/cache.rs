@@ -1,0 +1,793 @@
+//! The MTCache cache server.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mtc_engine::eval::Bindings;
+use mtc_engine::{bind_select, execute, ExecContext, OptimizerOptions, QueryResult};
+use mtc_replication::{Article, Clock, ReplicationHub, SubscriptionId};
+use mtc_sql::{parse_statement, Select, Statement, TableRef};
+use mtc_storage::{Database, ProcedureDef, ViewMeta};
+use mtc_types::{Column, Error, Result, Schema};
+
+use crate::backend::{check_select_permissions, BackendServer};
+use crate::stats::ServerStats;
+
+/// An MTCache server: shadow database + cached views + transparent routing.
+pub struct CacheServer {
+    name: String,
+    /// The shadow database: backend catalog/statistics, empty shadow
+    /// tables, plus populated backing tables for cached views.
+    pub db: Arc<RwLock<Database>>,
+    backend: Arc<BackendServer>,
+    hub: Arc<Mutex<ReplicationHub>>,
+    /// (view name, subscription) pairs owned by this cache server.
+    subscriptions: Mutex<Vec<(String, SubscriptionId)>>,
+    pub options: OptimizerOptions,
+    pub clock: Arc<dyn Clock>,
+    pub stats: Mutex<ServerStats>,
+}
+
+impl CacheServer {
+    /// Sets up a cache server against `backend` (the two-script setup of
+    /// §4: shadow database now, cached views later). The `hub` is the
+    /// replication distributor configured for this backend.
+    pub fn create(
+        name: &str,
+        backend: Arc<BackendServer>,
+        hub: Arc<Mutex<ReplicationHub>>,
+    ) -> Arc<CacheServer> {
+        let shadow = backend.db.read().shadow_clone();
+        Arc::new(CacheServer {
+            name: name.to_string(),
+            db: Arc::new(RwLock::new(shadow)),
+            clock: backend.clock.clone(),
+            backend,
+            hub,
+            subscriptions: Mutex::new(Vec::new()),
+            options: OptimizerOptions::default(),
+            stats: Mutex::new(ServerStats::default()),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn backend(&self) -> &Arc<BackendServer> {
+        &self.backend
+    }
+
+    /// Creates a cached materialized view from a select-project definition
+    /// over a backend table or materialized view, automatically creating
+    /// the matching replication subscription and populating the view (§3).
+    pub fn create_cached_view(&self, name: &str, definition_sql: &str) -> Result<()> {
+        let Statement::Select(definition) = parse_statement(definition_sql)? else {
+            return Err(Error::catalog("cached view definition must be a SELECT"));
+        };
+        let [TableRef::Table { name: source, .. }] = definition.from.as_slice() else {
+            return Err(Error::catalog(
+                "cached views must select from exactly one backend object",
+            ));
+        };
+        let source = source.clone();
+
+        // Resolve the source schema and key from the backend.
+        let backend_db = self.backend.db.read();
+        let source_table = backend_db.table_ref(&source)?;
+        let source_schema = source_table.schema().clone();
+        let source_pk: Vec<String> = source_table
+            .primary_key()
+            .iter()
+            .map(|&i| source_schema.column(i).name.clone())
+            .collect();
+        drop(backend_db);
+
+        let article = Article::from_select(name, &definition, &source_schema)?;
+
+        // Backing table: the projected columns with their source types.
+        let cols: Vec<Column> = article
+            .columns
+            .iter()
+            .map(|c| {
+                let idx = source_schema.index_of(c)?;
+                Ok(source_schema.column(idx).clone())
+            })
+            .collect::<Result<_>>()?;
+        let pk: Vec<String> = source_pk
+            .iter()
+            .filter(|c| article.columns.contains(c))
+            .cloned()
+            .collect();
+        if pk.len() != source_pk.len() {
+            return Err(Error::catalog(format!(
+                "cached view `{name}` must project the source key columns {source_pk:?}"
+            )));
+        }
+        {
+            let mut db = self.db.write();
+            db.create_table(name, Schema::new(cols), &pk)?;
+            db.catalog.create_view(ViewMeta {
+                name: name.to_string(),
+                definition: definition.clone(),
+                materialized: true,
+                is_cached: true,
+            })?;
+        }
+
+        // "When a cached view is created, we automatically create a
+        // replication subscription matching the view" — this also bulk-
+        // populates it.
+        let sub = self.hub.lock().subscribe(
+            article,
+            self.db.clone(),
+            name,
+            self.clock.now_ms(),
+        )?;
+        self.subscriptions.lock().push((name.to_string(), sub));
+        self.db.write().analyze_table(name);
+        Ok(())
+    }
+
+    /// Copies a secondary index definition from the backend onto a cached
+    /// view's backing table ("all indexes on the cache servers were
+    /// identical to indexes on the backend server", §6.1).
+    pub fn create_index_on_view(&self, index: &str, view: &str, columns: &[String]) -> Result<()> {
+        self.db.write().create_index(index, view, columns, false)?;
+        self.db.write().analyze_table(view);
+        Ok(())
+    }
+
+    /// Copies a stored procedure from the backend so it runs mid-tier
+    /// (§5.2: the DBA selectively copies procedures she wants local).
+    pub fn copy_procedure(&self, name: &str) -> Result<()> {
+        let def: ProcedureDef = self
+            .backend
+            .db
+            .read()
+            .catalog
+            .procedure(name)
+            .cloned()
+            .ok_or_else(|| Error::catalog(format!("backend procedure `{name}` not found")))?;
+        self.db.write().catalog.create_procedure(def)
+    }
+
+    /// Re-imports backend statistics and newly created backend procedures
+    /// into the shadow catalog (§7's catalog-refresh future work).
+    pub fn refresh_shadow_catalog(&self) -> Result<()> {
+        let backend_db = self.backend.db.read();
+        let mut db = self.db.write();
+        db.catalog.import_stats_from(&backend_db.catalog);
+        // Preserve fresher statistics for locally populated cached views.
+        let views: Vec<String> = self
+            .subscriptions
+            .lock()
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect();
+        drop(backend_db);
+        for v in views {
+            db.analyze_table(&v);
+        }
+        Ok(())
+    }
+
+    /// Parses and executes one statement with full transparency: queries
+    /// are optimized here and run local/remote/mixed; DML and unknown
+    /// procedures are forwarded to the backend.
+    pub fn execute(&self, sql: &str, params: &Bindings, principal: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt, params, principal)
+    }
+
+    /// Statement dispatch (see [`CacheServer::execute`]).
+    pub fn execute_statement(
+        &self,
+        stmt: &Statement,
+        params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => self.execute_select(sel, params, principal),
+            // "All insert, delete and update requests against a shadow
+            // table are immediately converted to remote ... and forwarded
+            // to the backend server" (§5).
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => {
+                // Permission check happens locally against the shadowed
+                // catalog before forwarding.
+                let perm = match stmt {
+                    Statement::Insert { .. } => mtc_sql::Permission::Insert,
+                    Statement::Update { .. } => mtc_sql::Permission::Update,
+                    _ => mtc_sql::Permission::Delete,
+                };
+                self.db
+                    .read()
+                    .catalog
+                    .check_permission(principal, table, perm)?;
+                let result = self.backend.execute_statement(stmt, params, principal)?;
+                let mut stats = self.stats.lock();
+                stats.dml += 1;
+                stats.remote_calls += 1;
+                stats.remote_work += result.metrics.local_work;
+                let mut out = result;
+                out.metrics.remote_work = out.metrics.local_work;
+                out.metrics.local_work = 0.0;
+                Ok(out)
+            }
+            Statement::Exec { proc, args } => {
+                // Local if copied, transparently forwarded otherwise (§5.2).
+                let local = self.db.read().catalog.procedure(proc).cloned();
+                match local {
+                    Some(def) => self.execute_local_proc(&def, args, params, principal),
+                    None => {
+                        let result =
+                            self.backend.execute_proc(proc, args, params, principal)?;
+                        let mut stats = self.stats.lock();
+                        stats.procs += 1;
+                        stats.remote_calls += 1;
+                        stats.remote_work += result.metrics.local_work;
+                        let mut out = result;
+                        out.metrics.remote_work += out.metrics.local_work;
+                        out.metrics.local_work = 0.0;
+                        Ok(out)
+                    }
+                }
+            }
+            Statement::CreateView {
+                name,
+                materialized: true,
+                query,
+            } => {
+                self.create_cached_view(name, &query.to_string())?;
+                Ok(QueryResult::default())
+            }
+            Statement::Grant {
+                permission,
+                object,
+                principal: grantee,
+            } => {
+                self.db.write().catalog.grant(grantee, object, *permission);
+                Ok(QueryResult::default())
+            }
+            other => Err(Error::catalog(format!(
+                "run DDL against the backend server, not the cache: {other}"
+            ))),
+        }
+    }
+
+    /// Optimizes and executes a SELECT. The plan may be fully local, fully
+    /// remote, or mixed; parameterized queries get dynamic plans.
+    pub fn execute_select(
+        &self,
+        sel: &Select,
+        params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        let options = self.options.clone();
+        let db = self.db.read();
+        // Blind forwarding (§7's pruned-shadow future work): a query naming
+        // objects absent from this (possibly pruned) shadow catalog is
+        // forwarded whole — the backend parses, authorizes and executes it.
+        let plan = match check_select_permissions(&db, sel, principal)
+            .and_then(|()| bind_select(sel, &db))
+        {
+            Ok(plan) => plan,
+            Err(e) if e.kind() == "catalog" => {
+                drop(db);
+                let result = self.backend.execute_select(sel, params, principal)?;
+                let mut stats = self.stats.lock();
+                stats.queries += 1;
+                stats.remote_calls += 1;
+                stats.remote_work += result.metrics.local_work;
+                let mut out = result;
+                out.metrics.remote_work += out.metrics.local_work;
+                out.metrics.local_work = 0.0;
+                out.metrics.remote_calls += 1;
+                return Ok(out);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut opt = mtc_engine::optimize(plan.clone(), &db, &options)?;
+
+        // Freshness routing (§7 extension): if the statement carries a
+        // staleness bound, check it against the cached views the chosen
+        // plan *actually reads* (per-view staleness, not a server-wide
+        // worst case). If any is too stale, re-plan without view matching —
+        // backend data is always fresh.
+        if let Some(bound_s) = sel.freshness_seconds {
+            let bound_ms = (bound_s as i64) * 1000;
+            let used = local_objects(&opt.physical);
+            let too_stale = used.iter().any(|obj| {
+                self.staleness_of_view(obj)
+                    .map(|ms| ms > bound_ms)
+                    .unwrap_or(false)
+            });
+            if too_stale {
+                let no_views = OptimizerOptions {
+                    enable_view_matching: false,
+                    ..options.clone()
+                };
+                opt = mtc_engine::optimize(plan, &db, &no_views)?;
+            }
+        }
+        let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
+        let ctx = ExecContext {
+            db: &db,
+            remote: Some(backend),
+            params,
+            work: &options.cost,
+        };
+        let result = execute(&opt.physical, &ctx)?;
+        self.stats
+            .lock()
+            .record_query(&result.metrics, result.rows.len());
+        Ok(result)
+    }
+
+    /// Runs a copied procedure locally: its queries go through this cache's
+    /// optimizer (and may still touch the backend); its DML forwards.
+    fn execute_local_proc(
+        &self,
+        def: &ProcedureDef,
+        args: &[(String, mtc_sql::Expr)],
+        caller_params: &Bindings,
+        principal: &str,
+    ) -> Result<QueryResult> {
+        let bound = crate::procs::bind_proc_args(def, args, caller_params)?;
+        self.stats.lock().procs += 1;
+        let mut last = QueryResult::default();
+        let mut accumulated = mtc_engine::ExecMetrics::default();
+        for stmt in &def.body {
+            let r = self.execute_statement(stmt, &bound, principal)?;
+            accumulated.absorb(&r.metrics);
+            if matches!(stmt, Statement::Select(_)) {
+                last = r;
+            }
+        }
+        last.metrics = accumulated;
+        Ok(last)
+    }
+
+    /// Prunes the shadow catalog down to what the cached views need (§7:
+    /// "it would also be desirable to reduce the amount of shadowed catalog
+    /// information by shadowing only the information relevant to the cached
+    /// views \[and\] the tables they depend on"). Shadow tables that no
+    /// cached view reads are dropped, along with their statistics; queries
+    /// touching them fall back to blind forwarding.
+    pub fn prune_shadow_catalog(&self) -> Result<Vec<String>> {
+        let keep: std::collections::BTreeSet<String> = {
+            let db = self.db.read();
+            let mut keep: std::collections::BTreeSet<String> = db
+                .catalog
+                .views()
+                .filter(|v| v.is_cached)
+                .filter_map(|v| v.base_object().map(mtc_types::normalize_ident))
+                .collect();
+            // The cached views' own backing tables stay, of course.
+            keep.extend(self.cached_views().into_iter().map(|v| mtc_types::normalize_ident(&v)));
+            keep
+        };
+        let victims: Vec<String> = {
+            let db = self.db.read();
+            db.tables()
+                .filter(|t| t.is_shadow() && !keep.contains(t.name()))
+                .map(|t| t.name().to_string())
+                .collect()
+        };
+        let mut db = self.db.write();
+        for t in &victims {
+            db.drop_table(t)?;
+            db.catalog.remove_stats(t);
+        }
+        Ok(victims)
+    }
+
+    /// Optimizes a SELECT on this cache server and returns its physical
+    /// plan text (EXPLAIN) — shows local/remote routing, DataTransfer
+    /// boundaries and dynamic-plan guards.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Select(sel) = parse_statement(sql)? else {
+            return Err(Error::plan("EXPLAIN supports SELECT statements"));
+        };
+        let db = self.db.read();
+        let plan = bind_select(&sel, &db)?;
+        let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        Ok(format!(
+            "estimated cost: {:.1}\nestimated rows: {:.0}\n{}",
+            opt.est_cost, opt.est_rows, opt.physical.explain()
+        ))
+    }
+
+    /// Replication staleness of one cached view, in milliseconds; `None`
+    /// if `view` is not one of this server's cached views.
+    pub fn staleness_of_view(&self, view: &str) -> Option<i64> {
+        let view = mtc_types::normalize_ident(view);
+        let now = self.clock.now_ms();
+        let hub = self.hub.lock();
+        self.subscriptions
+            .lock()
+            .iter()
+            .find(|(v, _)| *v == view)
+            .and_then(|(_, id)| hub.staleness_ms(*id, now))
+    }
+
+    /// Worst-case replication staleness over this server's subscriptions.
+    pub fn max_staleness_ms(&self) -> i64 {
+        let now = self.clock.now_ms();
+        let hub = self.hub.lock();
+        self.subscriptions
+            .lock()
+            .iter()
+            .filter_map(|(_, id)| hub.staleness_ms(*id, now))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Names of the cached views this server maintains.
+    pub fn cached_views(&self) -> Vec<String> {
+        self.subscriptions
+            .lock()
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+}
+
+/// Local data objects a physical plan reads (cached views and their
+/// indexes' tables).
+fn local_objects(plan: &mtc_engine::PhysicalPlan) -> Vec<String> {
+    use mtc_engine::PhysicalPlan as P;
+    let mut out = Vec::new();
+    fn walk(p: &mtc_engine::PhysicalPlan, out: &mut Vec<String>) {
+        match p {
+            P::SeqScan { object, .. }
+            | P::ClusteredSeek { object, .. }
+            | P::IndexSeek { object, .. }
+            | P::ExtremeSeek { object, .. } => out.push(object.clone()),
+            _ => {}
+        }
+        for c in p.children() {
+            walk(c, out);
+        }
+    }
+    walk(plan, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_replication::ManualClock;
+    use mtc_types::Value;
+
+    fn setup() -> (Arc<BackendServer>, Arc<Mutex<ReplicationHub>>, ManualClock) {
+        let clock = ManualClock::new(0);
+        let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
+        backend
+            .run_script(
+                "CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cname VARCHAR, caddress VARCHAR);
+                 GRANT SELECT ON customer TO app;
+                 GRANT UPDATE ON customer TO app;",
+            )
+            .unwrap();
+        let inserts: Vec<String> = (1..=2000)
+            .map(|i| format!("INSERT INTO customer VALUES ({i}, 'c{i}', 'addr{i}')"))
+            .collect();
+        backend.run_script(&inserts.join(";")).unwrap();
+        backend.analyze();
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        (backend, hub, clock)
+    }
+
+    fn cache(backend: &Arc<BackendServer>, hub: &Arc<Mutex<ReplicationHub>>) -> Arc<CacheServer> {
+        let c = CacheServer::create("cache1", backend.clone(), hub.clone());
+        c.create_cached_view(
+            "cust1000",
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 1000",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn shadow_setup_and_view_population() {
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let db = c.db.read();
+        assert!(db.table_ref("customer").unwrap().is_shadow());
+        assert_eq!(db.table_ref("cust1000").unwrap().row_count(), 1000);
+        assert_eq!(db.catalog.stats("customer").unwrap().row_count, 2000);
+    }
+
+    #[test]
+    fn query_in_view_range_runs_locally() {
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let before = backend.stats.lock().queries;
+        let r = c
+            .execute(
+                "SELECT cname FROM customer WHERE cid = 42",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("c42"));
+        assert_eq!(r.metrics.remote_calls, 0, "fully local");
+        assert_eq!(backend.stats.lock().queries, before, "backend untouched");
+    }
+
+    #[test]
+    fn query_outside_view_range_goes_remote() {
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let r = c
+            .execute(
+                "SELECT cname FROM customer WHERE cid = 1500",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("c1500"));
+        assert_eq!(r.metrics.remote_calls, 1);
+        assert!(r.metrics.remote_work > 0.0);
+    }
+
+    #[test]
+    fn parameterized_query_switches_at_runtime() {
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let sql = "SELECT cid, cname, caddress FROM customer WHERE cid <= @cid";
+        // In-range parameter: local branch.
+        let mut p = Bindings::new();
+        p.insert("cid".into(), Value::Int(500));
+        let r = c.execute(sql, &p, "app").unwrap();
+        assert_eq!(r.rows.len(), 500);
+        assert_eq!(r.metrics.remote_calls, 0, "guard true ⇒ local branch");
+        // Out-of-range parameter: remote branch of the SAME query text.
+        p.insert("cid".into(), Value::Int(1500));
+        let r = c.execute(sql, &p, "app").unwrap();
+        assert_eq!(r.rows.len(), 1500);
+        assert_eq!(r.metrics.remote_calls, 1, "guard false ⇒ remote branch");
+    }
+
+    #[test]
+    fn dml_transparently_forwards_and_replicates() {
+        let (backend, hub, clock) = setup();
+        let c = cache(&backend, &hub);
+        c.execute(
+            "UPDATE customer SET cname = 'renamed' WHERE cid = 7",
+            &Bindings::new(),
+            "app",
+        )
+        .unwrap();
+        // The backend sees the change immediately.
+        let r = backend
+            .execute("SELECT cname FROM customer WHERE cid = 7", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("renamed"));
+        // The cache sees it after replication propagates.
+        clock.advance(500);
+        hub.lock().pump(clock.now_ms()).unwrap();
+        let r = c
+            .execute("SELECT cname FROM customer WHERE cid = 7", &Bindings::new(), "app")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("renamed"));
+    }
+
+    #[test]
+    fn permission_checked_locally_via_shadow() {
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let err = c
+            .execute("DELETE FROM customer WHERE cid = 1", &Bindings::new(), "app")
+            .unwrap_err();
+        assert_eq!(err.kind(), "permission");
+        let err = c
+            .execute("SELECT cid FROM customer", &Bindings::new(), "nobody")
+            .unwrap_err();
+        assert_eq!(err.kind(), "permission");
+    }
+
+    #[test]
+    fn procedures_local_vs_forwarded() {
+        let (backend, hub, _clock) = setup();
+        backend
+            .create_procedure("getCustomer", &["id"], "SELECT cname FROM customer WHERE cid = @id")
+            .unwrap();
+        let c = cache(&backend, &hub);
+        // Not copied: forwards.
+        let r = c
+            .execute("EXEC getCustomer @id = 3", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("c3"));
+        assert_eq!(c.stats.lock().remote_calls, 1);
+        // Copied: runs locally (and hits the cached view).
+        c.copy_procedure("getCustomer").unwrap();
+        let before_remote = c.stats.lock().remote_calls;
+        let r = c
+            .execute("EXEC getCustomer @id = 3", &Bindings::new(), "dbo")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("c3"));
+        assert_eq!(c.stats.lock().remote_calls, before_remote, "ran locally");
+    }
+
+    #[test]
+    fn freshness_bound_bypasses_stale_cache() {
+        let (backend, hub, clock) = setup();
+        let c = cache(&backend, &hub);
+        // Make the cache stale: a backend write, not yet replicated.
+        backend
+            .run_script("UPDATE customer SET cname = 'fresh!' WHERE cid = 5")
+            .unwrap();
+        clock.advance(60_000); // a minute passes without replication
+        // Unbounded query happily reads stale data locally.
+        let r = c
+            .execute("SELECT cname FROM customer WHERE cid = 5", &Bindings::new(), "app")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("c5"), "stale but allowed");
+        // A 10-second freshness bound routes to the backend.
+        let r = c
+            .execute(
+                "SELECT cname FROM customer WHERE cid = 5 WITH FRESHNESS 10 SECONDS",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("fresh!"));
+        assert_eq!(r.metrics.remote_calls, 1);
+        // After replication catches up, the bound is satisfiable locally.
+        hub.lock().pump(clock.now_ms()).unwrap();
+        hub.lock().pump(clock.now_ms()).unwrap();
+        let r = c
+            .execute(
+                "SELECT cname FROM customer WHERE cid = 5 WITH FRESHNESS 10 SECONDS",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("fresh!"));
+        assert_eq!(r.metrics.remote_calls, 0, "fresh again ⇒ local");
+    }
+
+    #[test]
+    fn freshness_is_checked_per_view_not_server_wide() {
+        let (backend, hub, clock) = setup();
+        backend
+            .run_script(
+                "CREATE TABLE product (p_id INT NOT NULL PRIMARY KEY, p_name VARCHAR);
+                 INSERT INTO product VALUES (1, 'widget');
+                 GRANT SELECT ON product TO app;",
+            )
+            .unwrap();
+        backend.analyze();
+        let c = CacheServer::create("cache_f", backend.clone(), hub.clone());
+        // View A over customer.
+        c.create_cached_view("cust_v", "SELECT cid, cname FROM customer WHERE cid <= 100")
+            .unwrap();
+        // Make A stale: an unreplicated customer write, then time passes.
+        backend
+            .run_script("UPDATE customer SET cname = 'x' WHERE cid = 1")
+            .unwrap();
+        clock.advance(60_000);
+        // View B over product, created NOW — fresh by construction.
+        c.create_cached_view("prod_v", "SELECT p_id, p_name FROM product")
+            .unwrap();
+
+        // A bounded query touching only the FRESH view stays local...
+        let r = c
+            .execute(
+                "SELECT p_name FROM product WHERE p_id = 1 WITH FRESHNESS 10 SECONDS",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert_eq!(r.metrics.remote_calls, 0, "fresh view satisfies the bound");
+        // ...while the same bound on the STALE view's table goes remote.
+        let r = c
+            .execute(
+                "SELECT cname FROM customer WHERE cid = 1 WITH FRESHNESS 10 SECONDS",
+                &Bindings::new(),
+                "app",
+            )
+            .unwrap();
+        assert!(r.metrics.remote_calls > 0, "stale view must be bypassed");
+        assert_eq!(r.rows[0][0], Value::str("x"), "and the answer is fresh");
+    }
+
+    #[test]
+    fn cached_view_must_project_source_key() {
+        let (backend, hub, _clock) = setup();
+        let c = CacheServer::create("cache2", backend.clone(), hub.clone());
+        let err = c
+            .create_cached_view("bad", "SELECT cname FROM customer WHERE cid <= 10")
+            .unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+    }
+
+    #[test]
+    fn pruned_shadow_falls_back_to_blind_forwarding() {
+        let (backend, hub, _clock) = setup();
+        // A second backend table the cache will NOT cache.
+        backend
+            .run_script(
+                "CREATE TABLE audit_log (al_id INT NOT NULL PRIMARY KEY, al_msg VARCHAR);
+                 INSERT INTO audit_log VALUES (1, 'hello');
+                 GRANT SELECT ON audit_log TO app;",
+            )
+            .unwrap();
+        backend.analyze();
+        let c = CacheServer::create("cache_p", backend.clone(), hub);
+        c.create_cached_view(
+            "cust1000",
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 1000",
+        )
+        .unwrap();
+        // Before pruning, audit_log is shadowed and queries route normally.
+        let r = c
+            .execute("SELECT al_msg FROM audit_log WHERE al_id = 1", &Bindings::new(), "app")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("hello"));
+
+        let dropped = c.prune_shadow_catalog().unwrap();
+        assert!(dropped.contains(&"audit_log".to_string()), "{dropped:?}");
+        assert!(
+            !c.db.read().has_table("audit_log"),
+            "shadow table pruned away"
+        );
+        // customer stays: a cached view depends on it.
+        assert!(c.db.read().has_table("customer"));
+
+        // The same query still answers, via blind forwarding.
+        let r = c
+            .execute("SELECT al_msg FROM audit_log WHERE al_id = 1", &Bindings::new(), "app")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::str("hello"));
+        assert_eq!(r.metrics.remote_calls, 1);
+        // Cached-view queries are unaffected.
+        let r = c
+            .execute("SELECT cname FROM customer WHERE cid = 3", &Bindings::new(), "app")
+            .unwrap();
+        assert_eq!(r.metrics.remote_calls, 0);
+        // Backend permissions still apply to forwarded statements.
+        let err = c
+            .execute("SELECT al_msg FROM audit_log", &Bindings::new(), "nobody")
+            .unwrap_err();
+        assert_eq!(err.kind(), "permission");
+    }
+
+    #[test]
+    fn truly_unknown_tables_still_error() {
+        let (backend, hub, _clock) = setup();
+        let c = CacheServer::create("cache_u", backend, hub);
+        let err = c
+            .execute("SELECT x FROM no_such_table", &Bindings::new(), "dbo")
+            .unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+    }
+
+    #[test]
+    fn two_caches_one_backend() {
+        let (backend, hub, clock) = setup();
+        let c1 = cache(&backend, &hub);
+        let c2 = CacheServer::create("cache2", backend.clone(), hub.clone());
+        c2.create_cached_view("cust500", "SELECT cid, cname, caddress FROM customer WHERE cid <= 500")
+            .unwrap();
+        backend
+            .run_script("UPDATE customer SET cname = 'both' WHERE cid = 100")
+            .unwrap();
+        clock.advance(100);
+        hub.lock().pump(clock.now_ms()).unwrap();
+        for c in [&c1, &c2] {
+            let r = c
+                .execute("SELECT cname FROM customer WHERE cid = 100", &Bindings::new(), "dbo")
+                .unwrap();
+            assert_eq!(r.rows[0][0], Value::str("both"), "{}", c.name());
+            assert_eq!(r.metrics.remote_calls, 0);
+        }
+    }
+}

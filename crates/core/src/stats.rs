@@ -1,0 +1,71 @@
+//! Per-server execution statistics.
+
+use mtc_engine::ExecMetrics;
+
+/// Cumulative counters for one server, used by the experiments to derive
+/// CPU loads and by operators to watch a deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// SELECT statements executed (including those arriving via EXEC).
+    pub queries: u64,
+    /// INSERT/UPDATE/DELETE statements executed here.
+    pub dml: u64,
+    /// Stored procedure calls dispatched here.
+    pub procs: u64,
+    /// Rows returned to clients.
+    pub rows_returned: u64,
+    /// Work units this server spent.
+    pub local_work: f64,
+    /// Work units spent on the backend on behalf of this server (only
+    /// nonzero on cache servers).
+    pub remote_work: f64,
+    /// Remote round trips issued by this server.
+    pub remote_calls: u64,
+}
+
+impl ServerStats {
+    /// Folds one query's metrics into the counters.
+    pub fn record_query(&mut self, m: &ExecMetrics, rows: usize) {
+        self.queries += 1;
+        self.rows_returned += rows as u64;
+        self.local_work += m.local_work;
+        self.remote_work += m.remote_work;
+        self.remote_calls += m.remote_calls;
+    }
+
+    /// Folds a DML execution in.
+    pub fn record_dml(&mut self, work: f64) {
+        self.dml += 1;
+        self.local_work += work;
+    }
+
+    /// Returns and clears the counters (used between experiment phases).
+    pub fn take(&mut self) -> ServerStats {
+        std::mem::take(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_take() {
+        let mut s = ServerStats::default();
+        let m = ExecMetrics {
+            local_work: 10.0,
+            remote_work: 5.0,
+            remote_calls: 1,
+            ..Default::default()
+        };
+        s.record_query(&m, 3);
+        s.record_dml(2.0);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.dml, 1);
+        assert_eq!(s.rows_returned, 3);
+        assert_eq!(s.local_work, 12.0);
+        let taken = s.take();
+        assert_eq!(taken.queries, 1);
+        assert_eq!(s, ServerStats::default());
+    }
+}

@@ -1,0 +1,457 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use std::collections::BTreeMap;
+
+use mtc_sql::{BinOp, Expr, UnaryOp};
+use mtc_types::{Error, Result, Row, Schema, Value};
+
+/// Run-time parameter bindings: parameter name (without `@`) → value.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Evaluates `expr` against `row` (described by `schema`) and `params`.
+///
+/// Aggregate function calls are *not* handled here — the binder rewrites
+/// them into aggregate-output column references before evaluation.
+pub fn eval(expr: &Expr, row: &Row, schema: &Schema, params: &Bindings) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = schema.index_of(name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(p) => params
+            .get(p)
+            .cloned()
+            .ok_or_else(|| Error::execution(format!("unbound parameter `@{p}`"))),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, row, schema, params)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::type_error(format!("cannot negate {other}"))),
+                },
+                UnaryOp::Not => match truth(&v) {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Ok(Value::Null),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, row, schema, params),
+        Expr::Function {
+            name,
+            args,
+            distinct: _,
+        } => eval_scalar_function(name, args, row, schema, params),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, row, schema, params)?;
+            let p = eval(pattern, row, schema, params)?;
+            match (v.as_str(), p.as_str()) {
+                (Some(s), Some(pat)) => {
+                    let m = like_match(s, pat);
+                    Ok(Value::Bool(m != *negated))
+                }
+                _ if v.is_null() || p.is_null() => Ok(Value::Null),
+                _ => Err(Error::type_error("LIKE requires string operands")),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row, schema, params)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, row, schema, params)?;
+                if w.is_null() {
+                    saw_null = true;
+                } else if v == w {
+                    return Ok(Value::Bool(!*negated));
+                }
+            }
+            if saw_null {
+                // `x IN (…, NULL)` with no match is UNKNOWN, per SQL.
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, row, schema, params)?;
+            let lo = eval(low, row, schema, params)?;
+            let hi = eval(high, row, schema, params)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(cl), Some(ch)) => {
+                    let inside = cl != std::cmp::Ordering::Less && ch != std::cmp::Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, row, schema, params)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, val) in branches {
+                if eval_predicate(cond, row, schema, params)? == Some(true) {
+                    return eval(val, row, schema, params);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row, schema, params),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+/// Evaluates a predicate to SQL three-valued logic:
+/// `Some(true)` / `Some(false)` / `None` (UNKNOWN).
+pub fn eval_predicate(
+    expr: &Expr,
+    row: &Row,
+    schema: &Schema,
+    params: &Bindings,
+) -> Result<Option<bool>> {
+    Ok(truth(&eval(expr, row, schema, params)?))
+}
+
+/// Truth value of a scalar under SQL semantics.
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        Value::Int(i) => Some(*i != 0),
+        _ => Some(true),
+    }
+}
+
+fn eval_binary(
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+    row: &Row,
+    schema: &Schema,
+    params: &Bindings,
+) -> Result<Value> {
+    // AND/OR need lazy-ish three-valued logic.
+    if op == BinOp::And || op == BinOp::Or {
+        let l = truth(&eval(left, row, schema, params)?);
+        // Short-circuit where the result is already decided.
+        match (op, l) {
+            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = truth(&eval(right, row, schema, params)?);
+        let out = match op {
+            BinOp::And => match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        };
+        return Ok(out.map(Value::Bool).unwrap_or(Value::Null));
+    }
+
+    let l = eval(left, row, schema, params)?;
+    let r = eval(right, row, schema, params)?;
+
+    if op.is_comparison() {
+        return Ok(match l.sql_cmp(&r) {
+            None => Value::Null,
+            Some(ord) => Value::Bool(match op {
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                BinOp::Neq => ord != std::cmp::Ordering::Equal,
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }),
+        });
+    }
+
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // String concatenation via `+`, as in T-SQL.
+    if op == BinOp::Add {
+        if let (Some(a), Some(b)) = (l.as_str(), r.as_str()) {
+            return Ok(Value::str(format!("{a}{b}")));
+        }
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(Error::type_error(format!(
+                "arithmetic on non-numeric operands ({l} {} {r})",
+                op.sql()
+            )))
+        }
+    };
+    let both_int = matches!(
+        (&l, &r),
+        (Value::Int(_), Value::Int(_)) | (Value::Int(_), Value::Timestamp(_)) | (Value::Timestamp(_), Value::Int(_))
+    );
+    let out = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(Error::execution("division by zero"));
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Err(Error::execution("division by zero"));
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    if both_int && op != BinOp::Div {
+        Ok(Value::Int(out as i64))
+    } else if both_int && out.fract() == 0.0 {
+        Ok(Value::Int(out as i64))
+    } else {
+        Ok(Value::Float(out))
+    }
+}
+
+fn eval_scalar_function(
+    name: &str,
+    args: &[Expr],
+    row: &Row,
+    schema: &Schema,
+    params: &Bindings,
+) -> Result<Value> {
+    let argv: Vec<Value> = args
+        .iter()
+        .map(|a| eval(a, row, schema, params))
+        .collect::<Result<_>>()?;
+    match name.to_ascii_uppercase().as_str() {
+        "LOWER" => str_fn(&argv, |s| s.to_ascii_lowercase()),
+        "UPPER" => str_fn(&argv, |s| s.to_ascii_uppercase()),
+        "LEN" | "LENGTH" => match argv.first() {
+            Some(Value::Str(s)) => Ok(Value::Int(s.len() as i64)),
+            Some(Value::Null) | None => Ok(Value::Null),
+            Some(other) => Err(Error::type_error(format!("LEN of non-string {other}"))),
+        },
+        "ABS" => match argv.first() {
+            Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
+            Some(Value::Float(f)) => Ok(Value::Float(f.abs())),
+            Some(Value::Null) | None => Ok(Value::Null),
+            Some(other) => Err(Error::type_error(format!("ABS of {other}"))),
+        },
+        "ROUND" => match argv.first() {
+            Some(Value::Float(f)) => {
+                let digits = argv.get(1).and_then(Value::as_i64).unwrap_or(0);
+                let scale = 10f64.powi(digits as i32);
+                Ok(Value::Float((f * scale).round() / scale))
+            }
+            Some(Value::Int(i)) => Ok(Value::Int(*i)),
+            Some(Value::Null) | None => Ok(Value::Null),
+            Some(other) => Err(Error::type_error(format!("ROUND of {other}"))),
+        },
+        "SUBSTRING" => {
+            // SUBSTRING(s, start, len) — 1-based, like T-SQL.
+            match (argv.first(), argv.get(1), argv.get(2)) {
+                (Some(Value::Str(s)), Some(start), Some(len)) => {
+                    let start = (start.as_i64().unwrap_or(1).max(1) - 1) as usize;
+                    let len = len.as_i64().unwrap_or(0).max(0) as usize;
+                    let out: String = s.chars().skip(start).take(len).collect();
+                    Ok(Value::str(out))
+                }
+                (Some(Value::Null), _, _) => Ok(Value::Null),
+                _ => Err(Error::type_error("SUBSTRING(s, start, len) expected")),
+            }
+        }
+        "COALESCE" => {
+            for v in &argv {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        other => Err(Error::execution(format!("unknown function `{other}`"))),
+    }
+}
+
+fn str_fn(argv: &[Value], f: impl Fn(&str) -> String) -> Result<Value> {
+    match argv.first() {
+        Some(Value::Str(s)) => Ok(Value::str(f(s))),
+        Some(Value::Null) | None => Ok(Value::Null),
+        Some(other) => Err(Error::type_error(format!(
+            "string function applied to {other}"
+        ))),
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run, `_` matches one character.
+/// Matching is case-insensitive, following SQL Server's default collation.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Try consuming 0..=len bytes.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => !s.is_empty() && s[0] == c && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(
+        s.to_ascii_lowercase().as_bytes(),
+        pattern.to_ascii_lowercase().as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_sql::parse_expression;
+    use mtc_types::{row, Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("price", DataType::Float),
+        ])
+    }
+
+    fn ev(src: &str, row: &Row) -> Value {
+        eval(&parse_expression(src).unwrap(), row, &schema(), &Bindings::new()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = row![3, "book", 9.5];
+        assert_eq!(ev("id + 1", &r), Value::Int(4));
+        assert_eq!(ev("price * 2", &r), Value::Float(19.0));
+        assert_eq!(ev("id <= 3", &r), Value::Bool(true));
+        assert_eq!(ev("price > 10", &r), Value::Bool(false));
+        assert_eq!(ev("7 / 2", &r), Value::Float(3.5));
+        assert_eq!(ev("7 % 2", &r), Value::Int(1));
+    }
+
+    #[test]
+    fn string_concat_and_functions() {
+        let r = row![1, "Tire", 1.0];
+        assert_eq!(ev("name + 's'", &r), Value::str("Tires"));
+        assert_eq!(ev("LOWER(name)", &r), Value::str("tire"));
+        assert_eq!(ev("LEN(name)", &r), Value::Int(4));
+        assert_eq!(ev("SUBSTRING(name, 2, 2)", &r), Value::str("ir"));
+        assert_eq!(ev("COALESCE(NULL, name)", &r), Value::str("Tire"));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = Row::new(vec![Value::Int(1), Value::Null, Value::Float(1.0)]);
+        let s = schema();
+        let p = Bindings::new();
+        // NULL = NULL is UNKNOWN.
+        let e = parse_expression("name = name").unwrap();
+        assert_eq!(eval_predicate(&e, &r, &s, &p).unwrap(), None);
+        // UNKNOWN AND FALSE = FALSE.
+        let e = parse_expression("name = 'x' AND id = 0").unwrap();
+        assert_eq!(eval_predicate(&e, &r, &s, &p).unwrap(), Some(false));
+        // UNKNOWN OR TRUE = TRUE.
+        let e = parse_expression("name = 'x' OR id = 1").unwrap();
+        assert_eq!(eval_predicate(&e, &r, &s, &p).unwrap(), Some(true));
+        // NOT UNKNOWN = UNKNOWN.
+        let e = parse_expression("NOT name = 'x'").unwrap();
+        assert_eq!(eval_predicate(&e, &r, &s, &p).unwrap(), None);
+        // IS NULL sees through.
+        let e = parse_expression("name IS NULL").unwrap();
+        assert_eq!(eval_predicate(&e, &r, &s, &p).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let r = row![3, "x", 0.0];
+        assert_eq!(ev("id IN (1, 2, 3)", &r), Value::Bool(true));
+        assert_eq!(ev("id IN (1, 2)", &r), Value::Bool(false));
+        assert_eq!(ev("id NOT IN (1, 2)", &r), Value::Bool(true));
+        // No match but NULL present → UNKNOWN.
+        assert_eq!(ev("id IN (1, NULL)", &r), Value::Null);
+    }
+
+    #[test]
+    fn between_and_like() {
+        let r = row![5, "The Rust Book", 0.0];
+        assert_eq!(ev("id BETWEEN 1 AND 10", &r), Value::Bool(true));
+        assert_eq!(ev("id NOT BETWEEN 1 AND 4", &r), Value::Bool(true));
+        assert_eq!(ev("name LIKE '%rust%'", &r), Value::Bool(true));
+        assert_eq!(ev("name LIKE 'The%'", &r), Value::Bool(true));
+        assert_eq!(ev("name LIKE '_he%'", &r), Value::Bool(true));
+        assert_eq!(ev("name LIKE 'rust'", &r), Value::Bool(false));
+    }
+
+    #[test]
+    fn params_bind() {
+        let mut params = Bindings::new();
+        params.insert("cid".into(), Value::Int(500));
+        let e = parse_expression("id <= @cid").unwrap();
+        let v = eval(&e, &row![3, "x", 0.0], &schema(), &params).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        // Unbound parameter errors.
+        let err = eval(&e, &row![3, "x", 0.0], &schema(), &Bindings::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn case_expression() {
+        let r = row![5, "x", 0.0];
+        assert_eq!(
+            ev("CASE WHEN id > 3 THEN 'big' ELSE 'small' END", &r),
+            Value::str("big")
+        );
+        assert_eq!(ev("CASE WHEN id > 9 THEN 'big' END", &r), Value::Null);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = parse_expression("1 / 0").unwrap();
+        assert!(eval(&e, &row![1, "x", 0.0], &schema(), &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%c"));
+        assert!(like_match("ABC", "abc"), "LIKE is case-insensitive");
+    }
+}

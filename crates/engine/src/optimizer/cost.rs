@@ -1,0 +1,128 @@
+//! The cost model, including the paper's DataTransfer and remote-execution
+//! costing knobs (§5).
+
+/// Cost model parameters. Costs are abstract "work units" — roughly one unit
+/// per row touched by one operator — which the multi-tier simulator later
+/// converts to CPU time.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// CPU cost of producing/consuming one row in a streaming operator.
+    pub cpu_per_row: f64,
+    /// Extra per-row cost of hashing (build or probe).
+    pub hash_per_row: f64,
+    /// Per-row-per-log2(n) cost of sorting.
+    pub sort_per_row: f64,
+    /// Cost of a B-tree traversal (seek).
+    pub seek_cost: f64,
+    /// Constant startup cost of a DataTransfer (network round trip,
+    /// statement parse/optimize on the backend).
+    pub transfer_startup: f64,
+    /// Per-byte cost of shipping data through a DataTransfer.
+    pub transfer_per_byte: f64,
+    /// Multiplier (> 1.0) applied to every operator executed remotely:
+    /// "even though the backend server may be powerful, it is likely to be
+    /// heavily loaded so we will only get a fraction of its capacity" (§5).
+    pub remote_cost_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            cpu_per_row: 1.0,
+            hash_per_row: 1.5,
+            sort_per_row: 0.3,
+            seek_cost: 8.0,
+            transfer_startup: 200.0,
+            transfer_per_byte: 0.02,
+            remote_cost_factor: 1.3,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a full scan of `rows` rows.
+    pub fn scan(&self, rows: f64) -> f64 {
+        self.cpu_per_row * rows.max(0.0)
+    }
+
+    /// Cost of an index seek returning `matching` of `total` rows.
+    pub fn seek(&self, matching: f64) -> f64 {
+        self.seek_cost + self.cpu_per_row * matching.max(0.0)
+    }
+
+    /// Cost of filtering `rows` input rows.
+    pub fn filter(&self, rows: f64) -> f64 {
+        self.cpu_per_row * rows.max(0.0)
+    }
+
+    /// Cost of projecting `rows` rows. Kept low: a projection must not
+    /// distort the local-vs-remote choice for plans that only differ by a
+    /// column-shuffling Project (e.g. view-substitution branches).
+    pub fn project(&self, rows: f64) -> f64 {
+        0.1 * self.cpu_per_row * rows.max(0.0)
+    }
+
+    /// Cost of a hash join over `build` build rows and `probe` probe rows.
+    pub fn hash_join(&self, build: f64, probe: f64, output: f64) -> f64 {
+        self.hash_per_row * build.max(0.0)
+            + self.hash_per_row * probe.max(0.0)
+            + self.cpu_per_row * output.max(0.0)
+    }
+
+    /// Cost of a nested-loop join.
+    pub fn nl_join(&self, outer: f64, inner: f64, output: f64) -> f64 {
+        self.cpu_per_row * (outer.max(1.0) * inner.max(0.0)) + self.cpu_per_row * output.max(0.0)
+    }
+
+    /// Cost of sorting `rows` rows.
+    pub fn sort(&self, rows: f64) -> f64 {
+        let rows = rows.max(1.0);
+        self.sort_per_row * rows * rows.log2().max(1.0)
+    }
+
+    /// Cost of hash aggregation over `rows` input and `groups` output rows.
+    pub fn aggregate(&self, rows: f64, groups: f64) -> f64 {
+        self.hash_per_row * rows.max(0.0) + self.cpu_per_row * groups.max(0.0)
+    }
+
+    /// Cost of a DataTransfer shipping `rows` rows of `row_width` bytes:
+    /// "proportional to the estimated volume of data shipped plus a constant
+    /// startup cost" (§5).
+    pub fn transfer(&self, rows: f64, row_width: f64) -> f64 {
+        self.transfer_startup + self.transfer_per_byte * rows.max(0.0) * row_width.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_has_startup_plus_volume() {
+        let m = CostModel::default();
+        let small = m.transfer(1.0, 8.0);
+        let big = m.transfer(100_000.0, 8.0);
+        assert!(small >= m.transfer_startup);
+        assert!(big > 50.0 * small, "volume term must dominate eventually");
+    }
+
+    #[test]
+    fn remote_factor_is_a_penalty() {
+        let m = CostModel::default();
+        assert!(m.remote_cost_factor > 1.0);
+    }
+
+    #[test]
+    fn seek_beats_scan_for_selective_predicates() {
+        let m = CostModel::default();
+        assert!(m.seek(10.0) < m.scan(10_000.0));
+        // ... but not for unselective ones on tiny tables.
+        assert!(m.seek(90.0) > m.scan(10.0));
+    }
+
+    #[test]
+    fn sort_superlinear() {
+        let m = CostModel::default();
+        assert!(m.sort(2000.0) > 2.0 * m.sort(1000.0));
+    }
+}

@@ -1,0 +1,1380 @@
+//! DataLocation assignment and physical plan construction.
+//!
+//! For every logical node we compute two costs:
+//!
+//! * `local`  — cheapest way to *deliver the result on this server*, either
+//!   by executing the operator locally over local children, or by executing
+//!   the whole subtree remotely and inserting a **DataTransfer** (whose cost
+//!   is startup + volume, §5);
+//! * `remote` — cheapest way to produce the result *on the backend*, i.e.
+//!   every leaf is a backend object and the subtree can be decompiled to a
+//!   single SQL statement. Remote operator costs carry the
+//!   `remote_cost_factor` penalty. Local data can never move to the backend
+//!   (textual SQL cannot reference cache-only views), so there is no
+//!   Local→Remote enforcer.
+//!
+//! The root demands `local`; wherever the minimum flips from native-local to
+//! remote-plus-transfer, the built physical plan gets a
+//! [`PhysicalPlan::Remote`] boundary holding the shipped SQL text.
+
+use mtc_sql::{BinOp, Expr};
+use mtc_storage::Database;
+use mtc_types::{Error, Result, Schema};
+
+use crate::logical::{DataLocation, LogicalPlan};
+use crate::optimizer::cardinality::{estimate_rows, estimate_width, selectivity};
+use crate::optimizer::cost::CostModel;
+use crate::physical::{KeyBound, PhysicalPlan};
+use crate::sqlgen;
+
+const INF: f64 = f64::INFINITY;
+
+/// Cost summary for one logical node.
+#[derive(Debug, Clone, Copy)]
+pub struct Costs {
+    /// Cheapest cost to have the result on this (cache) server.
+    pub local: f64,
+    /// Cheapest cost to have the result on the backend.
+    pub remote: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output row width (bytes).
+    pub width: f64,
+}
+
+/// Computes the location-aware cost of a subtree.
+pub fn cost(plan: &LogicalPlan, db: &Database, cm: &CostModel) -> Costs {
+    let rows = estimate_rows(plan, db);
+    let width = estimate_width(plan);
+    let (native_local, native_remote) = match plan {
+        LogicalPlan::Get { object, location, .. } => {
+            if object.is_empty() {
+                (0.1, INF)
+            } else {
+                let scan = cm.scan(rows);
+                match location {
+                    DataLocation::Local => (scan, INF),
+                    DataLocation::Remote => (INF, scan * cm.remote_cost_factor),
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Fuse access-path selection with a Filter directly over a Get.
+            if let LogicalPlan::Get {
+                object,
+                schema,
+                location,
+                ..
+            } = &**input
+            {
+                if !object.is_empty() {
+                    let access =
+                        best_access(db, object, schema, predicate, cm, input);
+                    match location {
+                        DataLocation::Local => (access.cost, INF),
+                        DataLocation::Remote => (INF, access.cost * cm.remote_cost_factor),
+                    }
+                } else {
+                    let c = cost(input, db, cm);
+                    (c.local + cm.filter(c.rows), c.remote + cm.filter(c.rows) * cm.remote_cost_factor)
+                }
+            } else {
+                let c = cost(input, db, cm);
+                let op = cm.filter(c.rows);
+                (c.local + op, c.remote + op * cm.remote_cost_factor)
+            }
+        }
+        LogicalPlan::Project { input, .. } => {
+            let c = cost(input, db, cm);
+            let op = cm.project(c.rows);
+            (c.local + op, c.remote + op * cm.remote_cost_factor)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let l = cost(left, db, cm);
+            let r = cost(right, db, cm);
+            let op = if extract_equi_keys(on, left.schema(), right.schema()).is_some() {
+                // The executor builds on the smaller input (see build_local).
+                cm.hash_join(l.rows.min(r.rows), l.rows.max(r.rows), rows)
+            } else {
+                cm.nl_join(l.rows, r.rows, rows)
+            };
+            let mut local = l.local + r.local + op;
+            // Index nested-loop alternatives skip the inner side's scan
+            // entirely: cost = outer subtree + per-outer-row seeks.
+            for (outer_is_left, inner, _, _) in inlj_options(on, left, right, *kind, db) {
+                let (outer_cost, outer_rows) = if outer_is_left {
+                    (l.local, l.rows)
+                } else {
+                    (r.local, r.rows)
+                };
+                local = local.min(outer_cost + inlj_op_cost(cm, outer_rows, &inner, rows));
+            }
+            (
+                local,
+                l.remote + r.remote + op * cm.remote_cost_factor,
+            )
+        }
+        LogicalPlan::Aggregate { input, .. } => {
+            if extreme_seek_pattern(plan, db).is_some() {
+                // MIN/MAX of the clustering key: one B-tree descent.
+                (cm.seek_cost, INF)
+            } else {
+                let c = cost(input, db, cm);
+                let op = cm.aggregate(c.rows, rows);
+                (c.local + op, c.remote + op * cm.remote_cost_factor)
+            }
+        }
+        LogicalPlan::Sort { input, .. } => {
+            let c = cost(input, db, cm);
+            let op = cm.sort(c.rows);
+            (c.local + op, c.remote + op * cm.remote_cost_factor)
+        }
+        LogicalPlan::Top { input, .. } => {
+            let c = cost(input, db, cm);
+            let op = cm.filter(c.rows);
+            (c.local + op, c.remote + op * cm.remote_cost_factor)
+        }
+        LogicalPlan::Distinct { input } => {
+            let c = cost(input, db, cm);
+            let op = cm.aggregate(c.rows, rows);
+            (c.local + op, c.remote + op * cm.remote_cost_factor)
+        }
+        LogicalPlan::UnionAll {
+            inputs, weights, ..
+        } => {
+            // §5.1 weighted costing: Σ wᵢ·Cᵢ over guarded branches.
+            let mut total = 0.0;
+            for (i, w) in inputs.iter().zip(weights) {
+                total += w * cost(i, db, cm).local;
+            }
+            (total, INF)
+        }
+    };
+
+    // The remote side is only usable if the subtree can ship as SQL text.
+    let native_remote = if native_remote.is_finite() && sqlgen::shippable(plan) {
+        native_remote
+    } else {
+        INF
+    };
+    // DataTransfer enforcer: remote result + transfer = local result.
+    let via_transfer = native_remote + cm.transfer(rows, width);
+    Costs {
+        local: native_local.min(via_transfer),
+        remote: native_remote,
+        rows,
+        width,
+    }
+}
+
+/// Builds the physical plan delivering the result locally.
+pub fn build(plan: &LogicalPlan, db: &Database, cm: &CostModel) -> Result<PhysicalPlan> {
+    let c = cost(plan, db, cm);
+    if !c.local.is_finite() {
+        return Err(Error::plan(
+            "no local execution strategy exists for this query",
+        ));
+    }
+    build_local(plan, db, cm, &c)
+}
+
+fn build_local(
+    plan: &LogicalPlan,
+    db: &Database,
+    cm: &CostModel,
+    c: &Costs,
+) -> Result<PhysicalPlan> {
+    // Prefer shipping the whole subtree when that is the cheaper local
+    // strategy (ties break toward local execution, as the paper's cost
+    // tweak intends).
+    let native_remote_plus_transfer = c.remote + cm.transfer(c.rows, c.width);
+    let native_local = recompute_native_local(plan, db, cm);
+    if native_remote_plus_transfer < native_local {
+        let select = sqlgen::to_select(plan)?;
+        return Ok(PhysicalPlan::Remote {
+            sql: select.to_string(),
+            schema: plan.schema().clone(),
+            est_rows: c.rows,
+        });
+    }
+
+    match plan {
+        LogicalPlan::Get { object, schema, .. } => {
+            if object.is_empty() {
+                Ok(PhysicalPlan::Nothing {
+                    schema: Schema::empty(),
+                })
+            } else {
+                Ok(PhysicalPlan::SeqScan {
+                    object: object.clone(),
+                    schema: schema.clone(),
+                    predicate: None,
+                })
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            if let LogicalPlan::Get { object, schema, .. } = &**input {
+                if !object.is_empty() {
+                    let access = best_access(db, object, schema, predicate, cm, input);
+                    return Ok(access.to_physical(object, schema, predicate));
+                }
+            }
+            let child_costs = cost(input, db, cm);
+            Ok(PhysicalPlan::Filter {
+                input: Box::new(build_local(input, db, cm, &child_costs)?),
+                predicate: predicate.clone(),
+            })
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let cc = cost(input, db, cm);
+            Ok(PhysicalPlan::Project {
+                input: Box::new(build_local(input, db, cm, &cc)?),
+                exprs: exprs.clone(),
+                schema: schema.clone(),
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let lc = cost(left, db, cm);
+            let rc = cost(right, db, cm);
+            let rows = estimate_rows(plan, db);
+            // Pick the cheapest local join strategy, mirroring cost().
+            let standard_op = if extract_equi_keys(on, left.schema(), right.schema()).is_some() {
+                cm.hash_join(lc.rows.min(rc.rows), lc.rows.max(rc.rows), rows)
+            } else {
+                cm.nl_join(lc.rows, rc.rows, rows)
+            };
+            let mut best_inlj: Option<(f64, bool, InljInner, Expr, Expr)> = None;
+            for (outer_is_left, inner, outer_key, inner_key) in
+                inlj_options(on, left, right, *kind, db)
+            {
+                let (outer_cost, outer_rows) = if outer_is_left {
+                    (lc.local, lc.rows)
+                } else {
+                    (rc.local, rc.rows)
+                };
+                let total = outer_cost + inlj_op_cost(cm, outer_rows, &inner, rows);
+                if best_inlj.as_ref().map(|(c, ..)| total < *c).unwrap_or(true) {
+                    best_inlj = Some((total, outer_is_left, inner, outer_key, inner_key));
+                }
+            }
+            let standard_total = lc.local + rc.local + standard_op;
+            if let Some((inlj_total, outer_is_left, inner, outer_key, inner_key)) = best_inlj {
+                if inlj_total < standard_total {
+                    let (outer_plan, outer_costs) = if outer_is_left {
+                        (&**left, &lc)
+                    } else {
+                        (&**right, &rc)
+                    };
+                    let outer = build_local(outer_plan, db, cm, outer_costs)?;
+                    // Residual: every ON conjunct except the seek equality.
+                    let seek_eq = Expr::binary(
+                        outer_key.clone(),
+                        mtc_sql::BinOp::Eq,
+                        inner_key.clone(),
+                    );
+                    let seek_eq_flipped = Expr::binary(
+                        inner_key.clone(),
+                        mtc_sql::BinOp::Eq,
+                        outer_key.clone(),
+                    );
+                    let residual = Expr::conjunction(
+                        on.iter()
+                            .flat_map(|p| p.split_conjuncts())
+                            .filter(|c| **c != seek_eq && **c != seek_eq_flipped)
+                            .cloned(),
+                    );
+                    let schema = outer.schema().join(&inner.out_schema);
+                    return Ok(PhysicalPlan::IndexNlJoin {
+                        outer: Box::new(outer),
+                        inner_object: inner.object,
+                        inner_index: inner.index,
+                        outer_key,
+                        inner_exprs: inner.exprs,
+                        inner_row_schema: inner.row_schema,
+                        inner_schema: inner.out_schema,
+                        kind: if *kind == mtc_sql::JoinKind::Left && outer_is_left {
+                            mtc_sql::JoinKind::Left
+                        } else {
+                            mtc_sql::JoinKind::Inner
+                        },
+                        residual,
+                        schema,
+                    });
+                }
+            }
+            let l = build_local(left, db, cm, &lc)?;
+            let r = build_local(right, db, cm, &rc)?;
+            if let Some((lk, rk, residual)) =
+                extract_equi_keys(on, left.schema(), right.schema())
+            {
+                // The executor builds its hash table on the RIGHT input:
+                // put the smaller (estimated) side there. Swapping an
+                // inner/cross join flips the output column order, which is
+                // fine — everything upstream resolves columns by name
+                // against the node's schema.
+                let swap = lc.rows < rc.rows
+                    && matches!(kind, mtc_sql::JoinKind::Inner | mtc_sql::JoinKind::Cross);
+                // Physical join schemas are derived from the *built*
+                // children: a child join may itself have swapped its
+                // sides, so the logical schema can be stale.
+                let _ = schema;
+                if swap {
+                    let schema = r.schema().join(l.schema());
+                    Ok(PhysicalPlan::HashJoin {
+                        left: Box::new(r),
+                        right: Box::new(l),
+                        left_keys: rk,
+                        right_keys: lk,
+                        kind: *kind,
+                        residual,
+                        schema,
+                    })
+                } else {
+                    let schema = l.schema().join(r.schema());
+                    Ok(PhysicalPlan::HashJoin {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        left_keys: lk,
+                        right_keys: rk,
+                        kind: *kind,
+                        residual,
+                        schema,
+                    })
+                }
+            } else {
+                let schema = l.schema().join(r.schema());
+                Ok(PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: *kind,
+                    on: on.clone(),
+                    schema,
+                })
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            if let Some((object, key_index, is_max)) = extreme_seek_pattern(plan, db) {
+                return Ok(PhysicalPlan::ExtremeSeek {
+                    object: object.to_string(),
+                    key_index,
+                    is_max,
+                    schema: schema.clone(),
+                });
+            }
+            let cc = cost(input, db, cm);
+            Ok(PhysicalPlan::HashAggregate {
+                input: Box::new(build_local(input, db, cm, &cc)?),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                schema: schema.clone(),
+            })
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let cc = cost(input, db, cm);
+            Ok(PhysicalPlan::Sort {
+                input: Box::new(build_local(input, db, cm, &cc)?),
+                keys: keys.clone(),
+            })
+        }
+        LogicalPlan::Top { input, n } => {
+            let cc = cost(input, db, cm);
+            Ok(PhysicalPlan::Top {
+                input: Box::new(build_local(input, db, cm, &cc)?),
+                n: *n,
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            let cc = cost(input, db, cm);
+            Ok(PhysicalPlan::Distinct {
+                input: Box::new(build_local(input, db, cm, &cc)?),
+            })
+        }
+        LogicalPlan::UnionAll {
+            inputs,
+            startup_predicates,
+            schema,
+            ..
+        } => {
+            let built: Vec<PhysicalPlan> = inputs
+                .iter()
+                .map(|i| {
+                    let cc = cost(i, db, cm);
+                    build_local(i, db, cm, &cc)
+                })
+                .collect::<Result<_>>()?;
+            Ok(PhysicalPlan::UnionAll {
+                inputs: built,
+                startup_predicates: startup_predicates.clone(),
+                schema: schema.clone(),
+            })
+        }
+    }
+}
+
+/// Native-local cost (children local, operator here) — the alternative the
+/// Remote boundary competes against in [`build_local`].
+fn recompute_native_local(plan: &LogicalPlan, db: &Database, cm: &CostModel) -> f64 {
+    let rows = estimate_rows(plan, db);
+    match plan {
+        LogicalPlan::Get { object, location, .. } => {
+            if object.is_empty() {
+                0.1
+            } else if *location == DataLocation::Local {
+                cm.scan(rows)
+            } else {
+                INF
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            if let LogicalPlan::Get {
+                object,
+                schema,
+                location,
+                ..
+            } = &**input
+            {
+                if !object.is_empty() {
+                    return if *location == DataLocation::Local {
+                        best_access(db, object, schema, predicate, cm, input).cost
+                    } else {
+                        INF
+                    };
+                }
+            }
+            let c = cost(input, db, cm);
+            c.local + cm.filter(c.rows)
+        }
+        LogicalPlan::Project { input, .. } => {
+            let c = cost(input, db, cm);
+            c.local + cm.project(c.rows)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            let l = cost(left, db, cm);
+            let r = cost(right, db, cm);
+            let op = if extract_equi_keys(on, left.schema(), right.schema()).is_some() {
+                cm.hash_join(l.rows.min(r.rows), l.rows.max(r.rows), rows)
+            } else {
+                cm.nl_join(l.rows, r.rows, rows)
+            };
+            let mut local = l.local + r.local + op;
+            for (outer_is_left, inner, _, _) in inlj_options(on, left, right, *kind, db) {
+                let (outer_cost, outer_rows) = if outer_is_left {
+                    (l.local, l.rows)
+                } else {
+                    (r.local, r.rows)
+                };
+                local = local.min(outer_cost + inlj_op_cost(cm, outer_rows, &inner, rows));
+            }
+            local
+        }
+        LogicalPlan::Aggregate { input, .. } => {
+            if extreme_seek_pattern(plan, db).is_some() {
+                cm.seek_cost
+            } else {
+                let c = cost(input, db, cm);
+                c.local + cm.aggregate(c.rows, rows)
+            }
+        }
+        LogicalPlan::Sort { input, .. } => {
+            let c = cost(input, db, cm);
+            c.local + cm.sort(c.rows)
+        }
+        LogicalPlan::Top { input, .. } => {
+            let c = cost(input, db, cm);
+            c.local + cm.filter(c.rows)
+        }
+        LogicalPlan::Distinct { input } => {
+            let c = cost(input, db, cm);
+            c.local + cm.aggregate(c.rows, rows)
+        }
+        LogicalPlan::UnionAll {
+            inputs, weights, ..
+        } => inputs
+            .iter()
+            .zip(weights)
+            .map(|(i, w)| w * cost(i, db, cm).local)
+            .sum(),
+    }
+}
+
+
+
+/// A qualifying inner side for an index nested-loop join.
+struct InljInner {
+    object: String,
+    /// Secondary index to seek; `None` = clustered key.
+    index: Option<String>,
+    /// Projection applied per fetched row (from a Project over the Get).
+    exprs: Option<Vec<(Expr, String)>>,
+    /// Schema of fetched rows (the Get's schema).
+    row_schema: Schema,
+    /// Output schema of this side (post projection).
+    out_schema: Schema,
+    /// Expected matching rows per seek.
+    avg_matches: f64,
+    /// Secondary-index seeks pay an extra base-table lookup per match.
+    secondary: bool,
+}
+
+/// Does `side` qualify as the lookup side of an index nested-loop join on
+/// `key_name`? It must be a bare local `Get` (or a plain-column `Project`
+/// over one) whose join key is the table's single-column clustering key or
+/// a single-column secondary index.
+fn inlj_inner(side: &LogicalPlan, key_name: &str, db: &Database) -> Option<InljInner> {
+    let (get, exprs, out_schema) = match side {
+        LogicalPlan::Get { .. } => (side, None, side.schema().clone()),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } if matches!(**input, LogicalPlan::Get { .. })
+            && exprs.iter().all(|(e, _)| matches!(e, Expr::Column(_))) =>
+        {
+            (&**input, Some(exprs.clone()), schema.clone())
+        }
+        _ => return None,
+    };
+    let LogicalPlan::Get {
+        object,
+        schema: get_schema,
+        location: DataLocation::Local,
+        ..
+    } = get
+    else {
+        return None;
+    };
+    if object.is_empty() {
+        return None;
+    }
+    // Resolve the join key through the optional projection to the Get.
+    let underlying = match &exprs {
+        Some(list) => {
+            let idx = out_schema.index_of(key_name).ok()?;
+            let (e, _) = list.get(idx)?;
+            let Expr::Column(c) = e else { return None };
+            c.clone()
+        }
+        None => key_name.to_string(),
+    };
+    let col_idx = get_schema.index_of(&underlying).ok()?;
+    let table = db.table_ref(object).ok()?;
+    let stats = db.catalog.stats(object);
+    let col_name = &table.schema().column(col_idx).name;
+    let avg_matches = stats
+        .and_then(|t| t.column(col_name).map(|c| (t, c)))
+        .map(|(t, c)| {
+            if c.distinct_count > 0 {
+                (t.row_count as f64 / c.distinct_count as f64).max(1.0)
+            } else {
+                10.0
+            }
+        })
+        .unwrap_or(10.0);
+    if table.primary_key() == [col_idx] {
+        return Some(InljInner {
+            object: object.clone(),
+            index: None,
+            exprs,
+            row_schema: get_schema.clone(),
+            out_schema,
+            avg_matches,
+            secondary: false,
+        });
+    }
+    for ix in db.indexes_of(object) {
+        if ix.columns() == [col_idx] {
+            return Some(InljInner {
+                object: object.clone(),
+                index: Some(ix.name().to_string()),
+                exprs,
+                row_schema: get_schema.clone(),
+                out_schema,
+                avg_matches,
+                secondary: true,
+            });
+        }
+    }
+    None
+}
+
+/// Per-operator cost of an index nested-loop join.
+fn inlj_op_cost(cm: &CostModel, outer_rows: f64, inner: &InljInner, out_rows: f64) -> f64 {
+    let per_seek = cm.seek_cost
+        + cm.cpu_per_row * inner.avg_matches * if inner.secondary { 2.0 } else { 1.0 };
+    outer_rows.max(0.0) * per_seek + cm.cpu_per_row * out_rows.max(0.0)
+}
+
+/// The INLJ alternatives for a join: (outer side is left?, inner, key pair).
+/// Only the first equi pair is used for the seek; the rest stay residual.
+fn inlj_options<'a>(
+    on: &Option<Expr>,
+    left: &'a LogicalPlan,
+    right: &'a LogicalPlan,
+    kind: mtc_sql::JoinKind,
+    db: &Database,
+) -> Vec<(bool, InljInner, Expr, Expr)> {
+    let mut out = Vec::new();
+    let Some((lk, rk, _)) = extract_equi_keys(on, left.schema(), right.schema()) else {
+        return out;
+    };
+    let (Some(Expr::Column(lc)), Some(Expr::Column(rc))) = (lk.first(), rk.first()) else {
+        return out;
+    };
+    // Inner on the right: works for Inner/Cross and LEFT outer joins.
+    if matches!(
+        kind,
+        mtc_sql::JoinKind::Inner | mtc_sql::JoinKind::Cross | mtc_sql::JoinKind::Left
+    ) {
+        if let Some(inner) = inlj_inner(right, rc, db) {
+            out.push((true, inner, Expr::Column(lc.clone()), Expr::Column(rc.clone())));
+        }
+    }
+    // Inner on the left: only for Inner/Cross (sides swap).
+    if matches!(kind, mtc_sql::JoinKind::Inner | mtc_sql::JoinKind::Cross) {
+        if let Some(inner) = inlj_inner(left, lc, db) {
+            out.push((false, inner, Expr::Column(rc.clone()), Expr::Column(lc.clone())));
+        }
+    }
+    out
+}
+
+/// Detects the `SELECT MIN/MAX(pk) FROM t` pattern over a *local* table
+/// with a single-column clustering key: answerable by one B-tree descent.
+/// Returns `(object, key_index, is_max)`.
+fn extreme_seek_pattern<'a>(
+    plan: &'a LogicalPlan,
+    db: &Database,
+) -> Option<(&'a str, usize, bool)> {
+    let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+        ..
+    } = plan
+    else {
+        return None;
+    };
+    if !group_by.is_empty() || aggs.len() != 1 {
+        return None;
+    }
+    let call = &aggs[0];
+    if call.distinct {
+        return None;
+    }
+    let is_max = match call.func {
+        crate::logical::AggFunc::Max => true,
+        crate::logical::AggFunc::Min => false,
+        _ => return None,
+    };
+    let Some(Expr::Column(col)) = &call.arg else {
+        return None;
+    };
+    // Tolerate a plain column-renaming Project between the Aggregate and
+    // the Get (view substitution inserts one): map the aggregate's column
+    // through it.
+    let (source, col) = match &**input {
+        LogicalPlan::Project {
+            input: proj_input,
+            exprs,
+            schema: proj_schema,
+        } => {
+            let idx = proj_schema.index_of(col).ok()?;
+            let (expr, _name) = exprs.get(idx)?;
+            let Expr::Column(underlying) = expr else {
+                return None;
+            };
+            (&**proj_input, underlying.clone())
+        }
+        other => (other, col.clone()),
+    };
+    let LogicalPlan::Get {
+        object,
+        schema,
+        location: DataLocation::Local,
+        ..
+    } = source
+    else {
+        return None;
+    };
+    if object.is_empty() {
+        return None;
+    }
+    let table = db.table_ref(object).ok()?;
+    let [pk] = table.primary_key() else {
+        return None;
+    };
+    let idx = schema.index_of(&col).ok()?;
+    if idx != *pk {
+        return None;
+    }
+    Some((object.as_str(), *pk, is_max))
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+// ---------------------------------------------------------------------------
+
+/// A chosen access path for a filtered scan.
+pub struct Access {
+    pub kind: AccessKind,
+    pub cost: f64,
+}
+
+pub enum AccessKind {
+    Seq,
+    Clustered {
+        low: Option<KeyBound>,
+        high: Option<KeyBound>,
+    },
+    Index {
+        name: String,
+        low: Option<KeyBound>,
+        high: Option<KeyBound>,
+    },
+}
+
+impl Access {
+    fn to_physical(&self, object: &str, schema: &Schema, predicate: &Expr) -> PhysicalPlan {
+        // The full predicate is re-checked as a residual: seeks narrow the
+        // range, the residual guarantees exactness (incl. NULL semantics).
+        match &self.kind {
+            AccessKind::Seq => PhysicalPlan::SeqScan {
+                object: object.to_string(),
+                schema: schema.clone(),
+                predicate: Some(predicate.clone()),
+            },
+            AccessKind::Clustered { low, high } => PhysicalPlan::ClusteredSeek {
+                object: object.to_string(),
+                schema: schema.clone(),
+                low: low.clone(),
+                high: high.clone(),
+                predicate: Some(predicate.clone()),
+            },
+            AccessKind::Index { name, low, high } => PhysicalPlan::IndexSeek {
+                object: object.to_string(),
+                index: name.clone(),
+                schema: schema.clone(),
+                low: low.clone(),
+                high: high.clone(),
+                predicate: Some(predicate.clone()),
+            },
+        }
+    }
+}
+
+/// Chooses the cheapest access path for scanning `object` under `predicate`.
+pub fn best_access(
+    db: &Database,
+    object: &str,
+    schema: &Schema,
+    predicate: &Expr,
+    cm: &CostModel,
+    input_for_stats: &LogicalPlan,
+) -> Access {
+    let table = match db.table_ref(object) {
+        Ok(t) => t,
+        Err(_) => {
+            return Access {
+                kind: AccessKind::Seq,
+                cost: INF,
+            }
+        }
+    };
+    let total_rows = db
+        .catalog
+        .stats(object)
+        .map(|s| s.row_count as f64)
+        .unwrap_or(1000.0);
+    let conjuncts: Vec<&Expr> = predicate.split_conjuncts();
+
+    let mut best = Access {
+        kind: AccessKind::Seq,
+        cost: cm.scan(total_rows) + cm.filter(total_rows),
+    };
+
+    // Clustered (primary key) seek — single-column keys only.
+    if let [pk_idx] = table.primary_key() {
+        let pk_name = &table.schema().column(*pk_idx).name;
+        if let Some((low, high, consumed)) = bounds_for(pk_name, &conjuncts) {
+            let matching = total_rows
+                * consumed_selectivity(&consumed, input_for_stats, db);
+            let cost = cm.seek(matching) + cm.filter(matching);
+            if cost < best.cost {
+                best = Access {
+                    kind: AccessKind::Clustered { low, high },
+                    cost,
+                };
+            }
+        }
+    }
+
+    // Secondary single-column indexes.
+    for ix in db.indexes_of(object) {
+        let [col_idx] = ix.columns() else { continue };
+        let col_name = &table.schema().column(*col_idx).name;
+        if let Some((low, high, consumed)) = bounds_for(col_name, &conjuncts) {
+            let matching =
+                total_rows * consumed_selectivity(&consumed, input_for_stats, db);
+            // Secondary seeks pay an extra lookup per matching row.
+            let cost = cm.seek(matching) + cm.seek_cost * matching.min(1000.0) * 0.1
+                + cm.filter(matching);
+            if cost < best.cost {
+                best = Access {
+                    kind: AccessKind::Index {
+                        name: ix.name().to_string(),
+                        low,
+                        high,
+                    },
+                    cost,
+                };
+            }
+        }
+    }
+
+    let _ = schema;
+    best
+}
+
+fn consumed_selectivity(consumed: &[Expr], input: &LogicalPlan, db: &Database) -> f64 {
+    match Expr::conjunction(consumed.iter().cloned()) {
+        Some(pred) => selectivity(&pred, input, db),
+        None => 1.0,
+    }
+}
+
+/// Extracts seek bounds for `column` from sargable conjuncts. Returns
+/// `(low, high, consumed_atoms)`; `None` when no conjunct constrains the
+/// column.
+fn bounds_for(column: &str, conjuncts: &[&Expr]) -> Option<(Option<KeyBound>, Option<KeyBound>, Vec<Expr>)> {
+    let mut low: Option<KeyBound> = None;
+    let mut high: Option<KeyBound> = None;
+    let mut consumed = Vec::new();
+    for c in conjuncts {
+        let Some((col, op, bound)) = sarg_atom(c) else {
+            continue;
+        };
+        if col.rsplit('.').next() != Some(column) && col != column {
+            continue;
+        }
+        match op {
+            BinOp::Eq => {
+                low = Some(KeyBound {
+                    expr: bound.clone(),
+                    inclusive: true,
+                });
+                high = Some(KeyBound {
+                    expr: bound,
+                    inclusive: true,
+                });
+            }
+            BinOp::Le => {
+                high = tighten(high, bound, true, false);
+            }
+            BinOp::Lt => {
+                high = tighten(high, bound, false, false);
+            }
+            BinOp::Ge => {
+                low = tighten(low, bound, true, true);
+            }
+            BinOp::Gt => {
+                low = tighten(low, bound, false, true);
+            }
+            _ => continue,
+        }
+        consumed.push((*c).clone());
+    }
+    if low.is_none() && high.is_none() {
+        None
+    } else {
+        Some((low, high, consumed))
+    }
+}
+
+/// Replaces a bound when the new literal is tighter (runtime params always
+/// replace, conservatively).
+fn tighten(
+    current: Option<KeyBound>,
+    bound: Expr,
+    inclusive: bool,
+    is_low: bool,
+) -> Option<KeyBound> {
+    match (&current, &bound) {
+        (Some(cur), Expr::Literal(new)) => {
+            if let Expr::Literal(old) = &cur.expr {
+                let tighter = if is_low { new > old } else { new < old };
+                if tighter {
+                    return Some(KeyBound {
+                        expr: bound,
+                        inclusive,
+                    });
+                }
+                return current;
+            }
+            current
+        }
+        _ => Some(KeyBound {
+            expr: bound,
+            inclusive,
+        }),
+    }
+}
+
+/// `col OP bound` where bound is parameter-only (literal or `@param`).
+fn sarg_atom(atom: &Expr) -> Option<(String, BinOp, Expr)> {
+    match atom {
+        Expr::Binary { left, op, right } if op.is_comparison() => match (&**left, &**right) {
+            (Expr::Column(c), b) if b.is_parameter_only() => {
+                Some((c.clone(), *op, b.clone()))
+            }
+            (b, Expr::Column(c)) if b.is_parameter_only() => {
+                Some((c.clone(), op.flip(), b.clone()))
+            }
+            _ => None,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            // BETWEEN contributes both bounds; report as the low bound and
+            // let the caller pick up the `<= high` via a second pass — for
+            // simplicity we return only the low bound here and rely on the
+            // residual for the high side.
+            match &**expr {
+                Expr::Column(c) if low.is_parameter_only() && high.is_parameter_only() => {
+                    Some((c.clone(), BinOp::Ge, (**low).clone()))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Splits an equi-join predicate into hash keys and a residual.
+pub fn extract_equi_keys(
+    on: &Option<Expr>,
+    left: &Schema,
+    right: &Schema,
+) -> Option<(Vec<Expr>, Vec<Expr>, Option<Expr>)> {
+    let on = on.as_ref()?;
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    let mut residual = Vec::new();
+    for c in on.split_conjuncts() {
+        if let Expr::Binary {
+            left: a,
+            op: BinOp::Eq,
+            right: b,
+        } = c
+        {
+            if let (Expr::Column(ca), Expr::Column(cb)) = (&**a, &**b) {
+                if left.index_of(ca).is_ok() && right.index_of(cb).is_ok() {
+                    lk.push(Expr::Column(ca.clone()));
+                    rk.push(Expr::Column(cb.clone()));
+                    continue;
+                }
+                if left.index_of(cb).is_ok() && right.index_of(ca).is_ok() {
+                    lk.push(Expr::Column(cb.clone()));
+                    rk.push(Expr::Column(ca.clone()));
+                    continue;
+                }
+            }
+        }
+        residual.push(c.clone());
+    }
+    if lk.is_empty() {
+        None
+    } else {
+        Some((lk, rk, Expr::conjunction(residual)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::optimizer::pushdown::push_filters;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_types::{row, Column, DataType};
+
+    /// Cache-server-style database: shadow `customer`, local `cust1000`.
+    fn cache_db() -> Database {
+        let mut backend = Database::new("d");
+        backend
+            .create_table(
+                "customer",
+                Schema::new(vec![
+                    Column::not_null("cid", DataType::Int),
+                    Column::new("cname", DataType::Str),
+                ]),
+                &["cid".into()],
+            )
+            .unwrap();
+        let rows: Vec<_> = (1..=10_000)
+            .map(|i| mtc_storage::RowChange::Insert {
+                table: "customer".into(),
+                row: row![i, format!("c{i}")],
+            })
+            .collect();
+        backend.apply(0, rows).unwrap();
+        backend.analyze();
+        let mut cache = backend.shadow_clone();
+        // Local cached view backing table.
+        cache
+            .create_table(
+                "cust1000",
+                Schema::new(vec![
+                    Column::not_null("cid", DataType::Int),
+                    Column::new("cname", DataType::Str),
+                ]),
+                &["cid".into()],
+            )
+            .unwrap();
+        let rows: Vec<_> = (1..=1000)
+            .map(|i| mtc_storage::RowChange::Insert {
+                table: "cust1000".into(),
+                row: row![i, format!("c{i}")],
+            })
+            .collect();
+        cache.apply(0, rows).unwrap();
+        cache.analyze_table("cust1000");
+        cache
+    }
+
+    fn logical(db: &Database, sql: &str) -> LogicalPlan {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        push_filters(bind_select(&sel, db).unwrap())
+    }
+
+    #[test]
+    fn shadow_scan_goes_remote() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        let plan = logical(&db, "SELECT cid FROM customer WHERE cid <= 10");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(phys.uses_remote(), "{}", phys.explain());
+        assert!(!phys.uses_local_data());
+        // The whole query ships as one SQL statement.
+        let PhysicalPlan::Remote { sql, .. } = &phys else {
+            panic!("expected full remote plan: {}", phys.explain());
+        };
+        assert!(sql.contains("WHERE"), "{sql}");
+    }
+
+    #[test]
+    fn local_table_stays_local() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        let plan = logical(&db, "SELECT cid FROM cust1000 WHERE cid <= 10");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(!phys.uses_remote(), "{}", phys.explain());
+        // Clustered seek chosen for the PK range.
+        assert!(
+            phys.explain().contains("ClusteredSeek"),
+            "{}",
+            phys.explain()
+        );
+    }
+
+    #[test]
+    fn secondary_index_seek_chosen_when_cheaper() {
+        let mut db = cache_db();
+        db.create_index("ix_cname", "cust1000", &["cname".into()], false)
+            .unwrap();
+        db.analyze_table("cust1000");
+        let cm = CostModel::default();
+        let plan = logical(&db, "SELECT cid FROM cust1000 WHERE cname = 'c5'");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(
+            phys.explain().contains("IndexSeek cust1000.ix_cname"),
+            "{}",
+            phys.explain()
+        );
+    }
+
+    #[test]
+    fn cost_prefers_local_view_over_remote_table() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        let local = logical(&db, "SELECT cid FROM cust1000 WHERE cid <= 100");
+        let remote = logical(&db, "SELECT cid FROM customer WHERE cid <= 100");
+        let cl = cost(&local, &db, &cm);
+        let cr = cost(&remote, &db, &cm);
+        assert!(
+            cl.local < cr.local,
+            "local view ({}) should beat remote table ({})",
+            cl.local,
+            cr.local
+        );
+    }
+
+    #[test]
+    fn transfer_cost_grows_with_volume() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        let narrow = logical(&db, "SELECT cid FROM customer WHERE cid <= 10");
+        let wide = logical(&db, "SELECT cid FROM customer");
+        let cn = cost(&narrow, &db, &cm);
+        let cw = cost(&wide, &db, &cm);
+        assert!(cn.local < cw.local);
+    }
+
+    #[test]
+    fn cartesian_product_ships_tables_and_joins_locally() {
+        // The paper's extreme example (§5): shipping two tables and joining
+        // locally beats shipping the much larger cross product.
+        let mut db = cache_db();
+        db.create_table(
+            "small",
+            Schema::new(vec![Column::not_null("k", DataType::Int)]),
+            &["k".into()],
+        )
+        .unwrap();
+        let rows: Vec<_> = (1..=2000)
+            .map(|i| mtc_storage::RowChange::Insert {
+                table: "small".into(),
+                row: row![i],
+            })
+            .collect();
+        db.apply(0, rows).unwrap();
+        db.analyze_table("small");
+        // Make `small` a shadow too so both sides are remote.
+        let db = {
+            let mut b = Database::new("d2");
+            b.create_table(
+                "a",
+                Schema::new(vec![Column::not_null("x", DataType::Int)]),
+                &["x".into()],
+            )
+            .unwrap();
+            b.create_table(
+                "b",
+                Schema::new(vec![Column::not_null("y", DataType::Int)]),
+                &["y".into()],
+            )
+            .unwrap();
+            let rows: Vec<_> = (1..=3000)
+                .flat_map(|i| {
+                    vec![
+                        mtc_storage::RowChange::Insert {
+                            table: "a".into(),
+                            row: row![i],
+                        },
+                        mtc_storage::RowChange::Insert {
+                            table: "b".into(),
+                            row: row![i],
+                        },
+                    ]
+                })
+                .collect();
+            b.apply(0, rows).unwrap();
+            b.analyze();
+            b.shadow_clone()
+        };
+        let cm = CostModel::default();
+        let plan = logical(&db, "SELECT a.x, b.y FROM a, b");
+        let phys = build(&plan, &db, &cm).unwrap();
+        let text = phys.explain();
+        // Two Remote leaves (one per table), join executed locally.
+        let remote_count = text.matches("Remote").count();
+        assert_eq!(remote_count, 2, "{text}");
+    }
+
+    #[test]
+    fn tiny_outer_join_uses_index_nested_loops() {
+        // A 3-row local "cart" joined with the 1000-row local cust1000 on
+        // its clustering key must become an IndexNlJoin, not a hash join
+        // over a full scan.
+        let mut db = cache_db();
+        db.create_table(
+            "cart",
+            Schema::new(vec![
+                Column::not_null("line", DataType::Int),
+                Column::not_null("ckey", DataType::Int),
+            ]),
+            &["line".into()],
+        )
+        .unwrap();
+        db.apply(
+            0,
+            (1..=3)
+                .map(|i| mtc_storage::RowChange::Insert {
+                    table: "cart".into(),
+                    row: row![i, i * 100],
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.analyze_table("cart");
+        let cm = CostModel::default();
+        let plan = logical(
+            &db,
+            "SELECT c.line, v.cname FROM cart AS c, cust1000 AS v WHERE c.ckey = v.cid",
+        );
+        let phys = build(&plan, &db, &cm).unwrap();
+        let text = phys.explain();
+        assert!(text.contains("IndexNlJoin"), "{text}");
+        // Execute and verify correctness against expected matches.
+        let params = crate::eval::Bindings::new();
+        let ctx = crate::exec::ExecContext {
+            db: &db,
+            remote: None,
+            params: &params,
+            work: &cm,
+        };
+        let r = crate::exec::execute(&phys, &ctx).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][1], mtc_types::Value::str("c100"));
+    }
+
+    #[test]
+    fn inlj_left_join_null_extends() {
+        let mut db = cache_db();
+        db.create_table(
+            "cart",
+            Schema::new(vec![Column::not_null("ckey", DataType::Int)]),
+            &["ckey".into()],
+        )
+        .unwrap();
+        db.apply(
+            0,
+            vec![
+                mtc_storage::RowChange::Insert {
+                    table: "cart".into(),
+                    row: row![5],
+                },
+                mtc_storage::RowChange::Insert {
+                    table: "cart".into(),
+                    row: row![999_999], // no matching cust1000 row
+                },
+            ],
+        )
+        .unwrap();
+        db.analyze_table("cart");
+        let cm = CostModel::default();
+        let plan = logical(
+            &db,
+            "SELECT c.ckey, v.cname FROM cart AS c LEFT JOIN cust1000 AS v ON c.ckey = v.cid",
+        );
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(phys.explain().contains("IndexNlJoin"), "{}", phys.explain());
+        let params = crate::eval::Bindings::new();
+        let ctx = crate::exec::ExecContext {
+            db: &db,
+            remote: None,
+            params: &params,
+            work: &cm,
+        };
+        let mut rows = crate::exec::execute(&phys, &ctx).unwrap().rows;
+        rows.sort();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], mtc_types::Value::str("c5"));
+        assert_eq!(rows[1][1], mtc_types::Value::Null);
+    }
+
+    #[test]
+    fn large_outer_still_prefers_hash_join() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        // Joining two large sides: per-row seeks would cost more than one
+        // hash build.
+        let plan = logical(
+            &db,
+            "SELECT a.cname FROM cust1000 AS a, cust1000 AS b WHERE a.cid = b.cid",
+        );
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(
+            phys.explain().contains("HashJoin"),
+            "{}",
+            phys.explain()
+        );
+    }
+
+    #[test]
+    fn min_max_of_clustering_key_uses_extreme_seek() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        // cust1000 is local with a single-column PK.
+        let plan = logical(&db, "SELECT MAX(cid) AS m FROM cust1000");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(
+            phys.explain().contains("ExtremeSeek cust1000 (MAX)"),
+            "{}",
+            phys.explain()
+        );
+        let plan = logical(&db, "SELECT MIN(cid) AS m FROM cust1000");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(phys.explain().contains("(MIN)"), "{}", phys.explain());
+        // Non-key column: no fast path.
+        let plan = logical(&db, "SELECT MAX(cname) AS m FROM cust1000");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(
+            phys.explain().contains("HashAggregate"),
+            "{}",
+            phys.explain()
+        );
+        // Filtered input: no fast path (bounds change the extreme).
+        let plan = logical(&db, "SELECT MAX(cid) AS m FROM cust1000 WHERE cname = 'c5'");
+        let phys = build(&plan, &db, &cm).unwrap();
+        assert!(!phys.explain().contains("ExtremeSeek"), "{}", phys.explain());
+    }
+
+    #[test]
+    fn extreme_seek_is_much_cheaper_than_scan_aggregate() {
+        let db = cache_db();
+        let cm = CostModel::default();
+        let fast = cost(&logical(&db, "SELECT MAX(cid) AS m FROM cust1000"), &db, &cm);
+        let slow = cost(
+            &logical(&db, "SELECT MAX(cname) AS m FROM cust1000"),
+            &db,
+            &cm,
+        );
+        assert!(fast.local * 20.0 < slow.local, "{} vs {}", fast.local, slow.local);
+    }
+
+    #[test]
+    fn equi_key_extraction() {
+        let left = Schema::new(vec![Column::new("a.x", DataType::Int)]);
+        let right = Schema::new(vec![Column::new("b.y", DataType::Int)]);
+        let on = Some(mtc_sql::parse_expression("a.x = b.y").unwrap());
+        let (lk, rk, residual) = extract_equi_keys(&on, &left, &right).unwrap();
+        assert_eq!(lk[0].to_string(), "a.x");
+        assert_eq!(rk[0].to_string(), "b.y");
+        assert!(residual.is_none());
+
+        let on = Some(mtc_sql::parse_expression("a.x = b.y AND a.x > 5").unwrap());
+        let (_, _, residual) = extract_equi_keys(&on, &left, &right).unwrap();
+        assert_eq!(residual.unwrap().to_string(), "a.x > 5");
+    }
+}

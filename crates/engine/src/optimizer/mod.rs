@@ -1,0 +1,751 @@
+//! The optimizer pipeline: predicate pushdown → view matching (with dynamic
+//! plans) → ChoosePlan pull-up → location assignment → physical build.
+
+pub mod cardinality;
+pub mod cost;
+pub mod join_order;
+pub mod location;
+pub mod pushdown;
+pub mod view_match;
+
+use mtc_sql::Expr;
+use mtc_storage::Database;
+use mtc_types::Result;
+
+use crate::logical::LogicalPlan;
+use crate::physical::PhysicalPlan;
+
+pub use cost::CostModel;
+pub use view_match::MatchOptions;
+
+/// Optimizer configuration, including ablation switches for every MTCache
+/// mechanism DESIGN.md calls out.
+#[derive(Debug, Clone)]
+pub struct OptimizerOptions {
+    pub cost: CostModel,
+    /// Use materialized (cached) views via view matching (§5).
+    pub enable_view_matching: bool,
+    /// Build ChoosePlan dynamic plans for parameterized queries (§5.1).
+    pub enable_dynamic_plans: bool,
+    /// Pull ChoosePlan above joins (§5.1.2, Fig. 4).
+    pub enable_choose_plan_pullup: bool,
+    /// Allow mixed-result plans over *fresh* materialized views (§5.1.1).
+    pub allow_mixed_results: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> OptimizerOptions {
+        OptimizerOptions {
+            cost: CostModel::default(),
+            enable_view_matching: true,
+            enable_dynamic_plans: true,
+            enable_choose_plan_pullup: true,
+            allow_mixed_results: false,
+        }
+    }
+}
+
+/// An optimized query.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// Final logical plan (after all rewrites).
+    pub logical: LogicalPlan,
+    /// Executable physical plan, with Remote nodes at DataTransfer
+    /// boundaries.
+    pub physical: PhysicalPlan,
+    /// Estimated total cost in work units.
+    pub est_cost: f64,
+    /// Estimated output rows.
+    pub est_rows: f64,
+}
+
+/// Runs the full optimization pipeline over a bound logical plan.
+pub fn optimize(
+    plan: LogicalPlan,
+    db: &Database,
+    options: &OptimizerOptions,
+) -> Result<Optimized> {
+    let plan = pushdown::push_filters(plan);
+
+    let plan = if options.enable_view_matching {
+        let required = collect_column_refs(&plan);
+        let matched = apply_view_matching(plan, db, options, &required);
+        view_match::recompute_schemas(matched)
+    } else {
+        plan
+    };
+
+    // Candidate set: the matched plan, a greedily join-reordered variant,
+    // and (optionally) versions with every ChoosePlan pulled to the top.
+    // Pick the cheapest — the paper notes pull-up can win (bigger remote
+    // subqueries) or lose (larger plans).
+    let mut candidates = vec![plan.clone()];
+    let reordered =
+        view_match::recompute_schemas(join_order::reorder_joins(plan.clone(), db));
+    if !candidates.contains(&reordered) {
+        candidates.push(reordered);
+    }
+    if options.enable_choose_plan_pullup {
+        for base in candidates.clone() {
+            let pulled = pull_up_choose_plans(base);
+            if !candidates.contains(&pulled) {
+                candidates.push(pulled);
+            }
+        }
+    }
+
+    let mut best: Option<(f64, LogicalPlan)> = None;
+    for cand in candidates {
+        let c = location::cost(&cand, db, &options.cost);
+        if best.as_ref().map(|(bc, _)| c.local < *bc).unwrap_or(true) {
+            best = Some((c.local, cand));
+        }
+    }
+    let (est_cost, logical) = best.expect("at least one candidate");
+    let est_rows = cardinality::estimate_rows(&logical, db);
+    let physical = location::build(&logical, db, &options.cost)?;
+    Ok(Optimized {
+        logical,
+        physical,
+        est_cost,
+        est_rows,
+    })
+}
+
+/// Gathers every column reference in the plan's expressions (used to decide
+/// which columns a substituted view must provide).
+fn collect_column_refs(plan: &LogicalPlan) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    fn exprs_of(plan: &LogicalPlan, out: &mut Vec<String>) {
+        let mut push = |e: &Expr| {
+            for c in e.columns() {
+                out.push(c.to_string());
+            }
+        };
+        match plan {
+            LogicalPlan::Filter { predicate, .. } => push(predicate),
+            LogicalPlan::Project { exprs, .. } => {
+                for (e, _) in exprs {
+                    push(e);
+                }
+            }
+            LogicalPlan::Join { on, .. } => {
+                if let Some(on) = on {
+                    push(on);
+                }
+            }
+            LogicalPlan::Aggregate {
+                group_by, aggs, ..
+            } => {
+                for g in group_by {
+                    push(g);
+                }
+                for a in aggs {
+                    if let Some(arg) = &a.arg {
+                        push(arg);
+                    }
+                }
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                for k in keys {
+                    push(&k.expr);
+                }
+            }
+            LogicalPlan::UnionAll {
+                startup_predicates, ..
+            } => {
+                for p in startup_predicates.iter().flatten() {
+                    push(p);
+                }
+            }
+            LogicalPlan::Get { .. } | LogicalPlan::Top { .. } | LogicalPlan::Distinct { .. } => {}
+        }
+        for c in plan.children() {
+            exprs_of(c, out);
+        }
+    }
+    exprs_of(plan, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Walks the plan and substitutes matched views for `Filter(Get)` / `Get`
+/// patterns over remote base tables, keeping the cost-optimal choice.
+fn apply_view_matching(
+    plan: LogicalPlan,
+    db: &Database,
+    options: &OptimizerOptions,
+    required: &[String],
+) -> LogicalPlan {
+    let match_opts = MatchOptions {
+        enable_dynamic_plans: options.enable_dynamic_plans,
+        allow_mixed_results: options.allow_mixed_results,
+    };
+    let rewrite = |node: LogicalPlan| -> LogicalPlan {
+        // Pattern: Filter(Get) or bare Get.
+        let (get, conjuncts, original): (&LogicalPlan, Vec<Expr>, LogicalPlan) = match &node {
+            LogicalPlan::Filter { input, predicate }
+                if matches!(**input, LogicalPlan::Get { .. }) =>
+            {
+                (
+                    input,
+                    predicate.split_conjuncts().into_iter().cloned().collect(),
+                    node.clone(),
+                )
+            }
+            LogicalPlan::Get { .. } => (&node, vec![], node.clone()),
+            _ => return node,
+        };
+        let LogicalPlan::Get {
+            object,
+            alias,
+            schema,
+            ..
+        } = get
+        else {
+            return original;
+        };
+        if object.is_empty() {
+            return original;
+        }
+        // Which required columns belong to this Get?
+        let my_required: Vec<String> = required
+            .iter()
+            .filter(|c| schema.index_of(c).is_ok())
+            .map(|c| {
+                let idx = schema.index_of(c).expect("checked");
+                schema.column(idx).name.clone()
+            })
+            .collect();
+        let matches = view_match::match_views(
+            db, object, alias, schema, &conjuncts, &my_required, match_opts,
+        );
+        if matches.is_empty() {
+            return original;
+        }
+        // Cost-based choice among the original and every match.
+        let mut best = original.clone();
+        let mut best_cost = location::cost(&original, db, &options.cost).local;
+        for m in matches {
+            let c = location::cost(&m.plan, db, &options.cost).local;
+            if c < best_cost {
+                best_cost = c;
+                best = m.plan;
+            }
+        }
+        best
+    };
+    rewrite_plan(plan, &rewrite)
+}
+
+/// Bottom-up plan rewriting.
+fn rewrite_plan(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            // Don't recurse into a Filter(Get) pair — it's the match unit.
+            if matches!(*input, LogicalPlan::Get { .. }) {
+                LogicalPlan::Filter { input, predicate }
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(rewrite_plan(*input, f)),
+                    predicate,
+                }
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(rewrite_plan(*input, f)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(rewrite_plan(*left, f)),
+            right: Box::new(rewrite_plan(*right, f)),
+            kind,
+            on,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_plan(*input, f)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite_plan(*input, f)),
+            keys,
+        },
+        LogicalPlan::Top { input, n } => LogicalPlan::Top {
+            input: Box::new(rewrite_plan(*input, f)),
+            n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite_plan(*input, f)),
+        },
+        LogicalPlan::UnionAll {
+            inputs,
+            startup_predicates,
+            weights,
+            schema,
+        } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(|i| rewrite_plan(i, f)).collect(),
+            startup_predicates,
+            weights,
+            schema,
+        },
+        leaf @ LogicalPlan::Get { .. } => leaf,
+    };
+    f(rebuilt)
+}
+
+/// Pulls guarded UnionAlls (ChoosePlans) above inner/cross joins — the
+/// §5.1.2 transformation, valid because exactly one branch is active for
+/// any parameter value. Applied to fixpoint.
+pub fn pull_up_choose_plans(plan: LogicalPlan) -> LogicalPlan {
+    let mut plan = plan;
+    for _ in 0..8 {
+        let (next, changed) = pull_once(plan);
+        plan = view_match::recompute_schemas(next);
+        if !changed {
+            break;
+        }
+    }
+    plan
+}
+
+fn pull_once(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    fn is_guarded_union(p: &LogicalPlan) -> bool {
+        matches!(p, LogicalPlan::UnionAll { startup_predicates, .. }
+            if startup_predicates.iter().any(Option::is_some))
+    }
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } if matches!(kind, mtc_sql::JoinKind::Inner | mtc_sql::JoinKind::Cross) => {
+            let (left, lc) = pull_once(*left);
+            let (right, rc) = pull_once(*right);
+            if is_guarded_union(&left) {
+                let LogicalPlan::UnionAll {
+                    inputs,
+                    startup_predicates,
+                    weights,
+                    ..
+                } = left
+                else {
+                    unreachable!()
+                };
+                let branches: Vec<LogicalPlan> = inputs
+                    .into_iter()
+                    .map(|b| {
+                        let s = b.schema().join(right.schema());
+                        LogicalPlan::Join {
+                            left: Box::new(b),
+                            right: Box::new(right.clone()),
+                            kind,
+                            on: on.clone(),
+                            schema: s,
+                        }
+                    })
+                    .collect();
+                let schema = branches[0].schema().clone();
+                return (
+                    LogicalPlan::UnionAll {
+                        inputs: branches,
+                        startup_predicates,
+                        weights,
+                        schema,
+                    },
+                    true,
+                );
+            }
+            if is_guarded_union(&right) {
+                let LogicalPlan::UnionAll {
+                    inputs,
+                    startup_predicates,
+                    weights,
+                    ..
+                } = right
+                else {
+                    unreachable!()
+                };
+                let branches: Vec<LogicalPlan> = inputs
+                    .into_iter()
+                    .map(|b| {
+                        let s = left.schema().join(b.schema());
+                        LogicalPlan::Join {
+                            left: Box::new(left.clone()),
+                            right: Box::new(b),
+                            kind,
+                            on: on.clone(),
+                            schema: s,
+                        }
+                    })
+                    .collect();
+                let schema = branches[0].schema().clone();
+                return (
+                    LogicalPlan::UnionAll {
+                        inputs: branches,
+                        startup_predicates,
+                        weights,
+                        schema,
+                    },
+                    true,
+                );
+            }
+            rebuild_join(left, right, kind, on, schema, lc || rc)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (input, changed) = pull_once(*input);
+            // Filters also commute with guarded unions (same proof shape).
+            if is_guarded_union(&input) {
+                let LogicalPlan::UnionAll {
+                    inputs,
+                    startup_predicates,
+                    weights,
+                    schema,
+                } = input
+                else {
+                    unreachable!()
+                };
+                let branches: Vec<LogicalPlan> = inputs
+                    .into_iter()
+                    .map(|b| LogicalPlan::Filter {
+                        input: Box::new(b),
+                        predicate: predicate.clone(),
+                    })
+                    .collect();
+                return (
+                    LogicalPlan::UnionAll {
+                        inputs: branches,
+                        startup_predicates,
+                        weights,
+                        schema,
+                    },
+                    true,
+                );
+            }
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let (input, changed) = pull_once(*input);
+            (
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs,
+                    schema,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
+            let (input, changed) = pull_once(*input);
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    group_by,
+                    aggs,
+                    schema,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let (input, changed) = pull_once(*input);
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(input),
+                    keys,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Top { input, n } => {
+            let (input, changed) = pull_once(*input);
+            (
+                LogicalPlan::Top {
+                    input: Box::new(input),
+                    n,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Distinct { input } => {
+            let (input, changed) = pull_once(*input);
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(input),
+                },
+                changed,
+            )
+        }
+        LogicalPlan::UnionAll {
+            inputs,
+            startup_predicates,
+            weights,
+            schema,
+        } => {
+            let mut changed = false;
+            let inputs: Vec<LogicalPlan> = inputs
+                .into_iter()
+                .map(|i| {
+                    let (p, c) = pull_once(i);
+                    changed |= c;
+                    p
+                })
+                .collect();
+            (
+                LogicalPlan::UnionAll {
+                    inputs,
+                    startup_predicates,
+                    weights,
+                    schema,
+                },
+                changed,
+            )
+        }
+        leaf => (leaf, false),
+    }
+}
+
+fn rebuild_join(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    kind: mtc_sql::JoinKind,
+    on: Option<Expr>,
+    schema: mtc_types::Schema,
+    changed: bool,
+) -> (LogicalPlan, bool) {
+    (
+        LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            kind,
+            on,
+            schema,
+        },
+        changed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_storage::ViewMeta;
+    use mtc_types::{row, Column, DataType, Schema};
+
+    /// Cache server with shadow customer/orders tables and a cached
+    /// Cust1000 view.
+    fn cache_db() -> Database {
+        let mut backend = Database::new("d");
+        backend
+            .create_table(
+                "customer",
+                Schema::new(vec![
+                    Column::not_null("ckey", DataType::Int),
+                    Column::new("name", DataType::Str),
+                ]),
+                &["ckey".into()],
+            )
+            .unwrap();
+        backend
+            .create_table(
+                "orders",
+                Schema::new(vec![
+                    Column::not_null("okey", DataType::Int),
+                    Column::not_null("ckey", DataType::Int),
+                    Column::new("total", DataType::Float),
+                ]),
+                &["okey".into()],
+            )
+            .unwrap();
+        let mut changes = Vec::new();
+        for i in 1..=10_000i64 {
+            changes.push(mtc_storage::RowChange::Insert {
+                table: "customer".into(),
+                row: row![i, format!("c{i}")],
+            });
+        }
+        for i in 1..=20_000i64 {
+            changes.push(mtc_storage::RowChange::Insert {
+                table: "orders".into(),
+                row: row![i, (i % 10_000) + 1, (i % 97) as f64],
+            });
+        }
+        backend.apply(0, changes).unwrap();
+        backend.analyze();
+
+        let mut cache = backend.shadow_clone();
+        cache
+            .create_table(
+                "cust1000",
+                Schema::new(vec![
+                    Column::not_null("ckey", DataType::Int),
+                    Column::new("name", DataType::Str),
+                ]),
+                &["ckey".into()],
+            )
+            .unwrap();
+        let rows: Vec<_> = (1..=1000)
+            .map(|i| mtc_storage::RowChange::Insert {
+                table: "cust1000".into(),
+                row: row![i, format!("c{i}")],
+            })
+            .collect();
+        cache.apply(0, rows).unwrap();
+        cache.analyze_table("cust1000");
+        let Statement::Select(def) =
+            parse_statement("SELECT ckey, name FROM customer WHERE ckey <= 1000").unwrap()
+        else {
+            panic!()
+        };
+        cache
+            .catalog
+            .create_view(ViewMeta {
+                name: "cust1000".into(),
+                definition: def,
+                materialized: true,
+                is_cached: true,
+            })
+            .unwrap();
+        cache
+    }
+
+    fn optimize_sql(db: &Database, sql: &str, options: &OptimizerOptions) -> Optimized {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let plan = bind_select(&sel, db).unwrap();
+        optimize(plan, db, options).unwrap()
+    }
+
+    #[test]
+    fn literal_query_uses_cached_view_locally() {
+        let db = cache_db();
+        let opt = optimize_sql(
+            &db,
+            "SELECT ckey, name FROM customer WHERE ckey <= 500",
+            &OptimizerOptions::default(),
+        );
+        let text = opt.physical.explain();
+        assert!(!opt.physical.uses_remote(), "{text}");
+        assert!(text.contains("cust1000"), "{text}");
+    }
+
+    #[test]
+    fn view_matching_can_be_disabled() {
+        let db = cache_db();
+        let options = OptimizerOptions {
+            enable_view_matching: false,
+            ..Default::default()
+        };
+        let opt = optimize_sql(
+            &db,
+            "SELECT ckey, name FROM customer WHERE ckey <= 500",
+            &options,
+        );
+        assert!(opt.physical.uses_remote(), "{}", opt.physical.explain());
+    }
+
+    #[test]
+    fn parameterized_query_gets_dynamic_plan() {
+        let db = cache_db();
+        let opt = optimize_sql(
+            &db,
+            "SELECT ckey, name FROM customer WHERE ckey <= @v",
+            &OptimizerOptions::default(),
+        );
+        let text = opt.physical.explain();
+        assert!(text.contains("UnionAll"), "{text}");
+        assert!(text.contains("[startup: @v <= 1000]"), "{text}");
+        assert!(opt.physical.uses_remote(), "remote branch exists: {text}");
+        assert!(opt.physical.uses_local_data(), "local branch exists: {text}");
+    }
+
+    #[test]
+    fn out_of_range_literal_goes_remote() {
+        let db = cache_db();
+        let opt = optimize_sql(
+            &db,
+            "SELECT ckey, name FROM customer WHERE ckey <= 5000",
+            &OptimizerOptions::default(),
+        );
+        assert!(opt.physical.uses_remote(), "{}", opt.physical.explain());
+        assert!(!opt.physical.uses_local_data());
+    }
+
+    #[test]
+    fn join_query_with_dynamic_plan_pullup() {
+        let db = cache_db();
+        let with_pullup = optimize_sql(
+            &db,
+            "SELECT c.name, o.total FROM customer AS c, orders AS o WHERE c.ckey = o.ckey AND c.ckey <= @v",
+            &OptimizerOptions::default(),
+        );
+        let no_pullup_opts = OptimizerOptions {
+            enable_choose_plan_pullup: false,
+            ..Default::default()
+        };
+        let without = optimize_sql(
+            &db,
+            "SELECT c.name, o.total FROM customer AS c, orders AS o WHERE c.ckey = o.ckey AND c.ckey <= @v",
+            &no_pullup_opts,
+        );
+        // Pull-up should win here: its remote branch ships the whole join.
+        assert!(
+            with_pullup.est_cost <= without.est_cost,
+            "pullup {} vs {}",
+            with_pullup.est_cost,
+            without.est_cost
+        );
+        let text = with_pullup.physical.explain();
+        assert!(text.contains("UnionAll"), "{text}");
+    }
+
+    #[test]
+    fn estimates_are_populated() {
+        let db = cache_db();
+        let opt = optimize_sql(
+            &db,
+            "SELECT ckey FROM customer WHERE ckey <= 100",
+            &OptimizerOptions::default(),
+        );
+        assert!(opt.est_cost.is_finite() && opt.est_cost > 0.0);
+        assert!(opt.est_rows > 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Predicate pushdown normalization.
+//!
+//! Splits filters into conjuncts and pushes each as deep as possible: below
+//! the side of a join that covers its columns, merged into inner-join
+//! predicates, or down to sit directly above the `Get` it constrains. This
+//! runs before view matching so each `Get` sees the full set of conjuncts
+//! that apply to it.
+
+use mtc_sql::{Expr, JoinKind};
+use mtc_types::Schema;
+
+use crate::logical::LogicalPlan;
+
+/// Normalizes a plan by pushing filter conjuncts down.
+pub fn push_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_filters(*input);
+            let conjuncts: Vec<Expr> =
+                predicate.split_conjuncts().into_iter().cloned().collect();
+            push_conjuncts(input, conjuncts)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_filters(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            kind,
+            on,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_filters(*input)),
+            group_by,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+        },
+        LogicalPlan::Top { input, n } => LogicalPlan::Top {
+            input: Box::new(push_filters(*input)),
+            n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        LogicalPlan::UnionAll {
+            inputs,
+            startup_predicates,
+            weights,
+            schema,
+        } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(push_filters).collect(),
+            startup_predicates,
+            weights,
+            schema,
+        },
+        leaf @ LogicalPlan::Get { .. } => leaf,
+    }
+}
+
+/// Pushes a list of conjuncts into `plan`, leaving what cannot sink as a
+/// Filter on top.
+fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } if matches!(kind, JoinKind::Inner | JoinKind::Cross) => {
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = Vec::new();
+            for c in conjuncts {
+                if covered(&c, left.schema()) {
+                    to_left.push(c);
+                } else if covered(&c, right.schema()) {
+                    to_right.push(c);
+                } else {
+                    to_join.push(c);
+                }
+            }
+            let left = push_conjuncts(*left, to_left);
+            let right = push_conjuncts(*right, to_right);
+            // Cross joins that gain an equi-conjunct become inner joins.
+            let (kind, on) = if to_join.is_empty() {
+                (kind, on)
+            } else {
+                let mut all: Vec<Expr> = on.iter().cloned().collect();
+                all.extend(to_join);
+                (JoinKind::Inner, Expr::conjunction(all))
+            };
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Merge stacked filters, then retry.
+            let mut all: Vec<Expr> = predicate.split_conjuncts().into_iter().cloned().collect();
+            all.extend(conjuncts);
+            push_conjuncts(*input, all)
+        }
+        // Anything else: leave the filter directly above.
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate: Expr::conjunction(conjuncts).expect("nonempty"),
+        },
+    }
+}
+
+/// Does `schema` cover every column referenced by `expr`?
+pub fn covered(expr: &Expr, schema: &Schema) -> bool {
+    expr.columns().iter().all(|c| schema.index_of(c).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_storage::Database;
+    use mtc_types::{Column, DataType};
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        db.create_table(
+            "a",
+            Schema::new(vec![
+                Column::not_null("x", DataType::Int),
+                Column::new("y", DataType::Int),
+            ]),
+            &["x".into()],
+        )
+        .unwrap();
+        db.create_table(
+            "b",
+            Schema::new(vec![
+                Column::not_null("x", DataType::Int),
+                Column::new("z", DataType::Int),
+            ]),
+            &["x".into()],
+        )
+        .unwrap();
+        db
+    }
+
+    fn normalized(sql: &str) -> LogicalPlan {
+        let db = db();
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        push_filters(bind_select(&sel, &db).unwrap())
+    }
+
+    #[test]
+    fn pushes_single_side_conjuncts_below_join() {
+        let plan = normalized(
+            "SELECT * FROM a AS l, b AS r WHERE l.x = r.x AND l.y > 5 AND r.z = 2",
+        );
+        let text = plan.explain();
+        // The join predicate stays at the join; the single-side conjuncts
+        // sit directly above their Gets.
+        let join_line = text.lines().find(|l| l.contains("Join")).unwrap();
+        assert!(join_line.contains("l.x = r.x"), "{text}");
+        assert!(!join_line.contains("l.y > 5"), "{text}");
+        assert!(text.contains("Filter l.y > 5"), "{text}");
+        assert!(text.contains("Filter r.z = 2"), "{text}");
+    }
+
+    #[test]
+    fn cross_join_becomes_inner_join() {
+        let plan = normalized("SELECT * FROM a AS l, b AS r WHERE l.x = r.x");
+        assert!(plan.explain().contains("INNER JOIN"), "{}", plan.explain());
+    }
+
+    #[test]
+    fn filter_stays_on_single_table() {
+        let plan = normalized("SELECT x FROM a WHERE x <= 10 AND y > 2");
+        let text = plan.explain();
+        assert!(text.contains("Filter"), "{text}");
+        assert!(text.contains("Get a"), "{text}");
+    }
+
+    #[test]
+    fn no_pushdown_through_outer_join() {
+        let plan = normalized(
+            "SELECT * FROM a AS l LEFT JOIN b AS r ON l.x = r.x WHERE r.z = 1",
+        );
+        let text = plan.explain();
+        // Predicate must remain above the outer join.
+        let filter_pos = text.find("Filter r.z = 1").unwrap();
+        let join_pos = text.find("Join").unwrap();
+        assert!(filter_pos < join_pos, "{text}");
+    }
+}

@@ -1,0 +1,419 @@
+//! Decompilation of logical subtrees back to SQL text.
+//!
+//! "Every subexpression rooted by a DataTransfer operator is converted to a
+//! (textual) SQL query and sent to the backend server where it will be
+//! parsed and optimized again" (§5). This module performs that conversion.
+//!
+//! Only *linear* shapes compose into a single SELECT (our dialect has no
+//! derived tables): `Top(Sort(Distinct(Project(Filter(Aggregate(Filter(
+//! JoinTree)))))))` with every stage optional. Anything else — notably
+//! UnionAll/ChoosePlan, whose startup predicates must be evaluated on the
+//! cache server — is not shippable, and [`to_select`] returns an error that
+//! the optimizer treats as "this subtree cannot execute remotely".
+
+use mtc_sql::{Expr, OrderByItem, Select, SelectItem, TableRef};
+use mtc_types::{Error, Result};
+
+use crate::logical::{AggCall, LogicalPlan};
+
+/// Converts a logical subtree to a single SELECT statement, if possible.
+pub fn to_select(plan: &LogicalPlan) -> Result<Select> {
+    let mut b = SelectBuilder {
+        stage: u8::MAX,
+        ..SelectBuilder::default()
+    };
+    b.absorb(plan)?;
+    b.finish()
+}
+
+/// True if `to_select` would succeed (used for costing).
+pub fn shippable(plan: &LogicalPlan) -> bool {
+    to_select(plan).is_ok()
+}
+
+#[derive(Default)]
+struct SelectBuilder {
+    top: Option<u64>,
+    order_by: Vec<OrderByItem>,
+    distinct: bool,
+    projection: Option<Vec<(Expr, String)>>,
+    having: Option<Expr>,
+    group_by: Option<(Vec<Expr>, Vec<AggCall>)>,
+    selection: Option<Expr>,
+    from: Option<TableRef>,
+    /// Tracks clause order so we reject shapes a single SELECT can't express
+    /// (stage index must strictly decrease as we descend).
+    stage: u8,
+}
+
+impl SelectBuilder {
+    fn enter(&mut self, stage: u8, what: &str) -> Result<()> {
+        // Stages (top-down): Top=7, Sort=6, Distinct=5, Project=4,
+        // Having-filter=3, Aggregate=2, Where-filter=1. The stage index
+        // must strictly decrease as we descend, or the shape has no single-
+        // SELECT equivalent.
+        if stage >= self.stage {
+            return Err(Error::plan(format!(
+                "cannot express nested {what} in a single SELECT"
+            )));
+        }
+        self.stage = stage;
+        Ok(())
+    }
+
+    fn absorb(&mut self, plan: &LogicalPlan) -> Result<()> {
+        match plan {
+            LogicalPlan::Top { input, n } => {
+                self.enter(7, "TOP")?;
+                self.top = Some(*n);
+                self.absorb(input)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                // A Sort appears either above the Project (stage 6) or just
+                // below it (ORDER BY on non-projected columns) — both are
+                // expressible in one SELECT, but only one ORDER BY exists.
+                if !self.order_by.is_empty() {
+                    return Err(Error::plan("cannot express two ORDER BYs"));
+                }
+                let stage = 6.min(self.stage.saturating_sub(1));
+                self.enter(stage, "ORDER BY")?;
+                self.order_by = keys
+                    .iter()
+                    .map(|k| OrderByItem {
+                        expr: k.expr.clone(),
+                        asc: k.asc,
+                    })
+                    .collect();
+                self.absorb(input)
+            }
+            LogicalPlan::Distinct { input } => {
+                self.enter(5, "DISTINCT")?;
+                self.distinct = true;
+                self.absorb(input)
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                self.enter(4, "projection")?;
+                self.projection = Some(exprs.clone());
+                self.absorb(input)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                // A filter above an Aggregate is HAVING; below, WHERE.
+                if contains_aggregate(input) {
+                    self.enter(3, "HAVING")?;
+                    self.having = Some(predicate.clone());
+                } else {
+                    self.enter(1, "WHERE")?;
+                    self.selection = Some(predicate.clone());
+                }
+                self.absorb(input)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                self.enter(2, "GROUP BY")?;
+                self.group_by = Some((group_by.clone(), aggs.clone()));
+                self.absorb(input)
+            }
+            LogicalPlan::Get { .. } | LogicalPlan::Join { .. } => {
+                self.from = Some(table_ref_of(plan)?);
+                Ok(())
+            }
+            LogicalPlan::UnionAll { .. } => Err(Error::plan(
+                "UnionAll/ChoosePlan cannot be shipped as textual SQL",
+            )),
+        }
+    }
+
+    fn finish(self) -> Result<Select> {
+        let from = match self.from {
+            Some(f) => vec![f],
+            None => return Err(Error::plan("subtree has no FROM source")),
+        };
+
+        // Resolve the SELECT list. Aggregate outputs are named `agg_N` by
+        // the binder; when shipping we must alias them so the shipped query
+        // returns the same column names.
+        let (group_exprs, aggs) = self.group_by.unwrap_or_default();
+        let agg_items: Vec<SelectItem> = aggs
+            .iter()
+            .map(|a| SelectItem::Expr {
+                expr: Expr::Function {
+                    name: a.func.sql().to_ascii_lowercase(),
+                    args: a.arg.iter().cloned().collect(),
+                    distinct: a.distinct,
+                },
+                alias: Some(a.output_name.clone()),
+            })
+            .collect();
+
+        let projection: Vec<SelectItem> = match self.projection {
+            Some(exprs) => exprs
+                .into_iter()
+                .map(|(e, name)| {
+                    // Re-substitute aggregate output references with the
+                    // actual aggregate calls. Qualified output names (from
+                    // view-matching projections) cannot be SQL aliases; the
+                    // cache server consumes remote results positionally, so
+                    // dropping such aliases is safe.
+                    let e = substitute_aggs(&e, &aggs);
+                    let alias = if name.contains('.') { None } else { Some(name) };
+                    SelectItem::Expr { expr: e, alias }
+                })
+                .collect(),
+            None if !aggs.is_empty() => {
+                // Aggregate without explicit projection: group keys + aggs.
+                group_exprs
+                    .iter()
+                    .map(|g| SelectItem::Expr {
+                        expr: g.clone(),
+                        alias: None,
+                    })
+                    .chain(agg_items)
+                    .collect()
+            }
+            None => vec![SelectItem::Wildcard],
+        };
+
+        let having = self.having.map(|h| substitute_aggs(&h, &aggs));
+        let order_by = self
+            .order_by
+            .into_iter()
+            .map(|o| OrderByItem {
+                expr: substitute_aggs(&o.expr, &aggs),
+                asc: o.asc,
+            })
+            .collect();
+
+        Ok(Select {
+            distinct: self.distinct,
+            top: self.top,
+            projection,
+            from,
+            selection: self.selection,
+            group_by: group_exprs,
+            having,
+            order_by,
+            freshness_seconds: None,
+        })
+    }
+}
+
+/// Replaces references to aggregate output columns (`agg_N`) with the
+/// corresponding aggregate function calls.
+fn substitute_aggs(expr: &Expr, aggs: &[AggCall]) -> Expr {
+    if aggs.is_empty() {
+        return expr.clone();
+    }
+    expr.rewrite(&mut |node| {
+        if let Expr::Column(c) = &node {
+            if let Some(a) = aggs.iter().find(|a| &a.output_name == c) {
+                return Expr::Function {
+                    name: a.func.sql().to_ascii_lowercase(),
+                    args: a.arg.iter().cloned().collect(),
+                    distinct: a.distinct,
+                };
+            }
+        }
+        node
+    })
+}
+
+fn contains_aggregate(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Aggregate { .. } => true,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Top { input, .. }
+        | LogicalPlan::Distinct { input } => contains_aggregate(input),
+        _ => false,
+    }
+}
+
+/// Converts a Get/Join subtree into a FROM-clause table reference, pushing
+/// per-table filters into the join predicate.
+fn table_ref_of(plan: &LogicalPlan) -> Result<TableRef> {
+    match plan {
+        LogicalPlan::Get { object, alias, .. } => {
+            if object.is_empty() {
+                return Err(Error::plan("cannot ship a FROM-less query"));
+            }
+            Ok(TableRef::Table {
+                name: object.clone(),
+                alias: if alias == object {
+                    None
+                } else {
+                    Some(alias.clone())
+                },
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // A filter directly over a Get inside a join tree: express as an
+            // inner-join conjunct by wrapping in a join with the predicate —
+            // but standalone it must bubble up; handled by caller pattern:
+            // Filter(Get) inside joins becomes Join(..., on: pred AND ...).
+            // Here we only support Filter directly over Get by rewriting to
+            // the Get and letting the caller ignore it — so reject instead,
+            // unless the caller is `absorb` (top level), which handles
+            // WHERE itself. Nested filters under joins are merged below.
+            let _ = (input, predicate);
+            Err(Error::plan(
+                "filter below a join must be merged before shipping",
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            // Merge Filter(Get) children into the ON condition.
+            let (l_ref, l_pred) = split_filter(left)?;
+            let (r_ref, r_pred) = split_filter(right)?;
+            let mut conjuncts: Vec<Expr> = Vec::new();
+            conjuncts.extend(on.iter().cloned());
+            conjuncts.extend(l_pred);
+            conjuncts.extend(r_pred);
+            let on = Expr::conjunction(conjuncts);
+            let kind = if *kind == mtc_sql::JoinKind::Cross && on.is_some() {
+                mtc_sql::JoinKind::Inner
+            } else {
+                *kind
+            };
+            Ok(TableRef::Join {
+                left: Box::new(l_ref),
+                right: Box::new(r_ref),
+                kind,
+                on,
+            })
+        }
+        other => Err(Error::plan(format!(
+            "operator cannot appear in a shipped FROM clause: {}",
+            other.explain().lines().next().unwrap_or("?")
+        ))),
+    }
+}
+
+/// Splits an optional Filter off the top of a join input.
+fn split_filter(plan: &LogicalPlan) -> Result<(TableRef, Option<Expr>)> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let (t, inner) = split_filter(input)?;
+            let merged = match inner {
+                Some(p) => Expr::and(p, predicate.clone()),
+                None => predicate.clone(),
+            };
+            Ok((t, Some(merged)))
+        }
+        other => Ok((table_ref_of(other)?, None)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::optimizer::pushdown::push_filters;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_storage::Database;
+    use mtc_types::{Column, DataType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        for (t, cols) in [
+            ("customer", vec!["cid", "ckey"]),
+            ("orders", vec!["oid", "ckey"]),
+        ] {
+            db.create_table(
+                t,
+                Schema::new(
+                    cols.iter()
+                        .map(|c| Column::not_null(c, DataType::Int))
+                        .collect(),
+                ),
+                &[cols[0].to_string()],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn roundtrip(sql: &str) -> String {
+        let db = db();
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let plan = push_filters(bind_select(&sel, &db).unwrap());
+        to_select(&plan).unwrap().to_string()
+    }
+
+    #[test]
+    fn simple_select_roundtrips() {
+        let out = roundtrip("SELECT cid FROM customer WHERE cid <= 10");
+        assert!(out.contains("FROM customer"), "{out}");
+        assert!(out.contains("WHERE cid <= 10"), "{out}");
+        // The generated SQL re-parses.
+        assert!(parse_statement(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn join_with_pushed_filters_recomposes() {
+        let out = roundtrip(
+            "SELECT c.cid, o.oid FROM customer AS c, orders AS o WHERE c.ckey = o.ckey AND c.cid > 5",
+        );
+        assert!(out.contains("INNER JOIN"), "{out}");
+        assert!(out.contains("c.cid > 5"), "{out}");
+        assert!(parse_statement(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn aggregates_ship_with_aliases() {
+        let out = roundtrip(
+            "SELECT ckey, COUNT(*) AS cnt FROM orders GROUP BY ckey ORDER BY cnt DESC",
+        );
+        assert!(out.contains("COUNT(*) AS cnt"), "{out}");
+        assert!(out.contains("GROUP BY ckey"), "{out}");
+        // ORDER BY may reference the aggregate alias (valid in the dialect).
+        assert!(
+            out.contains("ORDER BY cnt DESC") || out.contains("ORDER BY COUNT(*) DESC"),
+            "{out}"
+        );
+        assert!(parse_statement(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn top_and_distinct_ship() {
+        let out = roundtrip("SELECT DISTINCT TOP 5 ckey FROM orders");
+        assert!(out.starts_with("SELECT DISTINCT TOP 5"), "{out}");
+    }
+
+    #[test]
+    fn freshness_clause_is_stripped_from_shipped_sql() {
+        // Freshness is a routing directive for the cache server; the SQL
+        // shipped to the backend must not carry it.
+        let out = roundtrip("SELECT cid FROM customer WHERE cid <= 10 WITH FRESHNESS 30 SECONDS");
+        assert!(!out.contains("FRESHNESS"), "{out}");
+    }
+
+    #[test]
+    fn union_all_is_not_shippable() {
+        use crate::logical::{DataLocation, LogicalPlan};
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let get = LogicalPlan::Get {
+            object: "customer".into(),
+            alias: "customer".into(),
+            schema: schema.clone(),
+            location: DataLocation::Remote,
+        };
+        let union = LogicalPlan::UnionAll {
+            inputs: vec![get.clone(), get],
+            startup_predicates: vec![None, None],
+            weights: vec![1.0, 1.0],
+            schema,
+        };
+        assert!(!shippable(&union));
+    }
+}

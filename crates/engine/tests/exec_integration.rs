@@ -1,0 +1,244 @@
+//! Executor integration tests: outer joins, remote-node accounting with a
+//! mock backend, and cross-checks between plan alternatives.
+
+use mtc_engine::eval::Bindings;
+use mtc_engine::{
+    bind_select, execute, optimize, CostModel, ExecContext, ExecMetrics, OptimizerOptions,
+    PhysicalPlan, QueryResult, RemoteExecutor,
+};
+use mtc_sql::{parse_statement, Statement};
+use mtc_storage::{Database, RowChange};
+use mtc_types::{row, Column, DataType, Row, Schema, Value};
+
+fn db() -> Database {
+    let mut db = Database::new("t");
+    db.create_table(
+        "left_t",
+        Schema::new(vec![
+            Column::not_null("lk", DataType::Int),
+            Column::new("lv", DataType::Str),
+        ]),
+        &["lk".into()],
+    )
+    .unwrap();
+    db.create_table(
+        "right_t",
+        Schema::new(vec![
+            Column::not_null("rk", DataType::Int),
+            Column::new("rv", DataType::Str),
+        ]),
+        &["rk".into()],
+    )
+    .unwrap();
+    let mut changes = Vec::new();
+    for i in 1..=4 {
+        changes.push(RowChange::Insert {
+            table: "left_t".into(),
+            row: row![i, format!("l{i}")],
+        });
+    }
+    for i in 3..=6 {
+        changes.push(RowChange::Insert {
+            table: "right_t".into(),
+            row: row![i, format!("r{i}")],
+        });
+    }
+    db.apply(0, changes).unwrap();
+    db.analyze();
+    db
+}
+
+fn run(db: &Database, sql: &str) -> QueryResult {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        panic!()
+    };
+    let plan = bind_select(&sel, db).unwrap();
+    let opt = optimize(plan, db, &OptimizerOptions::default()).unwrap();
+    let cm = CostModel::default();
+    let params = Bindings::new();
+    let ctx = ExecContext {
+        db,
+        remote: None,
+        params: &params,
+        work: &cm,
+    };
+    execute(&opt.physical, &ctx).unwrap()
+}
+
+#[test]
+fn right_outer_join_null_extends_left() {
+    let db = db();
+    let r = run(
+        &db,
+        "SELECT l.lv, r.rv FROM left_t AS l RIGHT JOIN right_t AS r ON l.lk = r.rk ORDER BY r.rv ASC",
+    );
+    // rk 3,4 match; rk 5,6 unmatched → NULL-extended left side.
+    assert_eq!(r.rows.len(), 4);
+    assert_eq!(r.rows[0], row!["l3", "r3"]);
+    assert_eq!(r.rows[2].values()[0], Value::Null);
+    assert_eq!(r.rows[3].values()[0], Value::Null);
+}
+
+#[test]
+fn full_outer_join_keeps_both_sides() {
+    let db = db();
+    let r = run(
+        &db,
+        "SELECT l.lk, r.rk FROM left_t AS l FULL JOIN right_t AS r ON l.lk = r.rk",
+    );
+    // 2 matches (3,4) + 2 unmatched left (1,2) + 2 unmatched right (5,6).
+    assert_eq!(r.rows.len(), 6);
+    let null_left = r.rows.iter().filter(|x| x[0] == Value::Null).count();
+    let null_right = r.rows.iter().filter(|x| x[1] == Value::Null).count();
+    assert_eq!(null_left, 2);
+    assert_eq!(null_right, 2);
+}
+
+#[test]
+fn cross_join_counts() {
+    let db = db();
+    let r = run(&db, "SELECT l.lk, r.rk FROM left_t AS l CROSS JOIN right_t AS r");
+    assert_eq!(r.rows.len(), 16);
+}
+
+#[test]
+fn outer_join_equals_nested_loop_reference() {
+    // The hash-join outer paths must agree with a nested-loop reference
+    // computed by hand here.
+    let db = db();
+    let r = run(
+        &db,
+        "SELECT l.lk, r.rk FROM left_t AS l LEFT JOIN right_t AS r ON l.lk = r.rk",
+    );
+    let mut expected = vec![
+        row![1, Value::Null],
+        row![2, Value::Null],
+        row![3, 3],
+        row![4, 4],
+    ];
+    let mut got = r.rows.clone();
+    expected.sort();
+    got.sort();
+    assert_eq!(got, expected);
+}
+
+/// A scripted remote endpoint: returns canned rows and work, records calls.
+struct MockRemote {
+    rows: Vec<Row>,
+    calls: std::cell::RefCell<Vec<String>>,
+}
+
+impl RemoteExecutor for MockRemote {
+    fn execute_remote(&self, sql: &str, _params: &Bindings) -> mtc_types::Result<QueryResult> {
+        self.calls.borrow_mut().push(sql.to_string());
+        Ok(QueryResult {
+            schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+            rows: self.rows.clone(),
+            metrics: ExecMetrics {
+                local_work: 123.0,
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[test]
+fn remote_node_accounts_transfer_metrics() {
+    let db = db();
+    let remote = MockRemote {
+        rows: vec![row![1], row![2], row![3]],
+        calls: Default::default(),
+    };
+    let plan = PhysicalPlan::Remote {
+        sql: "SELECT x FROM somewhere".into(),
+        schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+        est_rows: 3.0,
+    };
+    let cm = CostModel::default();
+    let params = Bindings::new();
+    let ctx = ExecContext {
+        db: &db,
+        remote: Some(&remote),
+        params: &params,
+        work: &cm,
+    };
+    let r = execute(&plan, &ctx).unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.metrics.remote_calls, 1);
+    assert_eq!(r.metrics.remote_rows, 3);
+    assert_eq!(r.metrics.remote_work, 123.0, "backend work flows through");
+    assert!(r.metrics.bytes_transferred >= 24, "8 bytes × 3 int rows");
+    assert_eq!(
+        remote.calls.borrow().as_slice(),
+        &["SELECT x FROM somewhere".to_string()]
+    );
+}
+
+#[test]
+fn remote_arity_mismatch_is_detected() {
+    let db = db();
+    let remote = MockRemote {
+        rows: vec![row![1, 2]], // two columns, schema says one
+        calls: Default::default(),
+    };
+    let plan = PhysicalPlan::Remote {
+        sql: "SELECT x FROM somewhere".into(),
+        schema: Schema::new(vec![Column::new("x", DataType::Int)]),
+        est_rows: 1.0,
+    };
+    let cm = CostModel::default();
+    let params = Bindings::new();
+    let ctx = ExecContext {
+        db: &db,
+        remote: Some(&remote),
+        params: &params,
+        work: &cm,
+    };
+    let err = execute(&plan, &ctx).unwrap_err();
+    assert_eq!(err.kind(), "execution");
+    assert!(err.to_string().contains("arity"), "{err}");
+}
+
+#[test]
+fn startup_predicates_skip_remote_branches_entirely() {
+    // A guarded union whose remote branch would panic the mock if opened.
+    struct Panicky;
+    impl RemoteExecutor for Panicky {
+        fn execute_remote(&self, _sql: &str, _p: &Bindings) -> mtc_types::Result<QueryResult> {
+            panic!("remote branch must not open");
+        }
+    }
+    let db = db();
+    let schema = Schema::new(vec![Column::new("lk", DataType::Int)]);
+    let plan = PhysicalPlan::UnionAll {
+        inputs: vec![
+            PhysicalPlan::SeqScan {
+                object: "left_t".into(),
+                schema: db.table_ref("left_t").unwrap().schema().clone(),
+                predicate: None,
+            },
+            PhysicalPlan::Remote {
+                sql: "SELECT lk FROM left_t".into(),
+                schema: schema.clone(),
+                est_rows: 4.0,
+            },
+        ],
+        startup_predicates: vec![
+            Some(mtc_sql::parse_expression("@v <= 10").unwrap()),
+            Some(mtc_sql::parse_expression("NOT (@v <= 10)").unwrap()),
+        ],
+        schema,
+    };
+    let cm = CostModel::default();
+    let mut params = Bindings::new();
+    params.insert("v".into(), Value::Int(5));
+    let ctx = ExecContext {
+        db: &db,
+        remote: Some(&Panicky),
+        params: &params,
+        work: &cm,
+    };
+    let r = execute(&plan, &ctx).unwrap();
+    assert_eq!(r.rows.len(), 4, "local branch only");
+    assert_eq!(r.metrics.remote_calls, 0);
+}

@@ -1,0 +1,136 @@
+//! Background distribution agents.
+//!
+//! "The propagation is performed by a separate agent process that wakes up
+//! periodically, checks for changes and, if there are any, applies them"
+//! (§2.2). [`spawn_agent`] runs the hub's pump loop on a thread at a fixed
+//! interval until stopped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::hub::ReplicationHub;
+
+/// Handle to a running agent thread.
+pub struct AgentHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AgentHandle {
+    /// Signals the agent to stop and waits for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AgentHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns a push-agent thread that pumps `hub` every `interval`.
+pub fn spawn_agent(
+    hub: Arc<Mutex<ReplicationHub>>,
+    clock: Arc<dyn Clock>,
+    interval: Duration,
+) -> AgentHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("replication-agent".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                {
+                    let now = clock.now_ms();
+                    let mut hub = hub.lock();
+                    // A failed pump (e.g. mid-schema-change) is retried on
+                    // the next wakeup rather than killing the agent.
+                    let _ = hub.pump(now);
+                }
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn replication agent");
+    AgentHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::article::Article;
+    use crate::clock::WallClock;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_storage::{Database, RowChange};
+    use mtc_types::{row, Column, DataType, Schema};
+    use parking_lot::RwLock;
+
+    #[test]
+    fn agent_applies_changes_in_background() {
+        let mut backend = Database::new("b");
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("v", DataType::Str),
+        ]);
+        backend.create_table("t", schema.clone(), &["id".into()]).unwrap();
+        let backend = Arc::new(RwLock::new(backend));
+
+        let mut cache = Database::new("c");
+        cache.create_table("t_cache", schema.clone(), &["id".into()]).unwrap();
+        let cache = Arc::new(RwLock::new(cache));
+
+        let mut hub = ReplicationHub::new(backend.clone());
+        let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
+            panic!()
+        };
+        let article = Article::from_select("t_all", &def, &schema).unwrap();
+        hub.subscribe(article, cache.clone(), "t_cache", 0).unwrap();
+        let hub = Arc::new(Mutex::new(hub));
+
+        let agent = spawn_agent(
+            hub.clone(),
+            Arc::new(WallClock),
+            Duration::from_millis(5),
+        );
+
+        backend
+            .write()
+            .apply(
+                WallClock.now_ms(),
+                vec![RowChange::Insert {
+                    table: "t".into(),
+                    row: row![1, "hello"],
+                }],
+            )
+            .unwrap();
+
+        // Wait (bounded) for the agent to propagate.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if cache.read().table_ref("t_cache").unwrap().row_count() == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "agent never propagated the change"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        agent.stop();
+        assert!(hub.lock().latency.count >= 1);
+    }
+}

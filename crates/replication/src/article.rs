@@ -1,0 +1,175 @@
+//! Articles: select-project replication units.
+
+use mtc_engine::eval::{eval_predicate, Bindings};
+use mtc_sql::{Expr, Select, SelectItem, TableRef};
+use mtc_types::{Error, Result, Row, Schema};
+
+/// An article: "a select-project expression over a table or a materialized
+/// view. In other words, an article may contain only a subset of the columns
+/// and rows of the underlying table or materialized view" (§2.2).
+#[derive(Debug, Clone)]
+pub struct Article {
+    pub name: String,
+    /// Source object on the publisher (table or materialized view).
+    pub source: String,
+    /// Projected column names, in output order.
+    pub columns: Vec<String>,
+    /// Row filter over the source schema; `None` = all rows.
+    pub predicate: Option<Expr>,
+}
+
+impl Article {
+    /// Builds an article from a select-project query (e.g. a cached view's
+    /// definition). Rejects anything beyond select-project over one object.
+    pub fn from_select(name: &str, definition: &Select, source_schema: &Schema) -> Result<Article> {
+        let source = match definition.from.as_slice() {
+            [TableRef::Table { name, .. }] => name.clone(),
+            _ => {
+                return Err(Error::replication(
+                    "articles must select from exactly one object",
+                ))
+            }
+        };
+        if definition.distinct
+            || definition.top.is_some()
+            || !definition.group_by.is_empty()
+            || definition.having.is_some()
+        {
+            return Err(Error::replication(
+                "articles must be select-project (no DISTINCT/TOP/GROUP BY)",
+            ));
+        }
+        let mut columns = Vec::new();
+        for item in &definition.projection {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    for c in source_schema.columns() {
+                        columns.push(c.name.clone());
+                    }
+                }
+                SelectItem::Expr {
+                    expr: Expr::Column(c),
+                    ..
+                } => {
+                    let idx = source_schema.index_of(c)?;
+                    columns.push(source_schema.column(idx).name.clone());
+                }
+                other => {
+                    return Err(Error::replication(format!(
+                        "article projections must be plain columns, got `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(Article {
+            name: name.to_string(),
+            source,
+            columns,
+            predicate: definition.selection.clone(),
+        })
+    }
+
+    /// Column indices of the projection within the source schema.
+    pub fn projection_indices(&self, source_schema: &Schema) -> Result<Vec<usize>> {
+        self.columns
+            .iter()
+            .map(|c| source_schema.index_of(c))
+            .collect()
+    }
+
+    /// Does `row` (a full source row) satisfy the article's row filter?
+    pub fn matches(&self, row: &Row, source_schema: &Schema) -> Result<bool> {
+        match &self.predicate {
+            None => Ok(true),
+            Some(p) => {
+                Ok(eval_predicate(p, row, source_schema, &Bindings::new())? == Some(true))
+            }
+        }
+    }
+
+    /// Projects a full source row onto the article's columns.
+    pub fn project(&self, row: &Row, source_schema: &Schema) -> Result<Row> {
+        let idx = self.projection_indices(source_schema)?;
+        Ok(row.project(&idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_types::{row, Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("cid", DataType::Int),
+            Column::new("cname", DataType::Str),
+            Column::new("cbalance", DataType::Float),
+        ])
+    }
+
+    fn select(sql: &str) -> Select {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn from_select_extracts_shape() {
+        let a = Article::from_select(
+            "a1",
+            &select("SELECT cid, cname FROM customer WHERE cid <= 1000"),
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(a.source, "customer");
+        assert_eq!(a.columns, vec!["cid", "cname"]);
+        assert!(a.predicate.is_some());
+    }
+
+    #[test]
+    fn wildcard_expands() {
+        let a = Article::from_select("a1", &select("SELECT * FROM customer"), &schema()).unwrap();
+        assert_eq!(a.columns.len(), 3);
+        assert!(a.predicate.is_none());
+    }
+
+    #[test]
+    fn rejects_aggregates_and_joins() {
+        assert!(Article::from_select(
+            "a",
+            &select("SELECT COUNT(*) FROM customer"),
+            &schema()
+        )
+        .is_err());
+        assert!(Article::from_select(
+            "a",
+            &select("SELECT a.cid FROM customer AS a, customer AS b"),
+            &schema()
+        )
+        .is_err());
+        assert!(Article::from_select(
+            "a",
+            &select("SELECT DISTINCT cid FROM customer"),
+            &schema()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matches_and_projects() {
+        let a = Article::from_select(
+            "a1",
+            &select("SELECT cid, cname FROM customer WHERE cid <= 1000"),
+            &schema(),
+        )
+        .unwrap();
+        let s = schema();
+        let inside = row![5, "alice", 10.0];
+        let outside = row![5000, "bob", 20.0];
+        assert!(a.matches(&inside, &s).unwrap());
+        assert!(!a.matches(&outside, &s).unwrap());
+        assert_eq!(a.project(&inside, &s).unwrap(), row![5, "alice"]);
+    }
+}

@@ -1,0 +1,612 @@
+//! The replication hub: log reader + distribution database + distributor.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mtc_storage::{CommittedTransaction, Database, Lsn, RowChange};
+use mtc_types::{Error, Result, Row, Schema};
+
+use crate::article::Article;
+use crate::metrics::{LatencyStats, ReplicationMetrics};
+
+/// Work-unit cost knobs for the pipeline (used by Experiment 2).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationCosts {
+    /// Publisher work per transaction read from the log.
+    pub reader_per_txn: f64,
+    /// Publisher work per row change read.
+    pub reader_per_change: f64,
+    /// Subscriber work per row change applied.
+    pub apply_per_change: f64,
+}
+
+impl Default for ReplicationCosts {
+    fn default() -> ReplicationCosts {
+        // Scaled to the engine's row-read work unit: reading a committed
+        // transaction out of the log and pushing it through the distribution
+        // database costs far more than streaming a row through an operator,
+        // and *applying* a change on the subscriber is itself a logged write
+        // (cf. the DML cost model in mtcache::dml).
+        ReplicationCosts {
+            reader_per_txn: 35.0,
+            reader_per_change: 12.0,
+            apply_per_change: 100.0,
+        }
+    }
+}
+
+/// Identifies a subscription within a hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(pub usize);
+
+/// Public snapshot of a subscription's state.
+#[derive(Debug, Clone)]
+pub struct SubscriptionInfo {
+    pub id: SubscriptionId,
+    pub article: String,
+    pub target_table: String,
+    pub next_lsn: Lsn,
+    /// Commit timestamp (publisher clock) through which this subscriber is
+    /// known to be in sync.
+    pub synced_through_ms: i64,
+}
+
+struct Subscription {
+    article: Article,
+    source_schema: Schema,
+    target: Arc<RwLock<Database>>,
+    target_table: String,
+    next_lsn: Lsn,
+    synced_through_ms: i64,
+}
+
+/// One transaction queued in the distribution database.
+struct Pending {
+    txn: CommittedTransaction,
+}
+
+/// The distributor: owns the distribution database, runs the log reader
+/// against one publisher, and pushes changes to subscribers.
+pub struct ReplicationHub {
+    publisher: Arc<RwLock<Database>>,
+    distribution: Vec<Pending>,
+    last_read: Lsn,
+    /// Experiment 2 knob: with the log reader off, nothing replicates and
+    /// the publisher pays no replication overhead.
+    pub log_reader_enabled: bool,
+    subscriptions: Vec<Subscription>,
+    pub costs: ReplicationCosts,
+    pub metrics: ReplicationMetrics,
+    pub latency: LatencyStats,
+}
+
+impl ReplicationHub {
+    pub fn new(publisher: Arc<RwLock<Database>>) -> ReplicationHub {
+        // The log reader starts at the current end of the log: data loaded
+        // before replication was configured reaches subscribers via their
+        // initial snapshots, not the log.
+        let head = publisher.read().log().head();
+        ReplicationHub {
+            publisher,
+            distribution: Vec::new(),
+            last_read: head,
+            log_reader_enabled: true,
+            subscriptions: Vec::new(),
+            costs: ReplicationCosts::default(),
+            metrics: ReplicationMetrics::default(),
+            latency: LatencyStats::default(),
+        }
+    }
+
+    pub fn publisher(&self) -> &Arc<RwLock<Database>> {
+        &self.publisher
+    }
+
+    /// Creates a push subscription for `article` targeting
+    /// `target.target_table`, and *populates it with a consistent snapshot*
+    /// ("when a cached view is created … replication then immediately
+    /// populates the cached view and begins collecting and forwarding
+    /// applicable changes", §3).
+    pub fn subscribe(
+        &mut self,
+        article: Article,
+        target: Arc<RwLock<Database>>,
+        target_table: &str,
+        now_ms: i64,
+    ) -> Result<SubscriptionId> {
+        let publisher = self.publisher.clone();
+        let pub_db = publisher.read();
+        let source = pub_db.table_ref(&article.source)?;
+        let source_schema = source.schema().clone();
+
+        // Validate the projection covers the target's primary key so
+        // deletes/updates can locate rows.
+        {
+            let tdb = target.read();
+            let ttable = tdb.table_ref(target_table)?;
+            for &pk in ttable.primary_key() {
+                let pk_name = &ttable.schema().column(pk).name;
+                if !article.columns.iter().any(|c| c == pk_name) {
+                    return Err(Error::replication(format!(
+                        "article `{}` does not project target key column `{pk_name}`",
+                        article.name
+                    )));
+                }
+            }
+        }
+
+        // Consistent snapshot under the publisher read lock. The snapshot
+        // LSN is the log head: transactions at or after it will be applied
+        // incrementally; everything before is captured by the snapshot.
+        let snapshot_lsn = pub_db.log().head();
+        let rows: Vec<Row> = source
+            .scan()
+            .filter(|r| article.matches(r, &source_schema).unwrap_or(false))
+            .map(|r| article.project(r, &source_schema))
+            .collect::<Result<_>>()?;
+        drop(pub_db);
+
+        {
+            let mut tdb = target.write();
+            {
+                let t = tdb.table_mut(target_table)?;
+                t.truncate();
+            }
+            let changes: Vec<RowChange> = rows
+                .into_iter()
+                .map(|row| RowChange::Insert {
+                    table: target_table.to_string(),
+                    row,
+                })
+                .collect();
+            self.metrics.changes_applied += changes.len() as u64;
+            self.metrics.apply_work += self.costs.apply_per_change * changes.len() as f64;
+            tdb.apply_unlogged(&changes)?;
+        }
+
+        let id = SubscriptionId(self.subscriptions.len());
+        self.subscriptions.push(Subscription {
+            article,
+            source_schema,
+            target,
+            target_table: target_table.to_string(),
+            next_lsn: snapshot_lsn,
+            synced_through_ms: now_ms,
+        });
+        Ok(id)
+    }
+
+    /// Log-reader pass: collects newly committed transactions from the
+    /// publisher's log into the distribution database.
+    pub fn run_log_reader(&mut self) {
+        if !self.log_reader_enabled {
+            return;
+        }
+        let pub_db = self.publisher.read();
+        let new: Vec<CommittedTransaction> = pub_db
+            .log()
+            .read_from(self.last_read).to_vec();
+        drop(pub_db);
+        for txn in new {
+            self.last_read = txn.lsn.next();
+            self.metrics.txns_read += 1;
+            self.metrics.changes_read += txn.changes.len() as u64;
+            self.metrics.reader_work += self.costs.reader_per_txn
+                + self.costs.reader_per_change * txn.changes.len() as f64;
+            self.distribution.push(Pending { txn });
+        }
+    }
+
+    /// Distribution pass: pushes pending transactions to every subscriber,
+    /// one complete transaction at a time in commit order, then truncates
+    /// the distribution database up to the slowest subscriber.
+    pub fn run_distribution(&mut self, now_ms: i64) -> Result<()> {
+        for sub in &mut self.subscriptions {
+            for pending in &self.distribution {
+                let txn = &pending.txn;
+                if txn.lsn < sub.next_lsn {
+                    continue;
+                }
+                let changes = filter_changes(
+                    &sub.article,
+                    &sub.source_schema,
+                    &sub.target_table,
+                    &txn.changes,
+                )?;
+                if !changes.is_empty() {
+                    let mut tdb = sub.target.write();
+                    tdb.apply_unlogged(&changes)?;
+                    self.metrics.txns_applied += 1;
+                    self.metrics.changes_applied += changes.len() as u64;
+                    self.metrics.apply_work +=
+                        self.costs.apply_per_change * changes.len() as f64;
+                    self.latency.record(now_ms - txn.commit_ts_ms);
+                }
+                sub.next_lsn = txn.lsn.next();
+                sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
+            }
+            // Even with no pending work the subscriber is in sync with
+            // everything the reader has seen.
+            if self.distribution.is_empty() {
+                sub.synced_through_ms = sub.synced_through_ms.max(now_ms);
+            }
+        }
+        // Truncate the distribution database past the slowest subscriber.
+        if let Some(min_next) = self.subscriptions.iter().map(|s| s.next_lsn).min() {
+            self.distribution.retain(|p| p.txn.lsn >= min_next);
+        } else {
+            self.distribution.clear();
+        }
+        Ok(())
+    }
+
+    /// One full pipeline pass (log reader + distributor).
+    pub fn pump(&mut self, now_ms: i64) -> Result<()> {
+        self.run_log_reader();
+        self.run_distribution(now_ms)
+    }
+
+    /// How far behind (ms) the given subscription may be at `now_ms` — used
+    /// by the freshness-aware router extension.
+    pub fn staleness_ms(&self, id: SubscriptionId, now_ms: i64) -> Option<i64> {
+        self.subscriptions
+            .get(id.0)
+            .map(|s| (now_ms - s.synced_through_ms).max(0))
+    }
+
+    pub fn subscriptions(&self) -> Vec<SubscriptionInfo> {
+        self.subscriptions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SubscriptionInfo {
+                id: SubscriptionId(i),
+                article: s.article.name.clone(),
+                target_table: s.target_table.clone(),
+                next_lsn: s.next_lsn,
+                synced_through_ms: s.synced_through_ms,
+            })
+            .collect()
+    }
+
+    /// Pending (read-but-undistributed) transactions.
+    pub fn distribution_depth(&self) -> usize {
+        self.distribution.len()
+    }
+}
+
+/// Converts publisher row changes into subscriber row changes for one
+/// article: filtering rows, projecting columns, and handling rows that move
+/// in/out of the article's row filter on update.
+fn filter_changes(
+    article: &Article,
+    source_schema: &Schema,
+    target_table: &str,
+    changes: &[RowChange],
+) -> Result<Vec<RowChange>> {
+    let mut out = Vec::new();
+    for change in changes {
+        if mtc_types::normalize_ident(change.table()) != article.source {
+            continue;
+        }
+        match change {
+            RowChange::Insert { row, .. } => {
+                if article.matches(row, source_schema)? {
+                    out.push(RowChange::Insert {
+                        table: target_table.to_string(),
+                        row: article.project(row, source_schema)?,
+                    });
+                }
+            }
+            RowChange::Delete { row, .. } => {
+                if article.matches(row, source_schema)? {
+                    out.push(RowChange::Delete {
+                        table: target_table.to_string(),
+                        row: article.project(row, source_schema)?,
+                    });
+                }
+            }
+            RowChange::Update { before, after, .. } => {
+                let was_in = article.matches(before, source_schema)?;
+                let is_in = article.matches(after, source_schema)?;
+                match (was_in, is_in) {
+                    (true, true) => out.push(RowChange::Update {
+                        table: target_table.to_string(),
+                        before: article.project(before, source_schema)?,
+                        after: article.project(after, source_schema)?,
+                    }),
+                    (true, false) => out.push(RowChange::Delete {
+                        table: target_table.to_string(),
+                        row: article.project(before, source_schema)?,
+                    }),
+                    (false, true) => out.push(RowChange::Insert {
+                        table: target_table.to_string(),
+                        row: article.project(after, source_schema)?,
+                    }),
+                    (false, false) => {}
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_types::{row, Column, DataType, Value};
+
+    fn customer_schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("cid", DataType::Int),
+            Column::new("cname", DataType::Str),
+            Column::new("cbalance", DataType::Float),
+        ])
+    }
+
+    fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
+        let mut backend = Database::new("backend");
+        backend
+            .create_table("customer", customer_schema(), &["cid".into()])
+            .unwrap();
+        let rows: Vec<_> = (1..=100)
+            .map(|i| RowChange::Insert {
+                table: "customer".into(),
+                row: row![i, format!("c{i}"), 0.0],
+            })
+            .collect();
+        backend.apply(0, rows).unwrap();
+
+        let mut cache = Database::new("cache");
+        cache
+            .create_table(
+                "cust50",
+                Schema::new(vec![
+                    Column::not_null("cid", DataType::Int),
+                    Column::new("cname", DataType::Str),
+                ]),
+                &["cid".into()],
+            )
+            .unwrap();
+
+        let backend = Arc::new(RwLock::new(backend));
+        let cache = Arc::new(RwLock::new(cache));
+        let hub = ReplicationHub::new(backend.clone());
+        (backend, cache, hub)
+    }
+
+    fn article() -> Article {
+        let Statement::Select(def) =
+            parse_statement("SELECT cid, cname FROM customer WHERE cid <= 50").unwrap()
+        else {
+            panic!()
+        };
+        Article::from_select("cust50", &def, &customer_schema()).unwrap()
+    }
+
+    #[test]
+    fn subscription_populates_snapshot() {
+        let (_backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
+        // Projection applied: only 2 columns.
+        let db = cache.read();
+        let t = db.table_ref("cust50").unwrap();
+        assert_eq!(t.get(&row![7]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn incremental_changes_propagate_in_commit_order() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        backend
+            .write()
+            .apply(
+                1000,
+                vec![RowChange::Insert {
+                    table: "customer".into(),
+                    row: row![101, "late", 0.0],
+                }],
+            )
+            .unwrap();
+        // cid=101 is outside the article filter: no new row, but LSN moves.
+        backend
+            .write()
+            .apply(
+                2000,
+                vec![
+                    RowChange::Insert {
+                        table: "customer".into(),
+                        row: row![102, "x", 0.0],
+                    },
+                    RowChange::Update {
+                        table: "customer".into(),
+                        before: row![7, "c7", 0.0],
+                        after: row![7, "c7-renamed", 0.0],
+                    },
+                ],
+            )
+            .unwrap();
+        hub.pump(2500).unwrap();
+        let db = cache.read();
+        let t = db.table_ref("cust50").unwrap();
+        assert_eq!(t.row_count(), 50);
+        assert_eq!(t.get(&row![7]).unwrap()[1], Value::str("c7-renamed"));
+        assert_eq!(hub.metrics.txns_read, 2);
+        // Only the second transaction touched the article.
+        assert_eq!(hub.metrics.txns_applied, 1);
+        assert_eq!(hub.latency.count, 1);
+        assert_eq!(hub.latency.max_ms, 500);
+    }
+
+    #[test]
+    fn update_moves_row_in_and_out_of_filter() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        // Move cid=10 out of range (cid becomes 200): delete downstream.
+        backend
+            .write()
+            .apply(
+                100,
+                vec![RowChange::Update {
+                    table: "customer".into(),
+                    before: row![10, "c10", 0.0],
+                    after: row![200, "c10", 0.0],
+                }],
+            )
+            .unwrap();
+        // Then move it back in, which must re-insert downstream.
+        hub.pump(200).unwrap();
+        {
+            let db = cache.read();
+            let t = db.table_ref("cust50").unwrap();
+            assert_eq!(t.row_count(), 49);
+            assert!(t.get(&row![10]).is_none());
+        }
+        backend
+            .write()
+            .apply(
+                300,
+                vec![RowChange::Update {
+                    table: "customer".into(),
+                    before: row![200, "c10", 0.0],
+                    after: row![10, "c10", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(400).unwrap();
+        let db = cache.read();
+        let t = db.table_ref("cust50").unwrap();
+        assert_eq!(t.row_count(), 50);
+        assert!(t.get(&row![10]).is_some());
+    }
+
+    #[test]
+    fn log_reader_off_stops_propagation() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        hub.log_reader_enabled = false;
+        backend
+            .write()
+            .apply(
+                100,
+                vec![RowChange::Insert {
+                    table: "customer".into(),
+                    row: row![45, "new", 0.0],
+                }],
+            )
+            .unwrap_err(); // duplicate key 45 — pick a free one
+        backend
+            .write()
+            .apply(
+                100,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![45, "c45", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(200).unwrap();
+        assert_eq!(
+            cache.read().table_ref("cust50").unwrap().row_count(),
+            50,
+            "no propagation with reader off"
+        );
+        assert_eq!(hub.metrics.reader_work, 0.0);
+        // Re-enable: change flows.
+        hub.log_reader_enabled = true;
+        hub.pump(300).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
+    }
+
+    #[test]
+    fn distribution_database_truncates_after_delivery() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        for i in 0..5 {
+            backend
+                .write()
+                .apply(
+                    i * 10,
+                    vec![RowChange::Delete {
+                        table: "customer".into(),
+                        row: row![i + 1, format!("c{}", i + 1), 0.0],
+                    }],
+                )
+                .unwrap();
+        }
+        hub.run_log_reader();
+        assert_eq!(hub.distribution_depth(), 5);
+        hub.run_distribution(100).unwrap();
+        assert_eq!(hub.distribution_depth(), 0, "delivered ⇒ truncated");
+    }
+
+    #[test]
+    fn subscription_requires_key_columns() {
+        let (_backend, cache, mut hub) = setup();
+        let Statement::Select(def) =
+            parse_statement("SELECT cname FROM customer WHERE cid <= 50").unwrap()
+        else {
+            panic!()
+        };
+        let bad = Article::from_select("bad", &def, &customer_schema()).unwrap();
+        let err = hub.subscribe(bad, cache, "cust50", 0).unwrap_err();
+        assert_eq!(err.kind(), "replication");
+    }
+
+    #[test]
+    fn staleness_tracks_sync_point() {
+        let (backend, cache, mut hub) = setup();
+        let id = hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        backend
+            .write()
+            .apply(
+                1_000,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![1, "c1", 0.0],
+                }],
+            )
+            .unwrap();
+        // Before pumping, staleness grows with now.
+        assert_eq!(hub.staleness_ms(id, 5_000), Some(5_000));
+        hub.pump(6_000).unwrap();
+        // Synced through the last commit (1s) and the queue is empty, so the
+        // next distribution pass at 6s marks full sync.
+        hub.run_distribution(6_000).unwrap();
+        assert_eq!(hub.staleness_ms(id, 6_500), Some(500));
+    }
+
+    #[test]
+    fn multiple_subscribers_same_publication() {
+        let (backend, cache1, mut hub) = setup();
+        let mut cache2db = Database::new("cache2");
+        cache2db
+            .create_table(
+                "cust50",
+                Schema::new(vec![
+                    Column::not_null("cid", DataType::Int),
+                    Column::new("cname", DataType::Str),
+                ]),
+                &["cid".into()],
+            )
+            .unwrap();
+        let cache2 = Arc::new(RwLock::new(cache2db));
+        hub.subscribe(article(), cache1.clone(), "cust50", 0).unwrap();
+        hub.subscribe(article(), cache2.clone(), "cust50", 0).unwrap();
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![3, "c3", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(20).unwrap();
+        assert_eq!(cache1.read().table_ref("cust50").unwrap().row_count(), 49);
+        assert_eq!(cache2.read().table_ref("cust50").unwrap().row_count(), 49);
+    }
+}

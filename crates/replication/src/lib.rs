@@ -1,0 +1,31 @@
+//! Transactional replication, modeled on SQL Server's publish–subscribe
+//! pipeline (§2.2 of the paper):
+//!
+//! * A **publisher** makes data available as **publications** consisting of
+//!   **articles** — select-project expressions over a table or materialized
+//!   view.
+//! * A **log reader** collects committed changes from the publisher's
+//!   transaction log and inserts them into a **distribution database**.
+//! * The **distributor** propagates changes to **subscribers**, one
+//!   complete committed transaction at a time, *in commit order* — so a
+//!   subscriber always sees a transactionally consistent (possibly stale)
+//!   state.
+//! * Once changes have been propagated to all subscribers they are deleted
+//!   from the distribution database.
+//!
+//! The pipeline can be driven deterministically ([`ReplicationHub::pump`],
+//! used by the experiments and tests) or by background **agent** threads
+//! ([`agent::spawn_agent`]), mirroring SQL Server's periodic distribution
+//! agents.
+
+pub mod agent;
+pub mod article;
+pub mod clock;
+pub mod hub;
+pub mod metrics;
+
+pub use agent::{spawn_agent, AgentHandle};
+pub use article::Article;
+pub use clock::{Clock, ManualClock, WallClock};
+pub use hub::{ReplicationHub, SubscriptionId, SubscriptionInfo};
+pub use metrics::{LatencyStats, ReplicationMetrics};

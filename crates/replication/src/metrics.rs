@@ -1,0 +1,78 @@
+//! Replication metrics: work accounting and propagation latency.
+
+/// Cumulative work/volume counters for the replication pipeline.
+///
+/// `reader_work` accrues on the *publisher* (log reader + distributor run
+/// there in our single-distributor setup); `apply_work` accrues on each
+/// *subscriber*. The simulator charges these against the respective CPUs to
+/// reproduce Experiment 2's overhead measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplicationMetrics {
+    /// Committed transactions read from the publisher's log.
+    pub txns_read: u64,
+    /// Row changes read from the publisher's log.
+    pub changes_read: u64,
+    /// Transactions applied across all subscriptions.
+    pub txns_applied: u64,
+    /// Row changes applied across all subscriptions.
+    pub changes_applied: u64,
+    /// Work units consumed on the publisher (log sniffing + distribution).
+    pub reader_work: f64,
+    /// Work units consumed on subscribers (applying changes).
+    pub apply_work: f64,
+}
+
+/// Commit-to-apply latency distribution (Experiment 3's metric: time from
+/// commit on the backend to commit on the middle tier).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub total_ms: i64,
+    pub max_ms: i64,
+}
+
+impl LatencyStats {
+    pub fn record(&mut self, latency_ms: i64) {
+        let latency_ms = latency_ms.max(0);
+        self.count += 1;
+        self.total_ms += latency_ms;
+        self.max_ms = self.max_ms.max(latency_ms);
+    }
+
+    /// Average latency in milliseconds (0 when nothing recorded).
+    pub fn avg_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms as f64 / self.count as f64
+        }
+    }
+
+    pub fn avg_seconds(&self) -> f64 {
+        self.avg_ms() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_average() {
+        let mut s = LatencyStats::default();
+        assert_eq!(s.avg_ms(), 0.0);
+        s.record(100);
+        s.record(300);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.avg_ms(), 200.0);
+        assert_eq!(s.max_ms, 300);
+        assert!((s.avg_seconds() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_latencies_clamped() {
+        let mut s = LatencyStats::default();
+        s.record(-50);
+        assert_eq!(s.total_ms, 0);
+    }
+}

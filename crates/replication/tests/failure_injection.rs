@@ -1,0 +1,175 @@
+//! Failure injection for the replication pipeline: apply errors must not
+//! lose or duplicate transactions, and the pipeline must resume cleanly
+//! once the fault clears.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mtc_replication::{Article, ReplicationHub};
+use mtc_sql::{parse_statement, Statement};
+use mtc_storage::{Database, RowChange};
+use mtc_types::{row, Column, DataType, Schema, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("id", DataType::Int),
+        Column::new("v", DataType::Str),
+    ])
+}
+
+fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
+    let mut publisher = Database::new("pub");
+    publisher.create_table("t", schema(), &["id".into()]).unwrap();
+    publisher
+        .apply(
+            0,
+            (1..=20)
+                .map(|i| RowChange::Insert {
+                    table: "t".into(),
+                    row: row![i, format!("v{i}")],
+                })
+                .collect(),
+        )
+        .unwrap();
+    let mut subscriber = Database::new("sub");
+    subscriber.create_table("t_cache", schema(), &["id".into()]).unwrap();
+
+    let publisher = Arc::new(RwLock::new(publisher));
+    let subscriber = Arc::new(RwLock::new(subscriber));
+    let mut hub = ReplicationHub::new(publisher.clone());
+    let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
+        unreachable!()
+    };
+    let article = Article::from_select("t_all", &def, &schema()).unwrap();
+    hub.subscribe(article, subscriber.clone(), "t_cache", 0).unwrap();
+    (publisher, subscriber, hub)
+}
+
+#[test]
+fn apply_conflict_blocks_then_resumes_without_loss() {
+    let (publisher, subscriber, mut hub) = setup();
+
+    // Sabotage: a foreign row squats on the key the next change will use.
+    subscriber
+        .write()
+        .apply_unlogged(&[RowChange::Insert {
+            table: "t_cache".into(),
+            row: row![100, "squatter"],
+        }])
+        .unwrap();
+
+    publisher
+        .write()
+        .apply(
+            10,
+            vec![RowChange::Insert {
+                table: "t".into(),
+                row: row![100, "legit"],
+            }],
+        )
+        .unwrap();
+    // A second transaction queued behind the poisoned one.
+    publisher
+        .write()
+        .apply(
+            20,
+            vec![RowChange::Insert {
+                table: "t".into(),
+                row: row![101, "after"],
+            }],
+        )
+        .unwrap();
+
+    // The pump fails on the conflict...
+    let err = hub.pump(30).unwrap_err();
+    assert_eq!(err.kind(), "constraint");
+    // ...and neither the poisoned nor the following transaction applied.
+    assert!(subscriber.read().table_ref("t_cache").unwrap().get(&row![101]).is_none());
+
+    // Retry without clearing the fault: still blocked, still no loss.
+    assert!(hub.pump(40).is_err());
+
+    // Clear the fault and retry: the pipeline drains in order.
+    subscriber
+        .write()
+        .apply_unlogged(&[RowChange::Delete {
+            table: "t_cache".into(),
+            row: row![100, "squatter"],
+        }])
+        .unwrap();
+    hub.pump(50).unwrap();
+    let sub = subscriber.read();
+    let t = sub.table_ref("t_cache").unwrap();
+    assert_eq!(t.get(&row![100]).unwrap()[1], Value::str("legit"));
+    assert_eq!(t.get(&row![101]).unwrap()[1], Value::str("after"));
+    assert_eq!(t.row_count(), 22);
+}
+
+#[test]
+fn repeated_pump_is_idempotent() {
+    let (publisher, subscriber, mut hub) = setup();
+    publisher
+        .write()
+        .apply(
+            5,
+            vec![RowChange::Insert {
+                table: "t".into(),
+                row: row![50, "once"],
+            }],
+        )
+        .unwrap();
+    for ts in [10, 20, 30, 40] {
+        hub.pump(ts).unwrap();
+    }
+    assert_eq!(subscriber.read().table_ref("t_cache").unwrap().row_count(), 21);
+    assert_eq!(hub.metrics.txns_applied, 1, "no double-apply");
+}
+
+#[test]
+fn dropped_subscriber_table_surfaces_catalog_error() {
+    let (publisher, subscriber, mut hub) = setup();
+    subscriber.write().drop_table("t_cache").unwrap();
+    publisher
+        .write()
+        .apply(
+            5,
+            vec![RowChange::Delete {
+                table: "t".into(),
+                row: row![1, "v1"],
+            }],
+        )
+        .unwrap();
+    let err = hub.pump(10).unwrap_err();
+    assert_eq!(err.kind(), "catalog");
+}
+
+#[test]
+fn subscription_snapshot_is_consistent_under_concurrent_log_position() {
+    // Subscribing *after* some post-setup transactions must not replay
+    // pre-snapshot changes (which would double-apply).
+    let (publisher, _subscriber, mut hub) = setup();
+    publisher
+        .write()
+        .apply(
+            5,
+            vec![RowChange::Insert {
+                table: "t".into(),
+                row: row![77, "pre-subscribe"],
+            }],
+        )
+        .unwrap();
+    // New subscriber arrives late.
+    let mut sub2 = Database::new("sub2");
+    sub2.create_table("t_cache", schema(), &["id".into()]).unwrap();
+    let sub2 = Arc::new(RwLock::new(sub2));
+    let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
+        unreachable!()
+    };
+    let article = Article::from_select("t_all2", &def, &schema()).unwrap();
+    hub.subscribe(article, sub2.clone(), "t_cache", 6).unwrap();
+    // The snapshot already contains row 77; pumping must not re-insert it.
+    hub.pump(10).unwrap();
+    hub.pump(20).unwrap();
+    assert_eq!(sub2.read().table_ref("t_cache").unwrap().row_count(), 21);
+}

@@ -1,0 +1,27 @@
+//! Multi-tier capacity simulator.
+//!
+//! The paper's experiments ran on eleven physical machines; this crate is
+//! the DESIGN.md §3 substitution for that testbed. It models the system as
+//! a *closed queueing network*: `N` emulated users cycle between a fixed
+//! think time (1 s in the paper) and service at the web/cache tier and the
+//! backend database server. Per-interaction service demands are **measured
+//! by executing the real workload through the real engine** (the bench
+//! crate does the measuring); this crate turns demands into the paper's
+//! metrics:
+//!
+//! * WIPS under the benchmark's admission rule — "load was generated … by
+//!   steadily increasing the number of users per web server until the
+//!   response latency requirements … were barely met", with CPUs the
+//!   bottleneck and the busiest tier capped at 90% utilization (§6.2.1);
+//! * per-server CPU utilization (Figure 6(b)'s backend load);
+//! * replication propagation latency under light and heavy load
+//!   (Experiment 3), via a small discrete-event simulation of the log
+//!   reader/distributor pipeline.
+
+pub mod capacity;
+pub mod mva;
+pub mod repl_latency;
+
+pub use capacity::{CapacityModel, CapacityReport, TierDemands};
+pub use mva::{ClosedNetwork, MvaResult};
+pub use repl_latency::{simulate_replication_latency, ReplLatencyConfig};

@@ -1,0 +1,197 @@
+//! Exact Mean Value Analysis for closed queueing networks.
+//!
+//! The classic recursion for a closed network of `N` customers over queueing
+//! stations with think time `Z`:
+//!
+//! ```text
+//! R_s(n) = D_s · (1 + Q_s(n−1))        response time at station s
+//! X(n)   = n / (Z + Σ_s R_s(n))        system throughput
+//! Q_s(n) = X(n) · R_s(n)               queue length at station s
+//! ```
+//!
+//! Stations here are *queueing* (FCFS/PS) stations described by their
+//! service demand `D_s` (seconds of service per interaction, visit ratios
+//! folded in). Multi-CPU servers are modeled as faster single servers
+//! (demand divided by the CPU count) — the standard approximation, adequate
+//! because the experiments run far from the single-customer regime.
+
+/// A closed queueing network: think time + station demands (seconds).
+#[derive(Debug, Clone)]
+pub struct ClosedNetwork {
+    pub think_time_s: f64,
+    /// (station name, service demand in seconds per interaction).
+    pub stations: Vec<(String, f64)>,
+}
+
+/// MVA solution for a given population.
+#[derive(Debug, Clone)]
+pub struct MvaResult {
+    pub users: usize,
+    /// System throughput (interactions per second).
+    pub throughput: f64,
+    /// Mean response time (seconds), excluding think time.
+    pub response_time_s: f64,
+    /// Per-station utilization, parallel to `stations`.
+    pub utilization: Vec<f64>,
+}
+
+impl ClosedNetwork {
+    /// Runs exact MVA for `users` customers.
+    pub fn solve(&self, users: usize) -> MvaResult {
+        let s = self.stations.len();
+        let mut queue = vec![0.0f64; s];
+        let mut x = 0.0;
+        let mut response = 0.0;
+        for n in 1..=users {
+            let r: Vec<f64> = self
+                .stations
+                .iter()
+                .enumerate()
+                .map(|(i, (_, d))| d * (1.0 + queue[i]))
+                .collect();
+            response = r.iter().sum::<f64>();
+            x = n as f64 / (self.think_time_s + response);
+            for i in 0..s {
+                queue[i] = x * r[i];
+            }
+        }
+        MvaResult {
+            users,
+            throughput: x,
+            response_time_s: response,
+            utilization: self
+                .stations
+                .iter()
+                .map(|(_, d)| (x * d).min(1.0))
+                .collect(),
+        }
+    }
+
+    /// The asymptotic throughput bound: `1 / max_s D_s`.
+    pub fn max_throughput(&self) -> f64 {
+        let dmax = self
+            .stations
+            .iter()
+            .map(|(_, d)| *d)
+            .fold(f64::MIN, f64::max);
+        if dmax <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / dmax
+        }
+    }
+
+    /// Largest population whose bottleneck utilization stays at or below
+    /// `util_cap` and whose mean response time stays at or below
+    /// `response_cap_s` — the benchmark's admission rule. Returns the MVA
+    /// solution at that population.
+    pub fn find_admissible_load(&self, util_cap: f64, response_cap_s: f64) -> MvaResult {
+        let mut best = self.solve(1);
+        // Population upper bound: enough users to saturate the bottleneck
+        // even with think time.
+        let upper = ((self.think_time_s + 10.0) * self.max_throughput()).ceil() as usize + 8;
+        let mut lo = 1usize;
+        let mut hi = upper.max(2);
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            let r = self.solve(mid);
+            let ok = r
+                .utilization
+                .iter()
+                .all(|u| *u <= util_cap + 1e-9)
+                && r.response_time_s <= response_cap_s;
+            if ok {
+                best = r;
+                lo = mid + 1;
+            } else {
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(demands: &[f64], z: f64) -> ClosedNetwork {
+        ClosedNetwork {
+            think_time_s: z,
+            stations: demands
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (format!("s{i}"), *d))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_station_sanity() {
+        // One station, D = 0.1 s, Z = 1 s. One user: X = 1/(1+0.1).
+        let n = net(&[0.1], 1.0);
+        let r = n.solve(1);
+        assert!((r.throughput - 1.0 / 1.1).abs() < 1e-9);
+        assert!((r.response_time_s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_saturates_at_bottleneck_bound() {
+        let n = net(&[0.05, 0.2], 1.0);
+        let heavy = n.solve(200);
+        assert!((heavy.throughput - 5.0).abs() < 0.05, "1/0.2 = 5: {}", heavy.throughput);
+        assert!(heavy.utilization[1] > 0.99);
+        assert!(heavy.utilization[0] < 0.3);
+    }
+
+    #[test]
+    fn throughput_monotone_in_users() {
+        let n = net(&[0.05, 0.1], 1.0);
+        let mut prev = 0.0;
+        for users in [1, 2, 5, 10, 50, 100] {
+            let r = n.solve(users);
+            assert!(r.throughput >= prev - 1e-9);
+            prev = r.throughput;
+        }
+    }
+
+    #[test]
+    fn admissible_load_respects_util_cap() {
+        let n = net(&[0.02, 0.1], 1.0);
+        let r = n.find_admissible_load(0.9, 3.0);
+        assert!(r.utilization.iter().all(|u| *u <= 0.9 + 1e-6));
+        // And is close to the cap (not trivially under-loaded).
+        let x_cap = 0.9 / 0.1;
+        assert!(
+            r.throughput > 0.8 * x_cap,
+            "should run near the 90% bound: {} vs {x_cap}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn response_cap_binds_when_tight() {
+        let n = net(&[0.5], 1.0);
+        let r = n.find_admissible_load(0.99, 1.0);
+        assert!(r.response_time_s <= 1.0 + 1e-9);
+        let looser = n.find_admissible_load(0.99, 10.0);
+        assert!(looser.users >= r.users);
+    }
+
+    #[test]
+    fn faster_station_never_hurts() {
+        // Discrete user counts under the utilization cap allow ~1 user of
+        // slack, so compare with a small tolerance.
+        let slow = net(&[0.1, 0.1], 1.0).find_admissible_load(0.9, 3.0);
+        let fast = net(&[0.05, 0.1], 1.0).find_admissible_load(0.9, 3.0);
+        assert!(
+            fast.throughput >= slow.throughput * 0.98,
+            "fast {} vs slow {}",
+            fast.throughput,
+            slow.throughput
+        );
+    }
+}

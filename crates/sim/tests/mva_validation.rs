@@ -1,0 +1,177 @@
+//! Cross-validation of the MVA solver against a discrete-event simulation
+//! of the same closed queueing network (N users, think time, FCFS stations
+//! with exponential service). Product-form theory says they must agree;
+//! this guards the solver against off-by-one and bookkeeping bugs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mtc_sim::ClosedNetwork;
+
+/// Simple FCFS closed-network DES.
+///
+/// State per user: where they are (thinking or queued at a station). We
+/// process events in time order; stations serve one user at a time with
+/// exponential service times.
+fn simulate(
+    demands: &[f64],
+    think_time: f64,
+    users: usize,
+    horizon: f64,
+    seed: u64,
+) -> (f64, Vec<f64>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Ev {
+        ArriveAt(usize),
+        // Service completion at station .0
+        Done(usize),
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stations = demands.len();
+    let mut queues: Vec<std::collections::VecDeque<usize>> =
+        vec![Default::default(); stations];
+    let mut busy: Vec<Option<usize>> = vec![None; stations];
+    let mut busy_time = vec![0.0f64; stations];
+    let mut last_t = 0.0f64;
+    let mut completions = 0u64;
+
+    // Event queue: (time, user, event).
+    let mut events: std::collections::BinaryHeap<(std::cmp::Reverse<u64>, usize, usize)> =
+        Default::default();
+    let to_key = |t: f64| std::cmp::Reverse((t * 1e9) as u64);
+    let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * mean
+    };
+
+    // Encode event: station index for arrival = 2*s, completion = 2*s+1;
+    // think-expiry = usize::MAX.
+    for u in 0..users {
+        let t = exp(&mut rng, think_time);
+        events.push((to_key(t), u, usize::MAX));
+    }
+    let mut now;
+    while let Some((std::cmp::Reverse(tk), user, code)) = events.pop() {
+        now = tk as f64 / 1e9;
+        if now > horizon {
+            break;
+        }
+        // Accumulate busy time.
+        for s in 0..stations {
+            if busy[s].is_some() {
+                busy_time[s] += now - last_t;
+            }
+        }
+        last_t = now;
+
+        let mut start_service = |s: usize,
+                                 user: usize,
+                                 rng: &mut StdRng,
+                                 events: &mut std::collections::BinaryHeap<(
+            std::cmp::Reverse<u64>,
+            usize,
+            usize,
+        )>| {
+            let svc = exp(rng, demands[s]);
+            events.push((to_key(now + svc), user, 2 * s + 1));
+        };
+
+        if code == usize::MAX {
+            // Think time over → join station 0.
+            let s = 0;
+            if busy[s].is_none() {
+                busy[s] = Some(user);
+                start_service(s, user, &mut rng, &mut events);
+            } else {
+                queues[s].push_back(user);
+            }
+        } else if code % 2 == 1 {
+            // Service completion at station s.
+            let s = code / 2;
+            busy[s] = None;
+            if let Some(next_user) = queues[s].pop_front() {
+                busy[s] = Some(next_user);
+                start_service(s, next_user, &mut rng, &mut events);
+            }
+            // Route the finished user onward.
+            if s + 1 < stations {
+                let ns = s + 1;
+                if busy[ns].is_none() {
+                    busy[ns] = Some(user);
+                    start_service(ns, user, &mut rng, &mut events);
+                } else {
+                    queues[ns].push_back(user);
+                }
+            } else {
+                completions += 1;
+                let t = now + exp(&mut rng, think_time);
+                events.push((to_key(t), user, usize::MAX));
+            }
+        }
+    }
+
+    let throughput = completions as f64 / horizon;
+    let utilization: Vec<f64> = busy_time.iter().map(|b| b / horizon).collect();
+    (throughput, utilization)
+}
+
+fn mva(demands: &[f64], think: f64) -> ClosedNetwork {
+    ClosedNetwork {
+        think_time_s: think,
+        stations: demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (format!("s{i}"), *d))
+            .collect(),
+    }
+}
+
+#[test]
+fn mva_matches_des_at_moderate_load() {
+    let demands = [0.03, 0.08];
+    let users = 20;
+    let analytic = mva(&demands, 1.0).solve(users);
+    let (x, util) = simulate(&demands, 1.0, users, 3_000.0, 7);
+    let rel = (analytic.throughput - x).abs() / x;
+    assert!(
+        rel < 0.08,
+        "MVA {} vs DES {} ({}% off)",
+        analytic.throughput,
+        x,
+        rel * 100.0
+    );
+    for (s, (a, d)) in analytic.utilization.iter().zip(&util).enumerate() {
+        assert!(
+            (a - d).abs() < 0.06,
+            "station {s}: MVA util {a} vs DES {d}"
+        );
+    }
+}
+
+#[test]
+fn mva_matches_des_near_saturation() {
+    let demands = [0.02, 0.10];
+    let users = 80; // bottleneck ~saturated
+    let analytic = mva(&demands, 1.0).solve(users);
+    let (x, util) = simulate(&demands, 1.0, users, 3_000.0, 11);
+    let rel = (analytic.throughput - x).abs() / x;
+    assert!(
+        rel < 0.08,
+        "MVA {} vs DES {} ({}% off)",
+        analytic.throughput,
+        x,
+        rel * 100.0
+    );
+    assert!(util[1] > 0.9, "DES bottleneck saturated: {util:?}");
+    assert!(analytic.utilization[1] > 0.9);
+}
+
+#[test]
+fn mva_matches_des_light_load() {
+    let demands = [0.05];
+    let users = 2;
+    let analytic = mva(&demands, 1.0).solve(users);
+    let (x, _) = simulate(&demands, 1.0, users, 5_000.0, 13);
+    let rel = (analytic.throughput - x).abs() / x;
+    assert!(rel < 0.08, "MVA {} vs DES {}", analytic.throughput, x);
+}

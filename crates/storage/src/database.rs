@@ -1,0 +1,543 @@
+//! A database: catalog + table data + secondary indexes + commit log.
+
+use std::collections::BTreeMap;
+
+use mtc_types::{normalize_ident, Column, Error, Result, Row, Schema};
+
+use crate::catalog::{Catalog, IndexMeta, TableMeta};
+use crate::index::Index;
+use crate::log::{CommitLog, Lsn, RowChange};
+use crate::stats::{ColumnStats, TableStats};
+use crate::table::Table;
+
+pub use crate::log::RowChange as Change;
+
+/// Kind of write, used by DML executors when building change lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    Insert,
+    Update,
+    Delete,
+}
+
+/// A single database (one of possibly several on a server).
+///
+/// All mutation goes through [`Database::apply`], which applies a whole
+/// transaction's [`RowChange`] list atomically (all-or-nothing, with undo on
+/// failure), maintains secondary indexes, and appends the transaction to the
+/// commit log for replication to sniff.
+#[derive(Debug, Default)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+    indexes: BTreeMap<String, Index>,
+    /// table name → names of its secondary indexes.
+    table_indexes: BTreeMap<String, Vec<String>>,
+    pub catalog: Catalog,
+    log: CommitLog,
+}
+
+impl Database {
+    pub fn new(name: &str) -> Database {
+        Database {
+            name: normalize_ident(name),
+            ..Database::default()
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // -- DDL ------------------------------------------------------------
+
+    /// Creates a table. `primary_key` is a list of column names.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        primary_key: &[String],
+    ) -> Result<()> {
+        let name = normalize_ident(name);
+        if self.tables.contains_key(&name) {
+            return Err(Error::catalog(format!("table `{name}` already exists")));
+        }
+        let pk: Vec<usize> = primary_key
+            .iter()
+            .map(|c| schema.index_of(c))
+            .collect::<Result<_>>()?;
+        self.tables.insert(name.clone(), Table::new(&name, schema, pk));
+        self.table_indexes.entry(name.clone()).or_default();
+        self.catalog.set_stats(&name, TableStats::empty());
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let name = normalize_ident(name);
+        self.tables
+            .remove(&name)
+            .ok_or_else(|| Error::catalog(format!("table `{name}` not found")))?;
+        for ix in self.table_indexes.remove(&name).unwrap_or_default() {
+            self.indexes.remove(&ix);
+        }
+        Ok(())
+    }
+
+    /// Creates a secondary index and builds it from existing rows.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<()> {
+        let name = normalize_ident(name);
+        let table_name = normalize_ident(table);
+        if self.indexes.contains_key(&name) {
+            return Err(Error::catalog(format!("index `{name}` already exists")));
+        }
+        let t = self.table_ref(&table_name)?;
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| t.schema().index_of(c))
+            .collect::<Result<_>>()?;
+        let mut ix = Index::new(&name, &table_name, cols, unique);
+        let pairs: Vec<(Row, Row)> = t
+            .scan()
+            .map(|r| (r.clone(), t.key_of(r).expect("scanned row has a key")))
+            .collect();
+        ix.rebuild(pairs.iter().map(|(r, k)| (r, k.clone())))?;
+        self.indexes.insert(name.clone(), ix);
+        self.table_indexes
+            .entry(table_name)
+            .or_default()
+            .push(name);
+        Ok(())
+    }
+
+    // -- lookups ----------------------------------------------------------
+
+    pub fn table_ref(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&normalize_ident(name))
+            .ok_or_else(|| Error::catalog(format!("table `{name}` not found")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&normalize_ident(name))
+            .ok_or_else(|| Error::catalog(format!("table `{name}` not found")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&normalize_ident(name))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.get(&normalize_ident(name))
+    }
+
+    /// Secondary indexes of `table`.
+    pub fn indexes_of(&self, table: &str) -> impl Iterator<Item = &Index> {
+        self.table_indexes
+            .get(&normalize_ident(table))
+            .into_iter()
+            .flatten()
+            .filter_map(|n| self.indexes.get(n))
+    }
+
+    /// Index metadata, for scripting a shadow database.
+    pub fn index_metas(&self) -> Vec<IndexMeta> {
+        self.indexes
+            .values()
+            .map(|ix| {
+                let schema = self.tables[ix.table()].schema();
+                IndexMeta {
+                    name: ix.name().to_string(),
+                    table: ix.table().to_string(),
+                    columns: ix
+                        .columns()
+                        .iter()
+                        .map(|&c| schema.column(c).name.clone())
+                        .collect(),
+                    unique: ix.is_unique(),
+                }
+            })
+            .collect()
+    }
+
+    /// Table metadata, for scripting a shadow database.
+    pub fn table_metas(&self) -> Vec<TableMeta> {
+        self.tables
+            .values()
+            .map(|t| TableMeta {
+                name: t.name().to_string(),
+                schema: t.schema().clone(),
+                primary_key: t
+                    .primary_key()
+                    .iter()
+                    .map(|&c| t.schema().column(c).name.clone())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    // -- transactions -------------------------------------------------------
+
+    /// Applies one transaction's changes atomically and logs it.
+    ///
+    /// On any failure the already-applied prefix is rolled back and the log
+    /// is untouched. Returns the assigned LSN.
+    pub fn apply(&mut self, commit_ts_ms: i64, changes: Vec<RowChange>) -> Result<Lsn> {
+        let mut applied: Vec<RowChange> = Vec::with_capacity(changes.len());
+        for change in &changes {
+            if let Err(e) = self.apply_one(change) {
+                // Undo in reverse order.
+                for done in applied.iter().rev() {
+                    self.undo_one(done);
+                }
+                return Err(e);
+            }
+            applied.push(change.clone());
+        }
+        Ok(self.log.append(commit_ts_ms, changes))
+    }
+
+    /// Applies changes *without logging* — used by replication subscribers,
+    /// whose applied changes must not be re-published.
+    pub fn apply_unlogged(&mut self, changes: &[RowChange]) -> Result<()> {
+        let mut applied: Vec<&RowChange> = Vec::with_capacity(changes.len());
+        for change in changes {
+            if let Err(e) = self.apply_one(change) {
+                for done in applied.iter().rev() {
+                    self.undo_one(done);
+                }
+                return Err(e);
+            }
+            applied.push(change);
+        }
+        Ok(())
+    }
+
+    fn apply_one(&mut self, change: &RowChange) -> Result<()> {
+        match change {
+            RowChange::Insert { table, row } => {
+                let t = self.table_mut(table)?;
+                let row = t.insert(row.clone())?;
+                let pk = t.key_of(&row).expect("inserted row has a key");
+                self.index_insert(table, &row, pk)
+            }
+            RowChange::Update {
+                table,
+                before,
+                after,
+            } => {
+                let t = self.table_mut(table)?;
+                let old_pk = t.key_of(before).ok_or_else(|| {
+                    Error::execution(format!("update target not found in `{table}`"))
+                })?;
+                t.update(before, after.clone())?;
+                let t = self.table_ref(table)?;
+                let new_pk = t.key_of(after).expect("updated row has a key");
+                self.index_remove(table, before, &old_pk);
+                self.index_insert(table, after, new_pk)
+            }
+            RowChange::Delete { table, row } => {
+                let t = self.table_mut(table)?;
+                let pk = t.key_of(row).ok_or_else(|| {
+                    Error::execution(format!("delete target not found in `{table}`"))
+                })?;
+                if !t.delete(row) {
+                    return Err(Error::execution(format!(
+                        "delete target not found in `{table}`"
+                    )));
+                }
+                self.index_remove(table, row, &pk);
+                Ok(())
+            }
+        }
+    }
+
+    fn undo_one(&mut self, change: &RowChange) {
+        let inverse = match change.clone() {
+            RowChange::Insert { table, row } => RowChange::Delete { table, row },
+            RowChange::Update {
+                table,
+                before,
+                after,
+            } => RowChange::Update {
+                table,
+                before: after,
+                after: before,
+            },
+            RowChange::Delete { table, row } => RowChange::Insert { table, row },
+        };
+        // Undo of a successfully applied change cannot fail.
+        let _ = self.apply_one(&inverse);
+    }
+
+    fn index_insert(&mut self, table: &str, row: &Row, pk: Row) -> Result<()> {
+        let names = self
+            .table_indexes
+            .get(&normalize_ident(table))
+            .cloned()
+            .unwrap_or_default();
+        for (i, n) in names.iter().enumerate() {
+            if let Some(ix) = self.indexes.get_mut(n) {
+                if let Err(e) = ix.insert(row, pk.clone()) {
+                    // Roll back index entries made so far plus the base row.
+                    for prev in &names[..i] {
+                        if let Some(p) = self.indexes.get_mut(prev) {
+                            p.remove(row, &pk);
+                        }
+                    }
+                    if let Ok(t) = self.table_mut(table) {
+                        t.delete_by_key(&pk);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_remove(&mut self, table: &str, row: &Row, pk: &Row) {
+        let names = self
+            .table_indexes
+            .get(&normalize_ident(table))
+            .cloned()
+            .unwrap_or_default();
+        for n in names {
+            if let Some(ix) = self.indexes.get_mut(&n) {
+                ix.remove(row, pk);
+            }
+        }
+    }
+
+    // -- log ------------------------------------------------------------
+
+    pub fn log(&self) -> &CommitLog {
+        &self.log
+    }
+
+    pub fn log_mut(&mut self) -> &mut CommitLog {
+        &mut self.log
+    }
+
+    // -- statistics -----------------------------------------------------
+
+    /// Recomputes statistics for every table (ANALYZE).
+    pub fn analyze(&mut self) {
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        for name in names {
+            self.analyze_table(&name);
+        }
+    }
+
+    /// Recomputes statistics for one table.
+    pub fn analyze_table(&mut self, name: &str) {
+        let Some(t) = self.tables.get(&normalize_ident(name)) else {
+            return;
+        };
+        let mut stats = TableStats {
+            row_count: t.row_count() as u64,
+            columns: BTreeMap::new(),
+        };
+        for (i, col) in t.schema().columns().iter().enumerate() {
+            let mut values: Vec<_> = t.scan().map(|r| r[i].clone()).collect();
+            stats
+                .columns
+                .insert(col.name.clone(), ColumnStats::compute(&mut values));
+        }
+        self.catalog.set_stats(name, stats);
+    }
+
+    // -- shadowing --------------------------------------------------------
+
+    /// Builds the *shadow database* of `self` (§3): identical tables, views,
+    /// indexes, constraints and permissions, identical statistics — but
+    /// every table empty and marked shadow.
+    pub fn shadow_clone(&self) -> Database {
+        let mut shadow = Database::new(&self.name);
+        for t in self.tables.values() {
+            shadow.tables.insert(t.name().to_string(), t.to_shadow());
+        }
+        for (name, ix) in &self.indexes {
+            shadow.indexes.insert(
+                name.clone(),
+                Index::new(ix.name(), ix.table(), ix.columns().to_vec(), ix.is_unique()),
+            );
+        }
+        shadow.table_indexes = self.table_indexes.clone();
+        shadow.catalog = self.catalog.clone();
+        // "By default stored procedures are not copied from the backend
+        // server to the MTCache server" (§5.2) — the DBA copies them
+        // selectively.
+        shadow.catalog.clear_procedures();
+        shadow.log = CommitLog::new();
+        shadow
+    }
+
+    /// Creates a regular (non-shadow) empty table with the same shape as an
+    /// existing object's schema — the backing store for a cached view.
+    pub fn create_backing_table(
+        &mut self,
+        name: &str,
+        columns: Vec<Column>,
+        primary_key: &[String],
+    ) -> Result<()> {
+        self.create_table(name, Schema::new(columns), primary_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_types::{row, DataType, Value};
+
+    fn db_with_item() -> Database {
+        let mut db = Database::new("tpcw");
+        db.create_table(
+            "item",
+            Schema::new(vec![
+                Column::not_null("i_id", DataType::Int),
+                Column::new("i_title", DataType::Str),
+                Column::new("i_subject", DataType::Str),
+            ]),
+            &["i_id".into()],
+        )
+        .unwrap();
+        db.create_index("ix_item_subject", "item", &["i_subject".into()], false)
+            .unwrap();
+        db
+    }
+
+    fn ins(i: i64, title: &str, subject: &str) -> RowChange {
+        RowChange::Insert {
+            table: "item".into(),
+            row: row![i, title, subject],
+        }
+    }
+
+    #[test]
+    fn apply_logs_and_maintains_indexes() {
+        let mut db = db_with_item();
+        let lsn = db
+            .apply(100, vec![ins(1, "a", "ARTS"), ins(2, "b", "ARTS")])
+            .unwrap();
+        assert_eq!(lsn, Lsn(0));
+        assert_eq!(db.table_ref("item").unwrap().row_count(), 2);
+        let ix = db.index("ix_item_subject").unwrap();
+        assert_eq!(ix.seek(&row!["ARTS"]).len(), 2);
+        assert_eq!(db.log().read_from(Lsn(0)).len(), 1);
+        assert_eq!(db.log().read_from(Lsn(0))[0].commit_ts_ms, 100);
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_entirely() {
+        let mut db = db_with_item();
+        db.apply(0, vec![ins(1, "a", "ARTS")]).unwrap();
+        // Second change violates PK; first must be undone.
+        let err = db.apply(1, vec![ins(2, "b", "SPORTS"), ins(1, "dup", "ARTS")]);
+        assert!(err.is_err());
+        assert_eq!(db.table_ref("item").unwrap().row_count(), 1);
+        assert!(db.index("ix_item_subject").unwrap().seek(&row!["SPORTS"]).is_empty());
+        assert_eq!(db.log().len(), 1, "failed txn must not be logged");
+    }
+
+    #[test]
+    fn update_rewrites_index_entries() {
+        let mut db = db_with_item();
+        db.apply(0, vec![ins(1, "a", "ARTS")]).unwrap();
+        db.apply(
+            1,
+            vec![RowChange::Update {
+                table: "item".into(),
+                before: row![1, "a", "ARTS"],
+                after: row![1, "a", "HISTORY"],
+            }],
+        )
+        .unwrap();
+        let ix = db.index("ix_item_subject").unwrap();
+        assert!(ix.seek(&row!["ARTS"]).is_empty());
+        assert_eq!(ix.seek(&row!["HISTORY"]).len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_index_entries() {
+        let mut db = db_with_item();
+        db.apply(0, vec![ins(1, "a", "ARTS")]).unwrap();
+        db.apply(
+            1,
+            vec![RowChange::Delete {
+                table: "item".into(),
+                row: row![1, "a", "ARTS"],
+            }],
+        )
+        .unwrap();
+        assert_eq!(db.table_ref("item").unwrap().row_count(), 0);
+        assert!(db.index("ix_item_subject").unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_unlogged_skips_log() {
+        let mut db = db_with_item();
+        db.apply_unlogged(&[ins(1, "a", "ARTS")]).unwrap();
+        assert_eq!(db.table_ref("item").unwrap().row_count(), 1);
+        assert!(db.log().is_empty());
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let mut db = db_with_item();
+        let changes: Vec<_> = (1..=100)
+            .map(|i| ins(i, &format!("t{i}"), if i % 2 == 0 { "A" } else { "B" }))
+            .collect();
+        db.apply(0, changes).unwrap();
+        db.analyze();
+        let stats = db.catalog.stats("item").unwrap();
+        assert_eq!(stats.row_count, 100);
+        let id_stats = stats.column("i_id").unwrap();
+        assert_eq!(id_stats.min, Some(Value::Int(1)));
+        assert_eq!(id_stats.max, Some(Value::Int(100)));
+        assert_eq!(stats.column("i_subject").unwrap().distinct_count, 2);
+    }
+
+    #[test]
+    fn shadow_clone_keeps_catalog_drops_data() {
+        let mut db = db_with_item();
+        db.apply(0, vec![ins(1, "a", "ARTS")]).unwrap();
+        db.analyze();
+        let shadow = db.shadow_clone();
+        let t = shadow.table_ref("item").unwrap();
+        assert!(t.is_shadow());
+        assert_eq!(t.row_count(), 0);
+        // Statistics still reflect the backend's data.
+        assert_eq!(shadow.catalog.stats("item").unwrap().row_count, 1);
+        // Index defined but empty.
+        assert!(shadow.index("ix_item_subject").unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_index_builds_from_existing_rows() {
+        let mut db = db_with_item();
+        db.apply(0, vec![ins(1, "a", "ARTS"), ins(2, "b", "ARTS")]).unwrap();
+        db.create_index("ix_item_title", "item", &["i_title".into()], true)
+            .unwrap();
+        assert_eq!(db.index("ix_item_title").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metas_for_scripting() {
+        let db = db_with_item();
+        let tables = db.table_metas();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].primary_key, vec!["i_id"]);
+        let indexes = db.index_metas();
+        assert_eq!(indexes[0].columns, vec!["i_subject"]);
+    }
+}

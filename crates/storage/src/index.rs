@@ -1,0 +1,162 @@
+//! Secondary indexes.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use mtc_types::{Error, Result, Row};
+
+/// A secondary B-tree index mapping key columns to primary keys.
+///
+/// The index stores, for each key value, the clustering keys of the matching
+/// rows (non-unique indexes can have many). Lookups return clustering keys;
+/// the executor fetches full rows from the table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    name: String,
+    table: String,
+    /// Indices of the key columns in the table schema, in key order.
+    columns: Vec<usize>,
+    unique: bool,
+    map: BTreeMap<Row, Vec<Row>>,
+}
+
+impl Index {
+    pub fn new(name: &str, table: &str, columns: Vec<usize>, unique: bool) -> Index {
+        Index {
+            name: mtc_types::normalize_ident(name),
+            table: mtc_types::normalize_ident(table),
+            columns,
+            unique,
+            map: BTreeMap::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn key_of(&self, row: &Row) -> Row {
+        row.project(&self.columns)
+    }
+
+    /// Registers `row` (with clustering key `pk`).
+    pub fn insert(&mut self, row: &Row, pk: Row) -> Result<()> {
+        let key = self.key_of(row);
+        let entry = self.map.entry(key.clone()).or_default();
+        if self.unique && !entry.is_empty() {
+            return Err(Error::constraint(format!(
+                "duplicate key {key} in unique index `{}`",
+                self.name
+            )));
+        }
+        entry.push(pk);
+        Ok(())
+    }
+
+    /// Unregisters `row` (with clustering key `pk`).
+    pub fn remove(&mut self, row: &Row, pk: &Row) {
+        let key = self.key_of(row);
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.retain(|p| p != pk);
+            if entry.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Equality lookup: clustering keys of rows whose index key equals `key`.
+    pub fn seek(&self, key: &Row) -> &[Row] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Range lookup over the index key order.
+    pub fn range(
+        &self,
+        low: Bound<Row>,
+        high: Bound<Row>,
+    ) -> impl Iterator<Item = &Row> + '_ {
+        self.map.range((low, high)).flat_map(|(_, pks)| pks.iter())
+    }
+
+    /// Rebuilds from scratch over `(row, pk)` pairs.
+    pub fn rebuild<'a>(
+        &mut self,
+        rows: impl Iterator<Item = (&'a Row, Row)>,
+    ) -> Result<()> {
+        self.map.clear();
+        for (row, pk) in rows {
+            self.insert(row, pk)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_types::row;
+
+    #[test]
+    fn seek_and_range() {
+        let mut ix = Index::new("ix", "t", vec![1], false);
+        // rows: (pk, category)
+        ix.insert(&row![1, "a"], row![1]).unwrap();
+        ix.insert(&row![2, "b"], row![2]).unwrap();
+        ix.insert(&row![3, "a"], row![3]).unwrap();
+        assert_eq!(ix.seek(&row!["a"]).len(), 2);
+        assert_eq!(ix.seek(&row!["zzz"]).len(), 0);
+        let in_range: Vec<&Row> = ix
+            .range(Bound::Included(row!["a"]), Bound::Excluded(row!["b"]))
+            .collect();
+        assert_eq!(in_range.len(), 2);
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut ix = Index::new("ix", "t", vec![0], true);
+        ix.insert(&row!["x"], row![1]).unwrap();
+        assert!(ix.insert(&row!["x"], row![2]).is_err());
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut ix = Index::new("ix", "t", vec![0], false);
+        ix.insert(&row!["x"], row![1]).unwrap();
+        ix.insert(&row!["x"], row![2]).unwrap();
+        ix.remove(&row!["x"], &row![1]);
+        assert_eq!(ix.seek(&row!["x"]), &[row![2]]);
+        ix.remove(&row!["x"], &row![2]);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn rebuild_replaces_contents() {
+        let mut ix = Index::new("ix", "t", vec![0], false);
+        ix.insert(&row!["stale"], row![0]).unwrap();
+        let rows = [row!["a"], row!["b"]];
+        ix.rebuild(rows.iter().enumerate().map(|(i, r)| (r, row![i as i64])))
+            .unwrap();
+        assert_eq!(ix.len(), 2);
+        assert!(ix.seek(&row!["stale"]).is_empty());
+    }
+}

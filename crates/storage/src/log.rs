@@ -1,0 +1,206 @@
+//! Commit log: the source of truth replication sniffs.
+//!
+//! SQL Server transactional replication works by *log sniffing*: a log
+//! reader process collects committed changes from the transaction log (§2.2
+//! of the paper). [`CommitLog`] is our transaction log — every committed
+//! transaction appends one [`CommittedTransaction`] carrying its row-level
+//! changes in order, and the replication crate's log reader tails it.
+
+use mtc_types::Row;
+
+/// Log sequence number — position of a committed transaction in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    pub const ZERO: Lsn = Lsn(0);
+
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+/// A single row-level change, as recorded in the log.
+///
+/// `Update` carries both images so subscribers can locate the old row even
+/// when the primary key itself changed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowChange {
+    Insert {
+        table: String,
+        row: Row,
+    },
+    Update {
+        table: String,
+        before: Row,
+        after: Row,
+    },
+    Delete {
+        table: String,
+        row: Row,
+    },
+}
+
+impl RowChange {
+    pub fn table(&self) -> &str {
+        match self {
+            RowChange::Insert { table, .. }
+            | RowChange::Update { table, .. }
+            | RowChange::Delete { table, .. } => table,
+        }
+    }
+
+    /// The row image after the change (`None` for deletes).
+    pub fn after_image(&self) -> Option<&Row> {
+        match self {
+            RowChange::Insert { row, .. } => Some(row),
+            RowChange::Update { after, .. } => Some(after),
+            RowChange::Delete { .. } => None,
+        }
+    }
+
+    /// The row image before the change (`None` for inserts).
+    pub fn before_image(&self) -> Option<&Row> {
+        match self {
+            RowChange::Insert { .. } => None,
+            RowChange::Update { before, .. } => Some(before),
+            RowChange::Delete { row, .. } => Some(row),
+        }
+    }
+}
+
+/// A committed transaction in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedTransaction {
+    pub lsn: Lsn,
+    /// Commit timestamp in milliseconds on the committing server's clock
+    /// (the simulator's clock during experiments).
+    pub commit_ts_ms: i64,
+    pub changes: Vec<RowChange>,
+}
+
+/// Append-only transaction log.
+#[derive(Debug, Default)]
+pub struct CommitLog {
+    entries: Vec<CommittedTransaction>,
+    /// LSNs below this have been truncated (already distributed).
+    base: u64,
+}
+
+impl CommitLog {
+    pub fn new() -> CommitLog {
+        CommitLog::default()
+    }
+
+    /// Next LSN that will be assigned.
+    pub fn head(&self) -> Lsn {
+        Lsn(self.base + self.entries.len() as u64)
+    }
+
+    /// Appends a committed transaction, assigning its LSN.
+    pub fn append(&mut self, commit_ts_ms: i64, changes: Vec<RowChange>) -> Lsn {
+        let lsn = self.head();
+        self.entries.push(CommittedTransaction {
+            lsn,
+            commit_ts_ms,
+            changes,
+        });
+        lsn
+    }
+
+    /// All committed transactions with `lsn >= from` in commit order.
+    pub fn read_from(&self, from: Lsn) -> &[CommittedTransaction] {
+        let start = from.0.saturating_sub(self.base) as usize;
+        if start >= self.entries.len() {
+            &[]
+        } else {
+            &self.entries[start..]
+        }
+    }
+
+    /// Drops entries with `lsn < upto` (changes already propagated to every
+    /// subscriber are deleted from the distribution database, §2.2).
+    pub fn truncate_before(&mut self, upto: Lsn) {
+        if upto.0 <= self.base {
+            return;
+        }
+        let drop_n = ((upto.0 - self.base) as usize).min(self.entries.len());
+        self.entries.drain(..drop_n);
+        self.base = upto.0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_types::row;
+
+    fn change(i: i64) -> RowChange {
+        RowChange::Insert {
+            table: "t".into(),
+            row: row![i],
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequential_lsns() {
+        let mut log = CommitLog::new();
+        assert_eq!(log.append(0, vec![change(1)]), Lsn(0));
+        assert_eq!(log.append(1, vec![change(2)]), Lsn(1));
+        assert_eq!(log.head(), Lsn(2));
+    }
+
+    #[test]
+    fn read_from_returns_suffix() {
+        let mut log = CommitLog::new();
+        for i in 0..5 {
+            log.append(i, vec![change(i)]);
+        }
+        assert_eq!(log.read_from(Lsn(0)).len(), 5);
+        assert_eq!(log.read_from(Lsn(3)).len(), 2);
+        assert_eq!(log.read_from(Lsn(3))[0].lsn, Lsn(3));
+        assert!(log.read_from(Lsn(99)).is_empty());
+    }
+
+    #[test]
+    fn truncate_preserves_lsns() {
+        let mut log = CommitLog::new();
+        for i in 0..5 {
+            log.append(i, vec![change(i)]);
+        }
+        log.truncate_before(Lsn(3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.read_from(Lsn(0))[0].lsn, Lsn(3));
+        assert_eq!(log.read_from(Lsn(4))[0].lsn, Lsn(4));
+        // Idempotent / no-op truncations.
+        log.truncate_before(Lsn(1));
+        assert_eq!(log.len(), 2);
+        log.truncate_before(Lsn(100));
+        assert!(log.is_empty());
+        assert_eq!(log.head(), Lsn(100));
+    }
+
+    #[test]
+    fn row_change_images() {
+        let up = RowChange::Update {
+            table: "t".into(),
+            before: row![1, "a"],
+            after: row![1, "b"],
+        };
+        assert_eq!(up.before_image().unwrap()[1], mtc_types::Value::str("a"));
+        assert_eq!(up.after_image().unwrap()[1], mtc_types::Value::str("b"));
+        let del = RowChange::Delete {
+            table: "t".into(),
+            row: row![1],
+        };
+        assert!(del.after_image().is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! Table storage: a clustered B-tree keyed on the primary key.
+
+use std::collections::BTreeMap;
+
+use mtc_types::{Error, Result, Row, Schema, Value};
+
+/// A stored table.
+///
+/// Rows live in a `BTreeMap` keyed by the primary-key columns (a clustered
+/// index, like SQL Server's default). Tables without a declared primary key
+/// get a hidden monotonically increasing row id as the clustering key.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Indices (into `schema`) of the primary-key columns; empty if the
+    /// table is clustered on the hidden row id.
+    primary_key: Vec<usize>,
+    rows: BTreeMap<Row, Row>,
+    next_rowid: i64,
+    /// Shadow tables hold no data; scans are refused (the cache server's
+    /// optimizer must route around them).
+    is_shadow: bool,
+}
+
+impl Table {
+    pub fn new(name: &str, schema: Schema, primary_key: Vec<usize>) -> Table {
+        Table {
+            name: mtc_types::normalize_ident(name),
+            schema,
+            primary_key,
+            rows: BTreeMap::new(),
+            next_rowid: 0,
+            is_shadow: false,
+        }
+    }
+
+    /// An empty shadow of `self` (same schema, same key, no data).
+    pub fn to_shadow(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            primary_key: self.primary_key.clone(),
+            rows: BTreeMap::new(),
+            next_rowid: 0,
+            is_shadow: true,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    pub fn is_shadow(&self) -> bool {
+        self.is_shadow
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Extracts the clustering key for a row, allocating a fresh hidden row
+    /// id when the table has no declared primary key.
+    fn key_for_insert(&mut self, row: &Row) -> Row {
+        if self.primary_key.is_empty() {
+            let id = self.next_rowid;
+            self.next_rowid += 1;
+            Row::new(vec![Value::Int(id)])
+        } else {
+            row.project(&self.primary_key)
+        }
+    }
+
+    /// The clustering key of an existing (full) row. For rowid tables this
+    /// performs a scan — callers on hot paths should keep the key around.
+    pub fn key_of(&self, row: &Row) -> Option<Row> {
+        if self.primary_key.is_empty() {
+            self.rows
+                .iter()
+                .find(|(_, r)| *r == row)
+                .map(|(k, _)| k.clone())
+        } else {
+            Some(row.project(&self.primary_key))
+        }
+    }
+
+    /// Validates a row against the schema: arity, types (with coercion) and
+    /// NOT NULL constraints. Returns the coerced row.
+    pub fn validate(&self, row: &Row) -> Result<Row> {
+        if row.len() != self.schema.len() {
+            return Err(Error::constraint(format!(
+                "table `{}` expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (i, v) in row.values().iter().enumerate() {
+            let col = self.schema.column(i);
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(Error::constraint(format!(
+                        "NULL in NOT NULL column `{}` of `{}`",
+                        col.name, self.name
+                    )));
+                }
+                out.push(Value::Null);
+            } else {
+                out.push(v.coerce_to(col.dtype).map_err(|e| {
+                    Error::constraint(format!(
+                        "column `{}` of `{}`: {e}",
+                        col.name, self.name
+                    ))
+                })?);
+            }
+        }
+        Ok(Row::new(out))
+    }
+
+    /// Inserts a validated row; errors on duplicate primary key.
+    pub fn insert(&mut self, row: Row) -> Result<Row> {
+        if self.is_shadow {
+            return Err(Error::execution(format!(
+                "cannot insert into shadow table `{}`",
+                self.name
+            )));
+        }
+        let row = self.validate(&row)?;
+        let key = self.key_for_insert(&row);
+        if self.rows.contains_key(&key) {
+            return Err(Error::constraint(format!(
+                "duplicate primary key {key} in `{}`",
+                self.name
+            )));
+        }
+        self.rows.insert(key, row.clone());
+        Ok(row)
+    }
+
+    /// Inserts, replacing any existing row with the same key (replication
+    /// apply uses this for idempotence).
+    pub fn upsert(&mut self, row: Row) -> Result<Row> {
+        let row = self.validate(&row)?;
+        let key = self.key_for_insert(&row);
+        self.rows.insert(key, row.clone());
+        Ok(row)
+    }
+
+    /// Deletes by full row equality; returns whether a row was removed.
+    pub fn delete(&mut self, row: &Row) -> bool {
+        match self.key_of(row) {
+            Some(key) => self.rows.remove(&key).is_some(),
+            None => false,
+        }
+    }
+
+    /// Deletes by primary key.
+    pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
+        self.rows.remove(key)
+    }
+
+    /// Replaces `before` with `after`; handles key changes.
+    pub fn update(&mut self, before: &Row, after: Row) -> Result<()> {
+        let after = self.validate(&after)?;
+        let Some(old_key) = self.key_of(before) else {
+            return Err(Error::execution(format!(
+                "update target row not found in `{}`",
+                self.name
+            )));
+        };
+        let new_key = if self.primary_key.is_empty() {
+            old_key.clone()
+        } else {
+            after.project(&self.primary_key)
+        };
+        if new_key != old_key && self.rows.contains_key(&new_key) {
+            return Err(Error::constraint(format!(
+                "duplicate primary key {new_key} in `{}`",
+                self.name
+            )));
+        }
+        self.rows.remove(&old_key);
+        self.rows.insert(new_key, after);
+        Ok(())
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &Row) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Full scan in clustering-key order.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.values()
+    }
+
+    /// The row with the smallest clustering key (O(log n)).
+    pub fn first_row(&self) -> Option<&Row> {
+        self.rows.values().next()
+    }
+
+    /// The row with the largest clustering key (O(log n)).
+    pub fn last_row(&self) -> Option<&Row> {
+        self.rows.values().next_back()
+    }
+
+    /// Range scan over the clustering key.
+    pub fn scan_range(
+        &self,
+        low: Option<&Row>,
+        high_inclusive: Option<&Row>,
+    ) -> impl Iterator<Item = &Row> + '_ {
+        use std::ops::Bound;
+        let lo = match low {
+            Some(l) => Bound::Included(l.clone()),
+            None => Bound::Unbounded,
+        };
+        let hi = match high_inclusive {
+            Some(h) => Bound::Included(h.clone()),
+            None => Bound::Unbounded,
+        };
+        self.rows.range((lo, hi)).map(|(_, r)| r)
+    }
+
+    /// Drops every row (used when re-snapshotting a cached view).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.next_rowid = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_types::{row, Column, DataType};
+
+    fn item_table() -> Table {
+        Table::new(
+            "item",
+            Schema::new(vec![
+                Column::not_null("i_id", DataType::Int),
+                Column::new("i_title", DataType::Str),
+                Column::new("i_cost", DataType::Float),
+            ]),
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = item_table();
+        t.insert(row![2, "b", 2.0]).unwrap();
+        t.insert(row![1, "a", 1.0]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(&row![1]).unwrap()[1], Value::str("a"));
+        // Scan is key-ordered.
+        let ids: Vec<i64> = t.scan().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = item_table();
+        t.insert(row![1, "a", 1.0]).unwrap();
+        let err = t.insert(row![1, "b", 2.0]).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = item_table();
+        let err = t.insert(Row::new(vec![Value::Null, Value::str("x"), Value::Null]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn type_coercion_on_insert() {
+        let mut t = item_table();
+        // i_cost is FLOAT; an int literal should coerce.
+        t.insert(row![1, "a", 5]).unwrap();
+        assert_eq!(t.get(&row![1]).unwrap()[2], Value::Float(5.0));
+    }
+
+    #[test]
+    fn update_changes_key() {
+        let mut t = item_table();
+        t.insert(row![1, "a", 1.0]).unwrap();
+        t.update(&row![1, "a", 1.0], row![9, "a", 1.0]).unwrap();
+        assert!(t.get(&row![1]).is_none());
+        assert!(t.get(&row![9]).is_some());
+    }
+
+    #[test]
+    fn update_to_existing_key_rejected() {
+        let mut t = item_table();
+        t.insert(row![1, "a", 1.0]).unwrap();
+        t.insert(row![2, "b", 2.0]).unwrap();
+        assert!(t.update(&row![1, "a", 1.0], row![2, "a", 1.0]).is_err());
+    }
+
+    #[test]
+    fn rowid_table_allows_duplicates() {
+        let mut t = Table::new(
+            "log",
+            Schema::new(vec![Column::new("msg", DataType::Str)]),
+            vec![],
+        );
+        t.insert(row!["x"]).unwrap();
+        t.insert(row!["x"]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert!(t.delete(&row!["x"]));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = item_table();
+        for i in 1..=10 {
+            t.insert(row![i, format!("t{i}"), i as f64]).unwrap();
+        }
+        let got: Vec<i64> = t
+            .scan_range(Some(&row![3]), Some(&row![6]))
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn composite_primary_key_orders_and_seeks() {
+        let mut t = Table::new(
+            "order_line",
+            Schema::new(vec![
+                Column::not_null("o_id", DataType::Int),
+                Column::not_null("l_id", DataType::Int),
+                Column::new("qty", DataType::Int),
+            ]),
+            vec![0, 1],
+        );
+        for o in 1..=3 {
+            for l in 1..=3 {
+                t.insert(row![o, l, o * 10 + l]).unwrap();
+            }
+        }
+        assert_eq!(t.row_count(), 9);
+        // Same o_id with a different l_id is a distinct key...
+        t.insert(row![1, 9, 0]).unwrap();
+        // ...but the full composite must be unique.
+        assert!(t.insert(row![1, 9, 5]).is_err());
+        // Point lookup by the full key.
+        assert_eq!(t.get(&row![2, 3]).unwrap()[2], Value::Int(23));
+        // Range scan over an o_id prefix: lexicographic key order means
+        // [o] <= [o, l] < [o+1].
+        let got: Vec<i64> = t
+            .scan_range(Some(&row![2]), Some(&row![2, i64::MAX]))
+            .map(|r| r[2].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![21, 22, 23]);
+    }
+
+    #[test]
+    fn shadow_refuses_inserts() {
+        let mut t = item_table();
+        t.insert(row![1, "a", 1.0]).unwrap();
+        let mut s = t.to_shadow();
+        assert!(s.is_shadow());
+        assert_eq!(s.row_count(), 0);
+        assert!(s.insert(row![2, "b", 2.0]).is_err());
+    }
+}

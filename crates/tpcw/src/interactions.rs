@@ -1,0 +1,457 @@
+//! The fourteen TPC-W web interactions.
+//!
+//! Each interaction issues the same stored-procedure calls the kit's ISAPI
+//! pages issue, against whatever server the connection points at — the
+//! backend directly (baseline) or a cache server (MTCache configuration).
+
+use rand::Rng;
+
+use mtc_engine::ExecMetrics;
+use mtc_types::{Result, Value};
+use mtcache::Connection;
+
+use crate::datagen::Scale;
+use crate::schema::SUBJECTS;
+use crate::session::Session;
+
+/// The fourteen interaction types of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    Home,
+    NewProducts,
+    BestSellers,
+    ProductDetail,
+    SearchRequest,
+    SearchResults,
+    ShoppingCart,
+    CustomerRegistration,
+    BuyRequest,
+    BuyConfirm,
+    OrderInquiry,
+    OrderDisplay,
+    AdminRequest,
+    AdminConfirm,
+}
+
+impl Interaction {
+    pub const ALL: [Interaction; 14] = [
+        Interaction::Home,
+        Interaction::NewProducts,
+        Interaction::BestSellers,
+        Interaction::ProductDetail,
+        Interaction::SearchRequest,
+        Interaction::SearchResults,
+        Interaction::ShoppingCart,
+        Interaction::CustomerRegistration,
+        Interaction::BuyRequest,
+        Interaction::BuyConfirm,
+        Interaction::OrderInquiry,
+        Interaction::OrderDisplay,
+        Interaction::AdminRequest,
+        Interaction::AdminConfirm,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Interaction::Home => "Home",
+            Interaction::NewProducts => "NewProducts",
+            Interaction::BestSellers => "BestSellers",
+            Interaction::ProductDetail => "ProductDetail",
+            Interaction::SearchRequest => "SearchRequest",
+            Interaction::SearchResults => "SearchResults",
+            Interaction::ShoppingCart => "ShoppingCart",
+            Interaction::CustomerRegistration => "CustomerRegistration",
+            Interaction::BuyRequest => "BuyRequest",
+            Interaction::BuyConfirm => "BuyConfirm",
+            Interaction::OrderInquiry => "OrderInquiry",
+            Interaction::OrderDisplay => "OrderDisplay",
+            Interaction::AdminRequest => "AdminRequest",
+            Interaction::AdminConfirm => "AdminConfirm",
+        }
+    }
+
+    /// The Browse activity class (§6.1.1): home, searches, item detail and
+    /// new-products/best-seller listings. Everything else is Order class.
+    pub fn is_browse_class(self) -> bool {
+        matches!(
+            self,
+            Interaction::Home
+                | Interaction::NewProducts
+                | Interaction::BestSellers
+                | Interaction::ProductDetail
+                | Interaction::SearchRequest
+                | Interaction::SearchResults
+        )
+    }
+}
+
+/// Result of one interaction: database work aggregated over its calls.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionOutcome {
+    pub metrics: ExecMetrics,
+    /// Stored-procedure / statement round trips to the database tier.
+    pub db_calls: u32,
+    /// Rows returned to the page renderer.
+    pub rows: u64,
+}
+
+impl InteractionOutcome {
+    fn absorb(&mut self, r: &mtcache::QueryResult) {
+        self.metrics.absorb(&r.metrics);
+        self.db_calls += 1;
+        self.rows += r.rows.len() as u64;
+    }
+}
+
+/// Runs one interaction for `session` against `conn`.
+pub fn run_interaction(
+    interaction: Interaction,
+    conn: &Connection,
+    session: &mut Session,
+    scale: &Scale,
+    rng: &mut impl Rng,
+) -> Result<InteractionOutcome> {
+    let mut out = InteractionOutcome::default();
+    session.now_ms += 1;
+    let now = session.now_ms;
+    let rand_item = rng.gen_range(1..=scale.items as i64);
+    let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+
+    match interaction {
+        Interaction::Home => {
+            out.absorb(&conn.query_with(
+                "EXEC getName @c_id = @p",
+                &Connection::params(&[("p", Value::Int(session.c_id))]),
+            )?);
+            out.absorb(&conn.query_with(
+                "EXEC getRelated @i_id = @p",
+                &Connection::params(&[("p", Value::Int(rand_item))]),
+            )?);
+        }
+        Interaction::NewProducts => {
+            out.absorb(&conn.query_with(
+                "EXEC getNewProducts @subject = @s",
+                &Connection::params(&[("s", Value::str(subject))]),
+            )?);
+        }
+        Interaction::BestSellers => {
+            let max = conn.query("EXEC getMaxOrderId")?;
+            let max_o = max.rows[0][0].as_i64().unwrap_or(0);
+            out.absorb(&max);
+            out.absorb(&conn.query_with(
+                "EXEC getBestSellers @subject = @s, @o_threshold = @t",
+                &Connection::params(&[
+                    ("s", Value::str(subject)),
+                    ("t", Value::Int((max_o - 3333).max(0))),
+                ]),
+            )?);
+        }
+        Interaction::ProductDetail => {
+            out.absorb(&conn.query_with(
+                "EXEC getBook @i_id = @p",
+                &Connection::params(&[("p", Value::Int(rand_item))]),
+            )?);
+        }
+        Interaction::SearchRequest => {
+            // Rendering the search page shows promotional items.
+            out.absorb(&conn.query_with(
+                "EXEC getRelated @i_id = @p",
+                &Connection::params(&[("p", Value::Int(rand_item))]),
+            )?);
+        }
+        Interaction::SearchResults => match rng.gen_range(0..3) {
+            0 => out.absorb(&conn.query_with(
+                "EXEC doSubjectSearch @subject = @s",
+                &Connection::params(&[("s", Value::str(subject))]),
+            )?),
+            1 => out.absorb(&conn.query_with(
+                "EXEC doTitleSearch @title = @t",
+                &Connection::params(&[("t", Value::str(format!("%{}%", title_word(rng))))]),
+            )?),
+            _ => out.absorb(&conn.query_with(
+                "EXEC doAuthorSearch @lname = @l",
+                &Connection::params(&[(
+                    "l",
+                    Value::str(format!("alast{}%", rng.gen_range(0..100))),
+                )]),
+            )?),
+        },
+        Interaction::ShoppingCart => {
+            let sc_id = match session.cart_id {
+                Some(id) => id,
+                None => {
+                    let id = session.ids.cart();
+                    out.absorb(&conn.query_with(
+                        "EXEC createEmptyCart @sc_id = @id, @now = @now",
+                        &Connection::params(&[
+                            ("id", Value::Int(id)),
+                            ("now", Value::Timestamp(now)),
+                        ]),
+                    )?);
+                    session.cart_id = Some(id);
+                    id
+                }
+            };
+            // Add a random item (update quantity if it's already there).
+            let cart = conn.query_with(
+                "EXEC getCart @sc_id = @id",
+                &Connection::params(&[("id", Value::Int(sc_id))]),
+            )?;
+            let already = cart
+                .rows
+                .iter()
+                .any(|r| r[0] == Value::Int(rand_item));
+            out.absorb(&cart);
+            if already {
+                out.absorb(&conn.query_with(
+                    "EXEC updateLine @sc_id = @id, @i_id = @i, @qty = @q",
+                    &Connection::params(&[
+                        ("id", Value::Int(sc_id)),
+                        ("i", Value::Int(rand_item)),
+                        ("q", Value::Int(rng.gen_range(1..5))),
+                    ]),
+                )?);
+            } else {
+                out.absorb(&conn.query_with(
+                    "EXEC addLine @sc_id = @id, @i_id = @i, @qty = @q",
+                    &Connection::params(&[
+                        ("id", Value::Int(sc_id)),
+                        ("i", Value::Int(rand_item)),
+                        ("q", Value::Int(rng.gen_range(1..5))),
+                    ]),
+                )?);
+            }
+            out.absorb(&conn.query_with(
+                "EXEC refreshCart @sc_id = @id, @now = @now, @total = @t",
+                &Connection::params(&[
+                    ("id", Value::Int(sc_id)),
+                    ("now", Value::Timestamp(now)),
+                    ("t", Value::Float(rng.gen_range(1.0..500.0))),
+                ]),
+            )?);
+        }
+        Interaction::CustomerRegistration => {
+            if rng.gen_bool(0.2) {
+                // New customer: address + customer inserts.
+                let c_id = session.ids.customer();
+                let addr_id = session.ids.address();
+                out.absorb(&conn.query_with(
+                    "EXEC addAddress @addr_id = @a, @street = 'new st', @city = 'newcity', @co_id = 1",
+                    &Connection::params(&[("a", Value::Int(addr_id))]),
+                )?);
+                out.absorb(&conn.query_with(
+                    "EXEC addCustomer @c_id = @c, @uname = @u, @fname = 'f', @lname = 'l', @addr_id = @a, @now = @now",
+                    &Connection::params(&[
+                        ("c", Value::Int(c_id)),
+                        ("u", Value::str(format!("user{c_id}"))),
+                        ("a", Value::Int(addr_id)),
+                        ("now", Value::Timestamp(now)),
+                    ]),
+                )?);
+                session.c_id = c_id;
+                session.uname = format!("user{c_id}");
+            } else {
+                // Returning customer logs in.
+                out.absorb(&conn.query_with(
+                    "EXEC getCustomer @uname = @u",
+                    &Connection::params(&[("u", Value::str(session.uname.clone()))]),
+                )?);
+                out.absorb(&conn.query_with(
+                    "EXEC updateCustomerLogin @c_id = @c, @now = @now",
+                    &Connection::params(&[
+                        ("c", Value::Int(session.c_id)),
+                        ("now", Value::Timestamp(now)),
+                    ]),
+                )?);
+            }
+        }
+        Interaction::BuyRequest => {
+            out.absorb(&conn.query_with(
+                "EXEC getCustomer @uname = @u",
+                &Connection::params(&[("u", Value::str(session.uname.clone()))]),
+            )?);
+            if let Some(sc_id) = session.cart_id {
+                out.absorb(&conn.query_with(
+                    "EXEC getCart @sc_id = @id",
+                    &Connection::params(&[("id", Value::Int(sc_id))]),
+                )?);
+            }
+        }
+        Interaction::BuyConfirm => {
+            let Some(sc_id) = session.cart_id else {
+                // Nothing in the cart: degenerate page view.
+                out.absorb(&conn.query_with(
+                    "EXEC getCustomer @uname = @u",
+                    &Connection::params(&[("u", Value::str(session.uname.clone()))]),
+                )?);
+                return Ok(out);
+            };
+            let cart = conn.query_with(
+                "EXEC getCart @sc_id = @id",
+                &Connection::params(&[("id", Value::Int(sc_id))]),
+            )?;
+            out.absorb(&cart);
+            let o_id = session.ids.order();
+            let total: f64 = cart
+                .rows
+                .iter()
+                .map(|r| {
+                    r[1].as_f64().unwrap_or(1.0) * r[3].as_f64().unwrap_or(0.0)
+                })
+                .sum::<f64>()
+                .max(1.0);
+            out.absorb(&conn.query_with(
+                "EXEC enterOrder @o_id = @o, @c_id = @c, @now = @now, @sub_total = @t, @addr_id = 1",
+                &Connection::params(&[
+                    ("o", Value::Int(o_id)),
+                    ("c", Value::Int(session.c_id)),
+                    ("now", Value::Timestamp(now)),
+                    ("t", Value::Float(total)),
+                ]),
+            )?);
+            for line in &cart.rows {
+                let i_id = line[0].clone();
+                let qty = line[1].clone();
+                out.absorb(&conn.query_with(
+                    "EXEC addOrderLine @ol_id = @ol, @o_id = @o, @i_id = @i, @qty = @q",
+                    &Connection::params(&[
+                        ("ol", Value::Int(session.ids.order_line())),
+                        ("o", Value::Int(o_id)),
+                        ("i", i_id.clone()),
+                        ("q", qty.clone()),
+                    ]),
+                )?);
+                out.absorb(&conn.query_with(
+                    "EXEC updateItemStock @i_id = @i, @qty = @q",
+                    &Connection::params(&[("i", i_id), ("q", qty)]),
+                )?);
+            }
+            out.absorb(&conn.query_with(
+                "EXEC enterCCXact @o_id = @o, @cc_type = 'VISA', @amount = @t, @now = @now, @co_id = 1",
+                &Connection::params(&[
+                    ("o", Value::Int(o_id)),
+                    ("t", Value::Float(total * 1.08)),
+                    ("now", Value::Timestamp(now)),
+                ]),
+            )?);
+            out.absorb(&conn.query_with(
+                "EXEC clearCart @sc_id = @id",
+                &Connection::params(&[("id", Value::Int(sc_id))]),
+            )?);
+            session.cart_id = None;
+        }
+        Interaction::OrderInquiry => {
+            out.absorb(&conn.query_with(
+                "EXEC getPassword @uname = @u",
+                &Connection::params(&[("u", Value::str(session.uname.clone()))]),
+            )?);
+        }
+        Interaction::OrderDisplay => {
+            let id = conn.query_with(
+                "EXEC getMostRecentOrderId @uname = @u",
+                &Connection::params(&[("u", Value::str(session.uname.clone()))]),
+            )?;
+            out.absorb(&id);
+            if let Some(row) = id.rows.first() {
+                let o_id = row[0].clone();
+                out.absorb(&conn.query_with(
+                    "EXEC getMostRecentOrderDetails @o_id = @o",
+                    &Connection::params(&[("o", o_id.clone())]),
+                )?);
+                out.absorb(&conn.query_with(
+                    "EXEC getMostRecentOrderLines @o_id = @o",
+                    &Connection::params(&[("o", o_id)]),
+                )?);
+            }
+        }
+        Interaction::AdminRequest => {
+            out.absorb(&conn.query_with(
+                "EXEC getAdminProduct @i_id = @p",
+                &Connection::params(&[("p", Value::Int(rand_item))]),
+            )?);
+        }
+        Interaction::AdminConfirm => {
+            out.absorb(&conn.query_with(
+                "EXEC getAdminProduct @i_id = @p",
+                &Connection::params(&[("p", Value::Int(rand_item))]),
+            )?);
+            out.absorb(&conn.query_with(
+                "EXEC adminUpdate @i_id = @p, @cost = @c, @now = @now",
+                &Connection::params(&[
+                    ("p", Value::Int(rand_item)),
+                    ("c", Value::Float(rng.gen_range(1.0..100.0))),
+                    ("now", Value::Timestamp(now)),
+                ]),
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+fn title_word(rng: &mut impl Rng) -> &'static str {
+    const WORDS: &[&str] = &[
+        "rust", "ocean", "garden", "midnight", "copper", "silent", "ember", "granite",
+    ];
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, Scale};
+    use crate::procs::register_all;
+    use crate::session::IdAllocator;
+    use mtcache::BackendServer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_interaction_runs_against_backend() {
+        let backend = BackendServer::new("b");
+        let scale = generate(&backend, Scale::tiny()).unwrap();
+        register_all(&backend).unwrap();
+        let conn = Connection::connect_as(backend.clone(), "app");
+        let ids = IdAllocator::new(&scale);
+        let mut session = Session::new(3, ids);
+        let mut rng = StdRng::seed_from_u64(99);
+        for interaction in Interaction::ALL {
+            // Drive cart-dependent flows meaningfully: seed a cart first.
+            let out = run_interaction(interaction, &conn, &mut session, &scale, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", interaction.name()));
+            assert!(out.db_calls >= 1, "{} made no DB calls", interaction.name());
+        }
+    }
+
+    #[test]
+    fn buy_confirm_converts_cart_to_order() {
+        let backend = BackendServer::new("b");
+        let scale = generate(&backend, Scale::tiny()).unwrap();
+        register_all(&backend).unwrap();
+        let conn = Connection::connect_as(backend.clone(), "app");
+        let ids = IdAllocator::new(&scale);
+        let mut session = Session::new(5, ids);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Fill the cart, then buy.
+        run_interaction(Interaction::ShoppingCart, &conn, &mut session, &scale, &mut rng)
+            .unwrap();
+        assert!(session.cart_id.is_some());
+        let orders_before = backend.db.read().table_ref("orders").unwrap().row_count();
+        run_interaction(Interaction::BuyConfirm, &conn, &mut session, &scale, &mut rng)
+            .unwrap();
+        assert!(session.cart_id.is_none(), "cart consumed");
+        let orders_after = backend.db.read().table_ref("orders").unwrap().row_count();
+        assert_eq!(orders_after, orders_before + 1);
+    }
+
+    #[test]
+    fn browse_class_matches_paper_definition() {
+        let browse: Vec<_> = Interaction::ALL
+            .iter()
+            .filter(|i| i.is_browse_class())
+            .collect();
+        assert_eq!(browse.len(), 6);
+        assert!(Interaction::BestSellers.is_browse_class());
+        assert!(!Interaction::ShoppingCart.is_browse_class());
+        assert!(!Interaction::AdminConfirm.is_browse_class());
+    }
+}

@@ -1,0 +1,32 @@
+//! TPC-W benchmark substrate (§6.1 of the paper).
+//!
+//! TPC-W models an online book seller: emulated browsers issue fourteen
+//! kinds of web interactions against a storefront whose persistent state is
+//! a relational database. This crate provides:
+//!
+//! * the **schema** (customer, address, country, author, item, orders,
+//!   order_line, cc_xacts, shopping_cart, shopping_cart_line),
+//! * a **scaled data generator** (items × emulated browsers, with the
+//!   spec's cardinality ratios scaled down to laptop size — see DESIGN.md
+//!   §3 substitutions),
+//! * the **stored procedures** the interactions call (including the
+//!   best-seller and search queries the paper singles out as expensive),
+//! * the fourteen **interactions** and the three **workload mixes**
+//!   (Browsing 95/5, Shopping 80/20, Ordering 50/50 browse/order), and
+//! * the paper's **caching configuration**: cached projections of item,
+//!   author, orders and order_line, with read-dominated procedures copied
+//!   to the cache servers.
+
+pub mod datagen;
+pub mod deploy;
+pub mod interactions;
+pub mod mix;
+pub mod procs;
+pub mod schema;
+pub mod session;
+
+pub use datagen::{generate, Scale};
+pub use deploy::{configure_cache, CACHED_PROCS};
+pub use interactions::{run_interaction, Interaction, InteractionOutcome};
+pub use mix::{Mix, Workload};
+pub use session::Session;

@@ -1,0 +1,160 @@
+//! The three TPC-W workload mixes.
+
+use rand::Rng;
+
+use crate::interactions::Interaction;
+
+/// A workload mix: relative frequency of each interaction type.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    pub name: &'static str,
+    /// (interaction, weight in percent). Weights sum to ~100.
+    pub weights: Vec<(Interaction, f64)>,
+}
+
+/// The three benchmark workloads (§6.1.1): "a workload simply specifies the
+/// relative frequency of the different request types".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 95% browse / 5% order.
+    Browsing,
+    /// 80% browse / 20% order — "the main workload of the benchmark".
+    Shopping,
+    /// 50% browse / 50% order.
+    Ordering,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 3] = [Workload::Browsing, Workload::Shopping, Workload::Ordering];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Browsing => "Browsing",
+            Workload::Shopping => "Shopping",
+            Workload::Ordering => "Ordering",
+        }
+    }
+
+    /// The interaction mix (weights from the TPC-W specification).
+    pub fn mix(self) -> Mix {
+        use Interaction::*;
+        let weights = match self {
+            Workload::Browsing => vec![
+                (Home, 29.00),
+                (NewProducts, 11.00),
+                (BestSellers, 11.00),
+                (ProductDetail, 21.00),
+                (SearchRequest, 12.00),
+                (SearchResults, 11.00),
+                (ShoppingCart, 2.00),
+                (CustomerRegistration, 0.82),
+                (BuyRequest, 0.75),
+                (BuyConfirm, 0.69),
+                (OrderInquiry, 0.30),
+                (OrderDisplay, 0.25),
+                (AdminRequest, 0.10),
+                (AdminConfirm, 0.09),
+            ],
+            Workload::Shopping => vec![
+                (Home, 16.00),
+                (NewProducts, 5.00),
+                (BestSellers, 5.00),
+                (ProductDetail, 17.00),
+                (SearchRequest, 20.00),
+                (SearchResults, 17.00),
+                (ShoppingCart, 11.60),
+                (CustomerRegistration, 3.00),
+                (BuyRequest, 2.60),
+                (BuyConfirm, 1.20),
+                (OrderInquiry, 0.75),
+                (OrderDisplay, 0.66),
+                (AdminRequest, 0.10),
+                (AdminConfirm, 0.09),
+            ],
+            Workload::Ordering => vec![
+                (Home, 9.12),
+                (NewProducts, 0.46),
+                (BestSellers, 0.46),
+                (ProductDetail, 12.35),
+                (SearchRequest, 14.53),
+                (SearchResults, 13.08),
+                (ShoppingCart, 13.53),
+                (CustomerRegistration, 12.86),
+                (BuyRequest, 12.73),
+                (BuyConfirm, 10.18),
+                (OrderInquiry, 0.25),
+                (OrderDisplay, 0.22),
+                (AdminRequest, 0.12),
+                (AdminConfirm, 0.11),
+            ],
+        };
+        Mix {
+            name: self.name(),
+            weights,
+        }
+    }
+}
+
+impl Mix {
+    /// Samples one interaction according to the weights.
+    pub fn sample(&self, rng: &mut impl Rng) -> Interaction {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (interaction, w) in &self.weights {
+            if x < *w {
+                return *interaction;
+            }
+            x -= w;
+        }
+        self.weights.last().expect("nonempty mix").0
+    }
+
+    /// Fraction of interactions in the Browse activity class.
+    pub fn browse_fraction(&self) -> f64 {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        let browse: f64 = self
+            .weights
+            .iter()
+            .filter(|(i, _)| i.is_browse_class())
+            .map(|(_, w)| w)
+            .sum();
+        browse / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// §6.1.1's table: Browsing 95/5, Shopping 80/20, Ordering 50/50.
+    #[test]
+    fn browse_order_split_matches_paper_table() {
+        assert!((Workload::Browsing.mix().browse_fraction() - 0.95).abs() < 0.005);
+        assert!((Workload::Shopping.mix().browse_fraction() - 0.80).abs() < 0.005);
+        assert!((Workload::Ordering.mix().browse_fraction() - 0.50).abs() < 0.005);
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mix = Workload::Shopping.mix();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut home = 0usize;
+        for _ in 0..n {
+            if mix.sample(&mut rng) == Interaction::Home {
+                home += 1;
+            }
+        }
+        let frac = home as f64 / n as f64;
+        assert!((frac - 0.16).abs() < 0.01, "Home ≈16% of Shopping: {frac}");
+    }
+
+    #[test]
+    fn all_fourteen_interactions_present_in_every_mix() {
+        for w in Workload::ALL {
+            assert_eq!(w.mix().weights.len(), 14, "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The TPC-W schema, trimmed to the columns the benchmark queries touch.
+
+/// Book subjects, used by search and best-seller interactions.
+pub const SUBJECTS: &[&str] = &[
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NON-FICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SELF-HELP",
+    "SCIENCE-NATURE",
+    "SCIENCE-FICTION",
+    "SPORTS",
+    "YOUTH",
+    "TRAVEL",
+];
+
+/// Credit card types for cc_xacts.
+pub const CC_TYPES: &[&str] = &["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"];
+
+/// Ship types for orders.
+pub const SHIP_TYPES: &[&str] = &["AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"];
+
+/// Order status values.
+pub const STATUS_TYPES: &[&str] = &["PROCESSING", "SHIPPED", "PENDING", "DENIED"];
+
+/// The DDL for all ten tables plus the indexes the benchmark relies on
+/// ("all indexes on the cache servers were identical to indexes on the
+/// backend server", §6.1.2).
+pub const DDL: &str = "
+CREATE TABLE country (
+    co_id INT NOT NULL PRIMARY KEY,
+    co_name VARCHAR,
+    co_exchange FLOAT,
+    co_currency VARCHAR
+);
+
+CREATE TABLE address (
+    addr_id INT NOT NULL PRIMARY KEY,
+    addr_street1 VARCHAR,
+    addr_city VARCHAR,
+    addr_state VARCHAR,
+    addr_zip VARCHAR,
+    addr_co_id INT
+);
+
+CREATE TABLE customer (
+    c_id INT NOT NULL PRIMARY KEY,
+    c_uname VARCHAR NOT NULL,
+    c_passwd VARCHAR,
+    c_fname VARCHAR,
+    c_lname VARCHAR,
+    c_addr_id INT,
+    c_phone VARCHAR,
+    c_email VARCHAR,
+    c_since TIMESTAMP,
+    c_last_login TIMESTAMP,
+    c_discount FLOAT,
+    c_balance FLOAT,
+    c_ytd_pmt FLOAT
+);
+
+CREATE TABLE author (
+    a_id INT NOT NULL PRIMARY KEY,
+    a_fname VARCHAR,
+    a_lname VARCHAR,
+    a_bio VARCHAR
+);
+
+CREATE TABLE item (
+    i_id INT NOT NULL PRIMARY KEY,
+    i_title VARCHAR,
+    i_a_id INT,
+    i_pub_date TIMESTAMP,
+    i_publisher VARCHAR,
+    i_subject VARCHAR,
+    i_desc VARCHAR,
+    i_srp FLOAT,
+    i_cost FLOAT,
+    i_stock INT,
+    i_isbn VARCHAR,
+    i_related1 INT
+);
+
+CREATE TABLE orders (
+    o_id INT NOT NULL PRIMARY KEY,
+    o_c_id INT,
+    o_date TIMESTAMP,
+    o_sub_total FLOAT,
+    o_tax FLOAT,
+    o_total FLOAT,
+    o_ship_type VARCHAR,
+    o_ship_date TIMESTAMP,
+    o_bill_addr_id INT,
+    o_ship_addr_id INT,
+    o_status VARCHAR
+);
+
+CREATE TABLE order_line (
+    ol_id INT NOT NULL,
+    ol_o_id INT NOT NULL,
+    ol_i_id INT,
+    ol_qty INT,
+    ol_discount FLOAT,
+    PRIMARY KEY (ol_o_id, ol_id)
+);
+
+CREATE TABLE cc_xacts (
+    cx_o_id INT NOT NULL PRIMARY KEY,
+    cx_type VARCHAR,
+    cx_num VARCHAR,
+    cx_name VARCHAR,
+    cx_xact_amt FLOAT,
+    cx_xact_date TIMESTAMP,
+    cx_co_id INT
+);
+
+CREATE TABLE shopping_cart (
+    sc_id INT NOT NULL PRIMARY KEY,
+    sc_time TIMESTAMP,
+    sc_total FLOAT
+);
+
+CREATE TABLE shopping_cart_line (
+    scl_sc_id INT NOT NULL,
+    scl_i_id INT NOT NULL,
+    scl_qty INT,
+    PRIMARY KEY (scl_sc_id, scl_i_id)
+);
+
+CREATE INDEX ix_item_subject ON item (i_subject);
+CREATE INDEX ix_item_title ON item (i_title);
+CREATE INDEX ix_item_author ON item (i_a_id);
+CREATE INDEX ix_author_lname ON author (a_lname);
+CREATE INDEX ix_customer_uname ON customer (c_uname);
+CREATE INDEX ix_orders_customer ON orders (o_c_id);
+CREATE INDEX ix_orderline_order ON order_line (ol_o_id);
+CREATE INDEX ix_orderline_item ON order_line (ol_i_id);
+CREATE INDEX ix_scl_cart ON shopping_cart_line (scl_sc_id);
+
+GRANT SELECT ON country TO app;
+GRANT SELECT ON address TO app;
+GRANT SELECT ON customer TO app;
+GRANT INSERT ON customer TO app;
+GRANT UPDATE ON customer TO app;
+GRANT SELECT ON author TO app;
+GRANT SELECT ON item TO app;
+GRANT UPDATE ON item TO app;
+GRANT SELECT ON orders TO app;
+GRANT INSERT ON orders TO app;
+GRANT SELECT ON order_line TO app;
+GRANT INSERT ON order_line TO app;
+GRANT SELECT ON cc_xacts TO app;
+GRANT INSERT ON cc_xacts TO app;
+GRANT SELECT ON shopping_cart TO app;
+GRANT INSERT ON shopping_cart TO app;
+GRANT UPDATE ON shopping_cart TO app;
+GRANT DELETE ON shopping_cart TO app;
+GRANT SELECT ON shopping_cart_line TO app;
+GRANT INSERT ON shopping_cart_line TO app;
+GRANT UPDATE ON shopping_cart_line TO app;
+GRANT DELETE ON shopping_cart_line TO app;
+GRANT INSERT ON address TO app;
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_parses_and_applies() {
+        let backend = mtcache::BackendServer::new("b");
+        backend.run_script(DDL).unwrap();
+        let db = backend.db.read();
+        for t in [
+            "country",
+            "address",
+            "customer",
+            "author",
+            "item",
+            "orders",
+            "order_line",
+            "cc_xacts",
+            "shopping_cart",
+            "shopping_cart_line",
+        ] {
+            assert!(db.has_table(t), "missing table {t}");
+        }
+        assert!(db.index("ix_item_subject").is_some());
+        assert!(db.index("ix_orderline_order").is_some());
+    }
+
+    #[test]
+    fn twenty_four_subjects() {
+        assert_eq!(SUBJECTS.len(), 24, "TPC-W defines 24 subjects");
+    }
+}

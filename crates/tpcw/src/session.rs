@@ -1,0 +1,100 @@
+//! Emulated-browser session state and unique-id allocation.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crate::datagen::Scale;
+
+/// Allocates globally unique ids for carts, orders, customers and
+/// addresses — shared by every session of a run (the kit's identity
+/// columns).
+#[derive(Debug)]
+pub struct IdAllocator {
+    next_cart: AtomicI64,
+    next_order: AtomicI64,
+    next_customer: AtomicI64,
+    next_address: AtomicI64,
+    next_order_line: AtomicI64,
+}
+
+impl IdAllocator {
+    pub fn new(scale: &Scale) -> Arc<IdAllocator> {
+        Arc::new(IdAllocator {
+            next_cart: AtomicI64::new(1_000_000),
+            next_order: AtomicI64::new(scale.orders() as i64 + 1),
+            next_customer: AtomicI64::new(scale.customers() as i64 + 1),
+            next_address: AtomicI64::new(scale.addresses() as i64 + 1),
+            next_order_line: AtomicI64::new(1),
+        })
+    }
+
+    pub fn cart(&self) -> i64 {
+        self.next_cart.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn order(&self) -> i64 {
+        self.next_order.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn customer(&self) -> i64 {
+        self.next_customer.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn address(&self) -> i64 {
+        self.next_address.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn order_line(&self) -> i64 {
+        self.next_order_line.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// One emulated browser's session: identified by a session cookie in the
+/// real benchmark, carrying the logged-in customer and the shopping cart.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Logged-in customer id.
+    pub c_id: i64,
+    /// Customer user name (derived, kept consistent with datagen).
+    pub uname: String,
+    /// Current shopping cart, if one has been created.
+    pub cart_id: Option<i64>,
+    /// Clock of the session's last interaction (ms).
+    pub now_ms: i64,
+    pub ids: Arc<IdAllocator>,
+}
+
+impl Session {
+    pub fn new(c_id: i64, ids: Arc<IdAllocator>) -> Session {
+        Session {
+            c_id,
+            uname: format!("user{c_id}"),
+            cart_id: None,
+            now_ms: 1_000_000,
+            ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_unique_across_clones() {
+        let ids = IdAllocator::new(&Scale::tiny());
+        let a = ids.cart();
+        let b = ids.cart();
+        assert_ne!(a, b);
+        assert!(ids.order() > Scale::tiny().orders() as i64);
+        assert!(ids.customer() > Scale::tiny().customers() as i64);
+    }
+
+    #[test]
+    fn session_uname_matches_datagen_convention() {
+        let ids = IdAllocator::new(&Scale::tiny());
+        let s = Session::new(17, ids);
+        assert_eq!(s.uname, "user17");
+        assert!(s.cart_id.is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! The shared error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by any layer of the stack.
+///
+/// The variants mirror the stages a request moves through: parsing, catalog
+/// binding, permission checks, optimization, execution, constraint
+/// enforcement and replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexer/parser failures.
+    Parse(String),
+    /// Unknown table/column/view/procedure, duplicate object, etc.
+    Catalog(String),
+    /// The connected principal lacks a required permission.
+    Permission(String),
+    /// Type mismatches during binding or evaluation.
+    Type(String),
+    /// The optimizer could not produce a valid plan.
+    Plan(String),
+    /// Runtime execution failures.
+    Execution(String),
+    /// Primary-key/NOT NULL violations and similar.
+    Constraint(String),
+    /// Replication infrastructure failures.
+    Replication(String),
+    /// A query's freshness requirement cannot be met by any cached view.
+    Freshness(String),
+}
+
+impl Error {
+    pub fn parse(msg: impl Into<String>) -> Error {
+        Error::Parse(msg.into())
+    }
+    pub fn catalog(msg: impl Into<String>) -> Error {
+        Error::Catalog(msg.into())
+    }
+    pub fn permission(msg: impl Into<String>) -> Error {
+        Error::Permission(msg.into())
+    }
+    pub fn type_error(msg: impl Into<String>) -> Error {
+        Error::Type(msg.into())
+    }
+    pub fn plan(msg: impl Into<String>) -> Error {
+        Error::Plan(msg.into())
+    }
+    pub fn execution(msg: impl Into<String>) -> Error {
+        Error::Execution(msg.into())
+    }
+    pub fn constraint(msg: impl Into<String>) -> Error {
+        Error::Constraint(msg.into())
+    }
+    pub fn replication(msg: impl Into<String>) -> Error {
+        Error::Replication(msg.into())
+    }
+    pub fn freshness(msg: impl Into<String>) -> Error {
+        Error::Freshness(msg.into())
+    }
+
+    /// Short machine-readable category name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Catalog(_) => "catalog",
+            Error::Permission(_) => "permission",
+            Error::Type(_) => "type",
+            Error::Plan(_) => "plan",
+            Error::Execution(_) => "execution",
+            Error::Constraint(_) => "constraint",
+            Error::Replication(_) => "replication",
+            Error::Freshness(_) => "freshness",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            Error::Parse(m) => ("parse error", m),
+            Error::Catalog(m) => ("catalog error", m),
+            Error::Permission(m) => ("permission denied", m),
+            Error::Type(m) => ("type error", m),
+            Error::Plan(m) => ("planning error", m),
+            Error::Execution(m) => ("execution error", m),
+            Error::Constraint(m) => ("constraint violation", m),
+            Error::Replication(m) => ("replication error", m),
+            Error::Freshness(m) => ("freshness violation", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::catalog("table `foo` not found");
+        assert_eq!(e.to_string(), "catalog error: table `foo` not found");
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn errors_compare_by_content() {
+        assert_eq!(Error::parse("x"), Error::parse("x"));
+        assert_ne!(Error::parse("x"), Error::plan("x"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Core data model shared by every crate in the MTCache reproduction:
+//! SQL values, data types, rows, schemas and the common error type.
+//!
+//! The model is deliberately small — the paper's workload (TPC-W plus the
+//! examples of §5) needs integers, floats, strings, booleans and timestamps.
+//! All values carry a total order (`NULL` sorts lowest, as in SQL Server's
+//! index ordering) so they can key B-tree indexes directly.
+
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};
+
+/// Normalizes a SQL identifier: identifiers in this dialect are
+/// case-insensitive and stored lower-case, matching SQL Server's default
+/// case-insensitive collation that the paper's scripts rely on.
+pub fn normalize_ident(ident: &str) -> String {
+    ident.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_ident_lowercases() {
+        assert_eq!(normalize_ident("Customer"), "customer");
+        assert_eq!(normalize_ident("ORDER_LINE"), "order_line");
+        assert_eq!(normalize_ident("already_lower"), "already_lower");
+    }
+}

@@ -1,0 +1,67 @@
+//! The §7 "design tool" extension: analyze a workload trace and recommend
+//! which cached views to create.
+//!
+//! ```sh
+//! cargo run --release --example cache_advisor
+//! ```
+
+use mtcache_repro::cache::advisor::{recommend, AdvisorOptions, WorkloadEntry};
+use mtcache_repro::cache::BackendServer;
+
+fn main() {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE item (i_id INT NOT NULL PRIMARY KEY, i_title VARCHAR, i_subject VARCHAR, i_cost FLOAT, i_blob VARCHAR);
+             CREATE TABLE cart (sc_id INT NOT NULL PRIMARY KEY, sc_total FLOAT);
+             CREATE TABLE author (a_id INT NOT NULL PRIMARY KEY, a_lname VARCHAR);",
+        )
+        .unwrap();
+    let mut script = Vec::new();
+    for i in 1..=5000 {
+        script.push(format!(
+            "INSERT INTO item VALUES ({i}, 'title{i}', 'subject{}', {}.5, 'blob')",
+            i % 20,
+            i % 50
+        ));
+    }
+    for i in 1..=500 {
+        script.push(format!("INSERT INTO author VALUES ({i}, 'lname{i}')"));
+    }
+    backend.run_script(&script.join(";")).unwrap();
+    backend.analyze();
+
+    // A trace: read-heavy item/author traffic, write-heavy cart traffic.
+    let workload = vec![
+        WorkloadEntry {
+            sql: "SELECT i_title, i_cost FROM item WHERE i_subject = @s".into(),
+            frequency: 300.0,
+        },
+        WorkloadEntry {
+            sql: "SELECT i_title FROM item WHERE i_id = @id".into(),
+            frequency: 500.0,
+        },
+        WorkloadEntry {
+            sql: "SELECT a_lname FROM author WHERE a_id = @id".into(),
+            frequency: 100.0,
+        },
+        WorkloadEntry {
+            sql: "UPDATE cart SET sc_total = @t WHERE sc_id = @id".into(),
+            frequency: 400.0,
+        },
+        WorkloadEntry {
+            sql: "SELECT sc_total FROM cart WHERE sc_id = @id".into(),
+            frequency: 40.0,
+        },
+    ];
+
+    let recs = recommend(&backend.db.read(), &workload, &AdvisorOptions::default()).unwrap();
+    println!("advisor recommendations ({}):\n", recs.len());
+    for r in &recs {
+        println!(
+            "-- benefit {:.0} work-units/s, maintenance {:.0}/s\n{}\n",
+            r.benefit, r.maintenance, r.create_sql
+        );
+    }
+    println!("(cart is write-dominated and correctly NOT recommended; the item view\n projects only the referenced columns, never `i_blob`)");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: set up a backend, add a transparent mid-tier cache, and
+//! watch queries route themselves.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::ReplicationHub;
+
+fn main() {
+    // 1. A backend database server with some data.
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cname VARCHAR, city VARCHAR);
+             GRANT SELECT ON customer TO app;
+             GRANT UPDATE ON customer TO app;",
+        )
+        .unwrap();
+    let inserts: Vec<String> = (1..=10_000)
+        .map(|i| format!("INSERT INTO customer VALUES ({i}, 'customer{i}', 'city{}')", i % 50))
+        .collect();
+    backend.run_script(&inserts.join(";")).unwrap();
+    backend.analyze();
+
+    // 2. An application, written against "the database". It neither knows
+    //    nor cares which server it talks to.
+    let app = |conn: &Connection, cid: i64| {
+        let r = conn
+            .query_with(
+                "SELECT cname, city FROM customer WHERE cid = @cid",
+                &Connection::params(&[("cid", cid.into())]),
+            )
+            .unwrap();
+        (r.rows[0][0].to_string(), r.metrics.remote_calls)
+    };
+
+    let conn = Connection::connect_as(backend.clone(), "app");
+    let (name, _) = app(&conn, 42);
+    println!("direct to backend      : cid=42 -> {name}");
+
+    // 3. Stand up an MTCache server: shadow database + one cached view
+    //    (customers 1..=1000), populated and maintained by replication.
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache1", backend.clone(), hub.clone());
+    cache
+        .create_cached_view(
+            "cust1000",
+            "SELECT cid, cname, city FROM customer WHERE cid <= 1000",
+        )
+        .unwrap();
+
+    // 4. "Re-point the ODBC source": same application code, new handle.
+    let mut conn = conn;
+    conn.reroute(cache.clone());
+
+    let (name, remote) = app(&conn, 42);
+    println!("via cache, cid in view : cid=42 -> {name}   (remote calls: {remote})");
+    let (name, remote) = app(&conn, 4242);
+    println!("via cache, cid outside : cid=4242 -> {name} (remote calls: {remote})");
+
+    // 5. Updates forward transparently and replicate back.
+    conn.query("UPDATE customer SET cname = 'renamed' WHERE cid = 42")
+        .unwrap();
+    hub.lock().pump(1_000).unwrap();
+    let (name, remote) = app(&conn, 42);
+    println!("after update + sync    : cid=42 -> {name}   (remote calls: {remote})");
+
+    println!("\ncache stats: {:?}", cache.stats.lock());
+    println!("backend stats: {:?}", backend.stats.lock());
+}

@@ -1,0 +1,74 @@
+//! Live replication: a real background agent thread (wall clock) keeping a
+//! cached view in sync while writes land on the backend — and a measurement
+//! of true commit-to-apply latency.
+//!
+//! ```sh
+//! cargo run --release --example replication_live
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::{spawn_agent, ReplicationHub, WallClock};
+
+fn main() {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE ticker (t_id INT NOT NULL PRIMARY KEY, t_value FLOAT);
+             GRANT SELECT ON ticker TO app; GRANT INSERT ON ticker TO app;",
+        )
+        .unwrap();
+    backend.analyze();
+
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view("ticker_all", "SELECT t_id, t_value FROM ticker")
+        .unwrap();
+
+    // Background push agent, waking every 20 ms (SQL Server agents poll on
+    // an interval the same way).
+    let agent = spawn_agent(hub.clone(), Arc::new(WallClock), Duration::from_millis(20));
+
+    // Writer: 200 inserts through the cache connection (forwarded to the
+    // backend, then replicated back out to the cached view).
+    let conn = Connection::connect_as(cache.clone(), "app");
+    for i in 1..=200 {
+        conn.query(&format!("INSERT INTO ticker VALUES ({i}, {})", i as f64 * 1.5))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Wait for the agent to drain, bounded.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let caught_up = conn
+            .query("SELECT COUNT(*) AS n FROM ticker")
+            .map(|r| r.rows[0][0].as_i64() == Some(200))
+            .unwrap_or(false)
+            && cache.max_staleness_ms() < 100;
+        if caught_up || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    agent.stop();
+
+    let hub = hub.lock();
+    println!("transactions replicated : {}", hub.metrics.txns_applied);
+    println!("row changes applied     : {}", hub.metrics.changes_applied);
+    println!(
+        "commit→apply latency    : avg {:.1} ms, max {} ms over {} txns",
+        hub.latency.avg_ms(),
+        hub.latency.max_ms,
+        hub.latency.count
+    );
+    println!(
+        "\n(the paper measured 0.55 s average under light load with SQL Server's\n\
+         default ~1 s agent polling; ours is proportional to the 20 ms poll)"
+    );
+}

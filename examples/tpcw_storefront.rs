@@ -1,0 +1,71 @@
+//! A miniature TPC-W storefront run against a cached deployment: shows how
+//! much of each workload's database work the mid-tier absorbs.
+//!
+//! ```sh
+//! cargo run --release --example tpcw_storefront
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mtcache_repro::tpcw::datagen::Scale;
+use mtcache_repro::tpcw::interactions::run_interaction;
+use mtcache_repro::tpcw::mix::Workload;
+use mtcache_repro::tpcw::session::{IdAllocator, Session};
+
+fn main() {
+    let scale = Scale {
+        items: 500,
+        emulated_browsers: 50,
+        seed: 42,
+    };
+    println!(
+        "TPC-W at {} items / {} customers; 300 interactions per workload\n",
+        scale.items,
+        scale.customers()
+    );
+
+    // mtc_bench's deployment builder assembles backend + replication +
+    // a fully configured cache server.
+    let deployment = mtc_bench_deploy(scale);
+
+    println!("{:<10} {:>14} {:>14} {:>12}", "workload", "backend work", "cache work", "% offloaded");
+    // One allocator for the whole run: carts/orders created by one workload
+    // must not collide with the next.
+    let ids = IdAllocator::new(&scale);
+    for workload in Workload::ALL {
+        let conn = deployment.connection();
+        let ids = ids.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut session = Session::new(
+            rng.gen_range(1..=scale.customers() as i64),
+            ids,
+        );
+        deployment.backend.stats.lock().take();
+        deployment.cache.as_ref().unwrap().stats.lock().take();
+        let mix = workload.mix();
+        for i in 0..300 {
+            let interaction = mix.sample(&mut rng);
+            run_interaction(interaction, &conn, &mut session, &scale, &mut rng)
+                .expect("interaction");
+            if i % 10 == 9 {
+                deployment.pump_replication(50);
+            }
+        }
+        let backend_work = deployment.backend.stats.lock().local_work;
+        let cache_work = deployment.cache.as_ref().unwrap().stats.lock().local_work;
+        let offloaded = cache_work / (cache_work + backend_work) * 100.0;
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>11.1}%",
+            workload.name(),
+            backend_work,
+            cache_work,
+            offloaded
+        );
+    }
+    println!("\n(read-heavy mixes offload most work; Ordering keeps its updates on the backend)");
+}
+
+fn mtc_bench_deploy(scale: Scale) -> mtc_bench::Deployment {
+    mtc_bench::Deployment::new(scale, true)
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the MTCache reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can use a single import root.
+
+pub use mtc_engine as engine;
+pub use mtc_replication as replication;
+pub use mtc_sim as sim;
+pub use mtc_sql as sql;
+pub use mtc_storage as storage;
+pub use mtc_tpcw as tpcw;
+pub use mtc_types as types;
+pub use mtcache as cache;

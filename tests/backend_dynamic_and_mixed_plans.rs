@@ -1,0 +1,163 @@
+//! §5.1 on the backend itself: dynamic plans "apply to all materialized
+//! views", not just cached ones — and §5.1.1's mixed-result plans are legal
+//! there because a backend MV is transactionally fresh.
+
+use mtcache_repro::cache::{BackendServer, Connection};
+use mtcache_repro::engine::{bind_select, execute, optimize, ExecContext, OptimizerOptions};
+use mtcache_repro::engine::eval::Bindings;
+use mtcache_repro::sql::{parse_statement, Statement};
+use mtcache_repro::types::{Row, Value};
+
+fn backend() -> std::sync::Arc<BackendServer> {
+    let b = BackendServer::new("backend");
+    b.run_script(
+        "CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cname VARCHAR, caddress VARCHAR)",
+    )
+    .unwrap();
+    let rows: Vec<String> = (1..=5000)
+        .map(|i| format!("INSERT INTO customer VALUES ({i}, 'c{i}', 'a{i}')"))
+        .collect();
+    b.run_script(&rows.join(";")).unwrap();
+    // A regular (non-cached) materialized view on the backend, §5.1 style.
+    b.run_script(
+        "CREATE MATERIALIZED VIEW cust1000 AS \
+         SELECT cid, cname, caddress FROM customer WHERE cid <= 1000",
+    )
+    .unwrap();
+    b.analyze();
+    b
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn backend_dynamic_plan_runs_without_any_remote_server() {
+    let b = backend();
+    let conn = Connection::connect(b.clone());
+    let sql = "SELECT cid, cname, caddress FROM customer WHERE cid <= @v";
+    // Both guard outcomes execute locally — the backend has no remote.
+    for v in [400i64, 4000] {
+        let r = conn
+            .query_with(sql, &Connection::params(&[("v", Value::Int(v))]))
+            .unwrap();
+        assert_eq!(r.rows.len() as i64, v);
+        assert_eq!(r.metrics.remote_calls, 0, "@v = {v} must stay local");
+    }
+    // And the small-parameter case actually uses the MV.
+    let plan = b
+        .explain("SELECT cid FROM customer WHERE cid <= 500")
+        .unwrap();
+    assert!(plan.contains("cust1000"), "MV matched: {plan}");
+}
+
+#[test]
+fn mixed_result_plans_work_on_fresh_views() {
+    // Mixed plans pay off when the base table has no good access path for
+    // the filter (non-key column) while the view covers the common case.
+    let b = BackendServer::new("backend");
+    b.run_script(
+        "CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cgroup INT, cname VARCHAR)",
+    )
+    .unwrap();
+    let rows: Vec<String> = (1..=5000)
+        .map(|i| format!("INSERT INTO customer VALUES ({i}, {}, 'c{i}')", i % 100))
+        .collect();
+    b.run_script(&rows.join(";")).unwrap();
+    b.run_script(
+        "CREATE MATERIALIZED VIEW cust_g2 AS          SELECT cid, cgroup, cname FROM customer WHERE cgroup <= 2",
+    )
+    .unwrap();
+    b.analyze();
+
+    // Build the §5.1.1 mixed plan explicitly through view matching (the
+    // cost model prefers the single-branch dynamic plan on one server —
+    // mixed plans pay off through reduced *transfer volume*, which has no
+    // cost here — so we exercise the mechanics directly).
+    let options = OptimizerOptions::default();
+    let db = b.db.read();
+    let required: Vec<String> = vec![
+        "customer.cid".into(),
+        "customer.cgroup".into(),
+        "customer.cname".into(),
+    ];
+    let conjuncts = vec![mtcache_repro::sql::parse_expression("cgroup <= @v").unwrap()];
+    let matches = mtcache_repro::engine::optimizer::view_match::match_views(
+        &db,
+        "customer",
+        "customer",
+        &db.table_ref("customer").unwrap().schema().qualified("customer"),
+        &conjuncts,
+        &required,
+        mtcache_repro::engine::optimizer::view_match::MatchOptions {
+            enable_dynamic_plans: true,
+            allow_mixed_results: true,
+        },
+    );
+    assert_eq!(matches.len(), 1);
+    let m = &matches[0];
+    assert!(m.mixed, "fresh view allows a mixed plan");
+    let logical = mtcache_repro::engine::optimizer::view_match::recompute_schemas(m.plan.clone());
+    let text = logical.explain();
+    assert!(text.contains("[always]"), "mixed plan shape: {text}");
+    assert!(text.contains("cust_g2"), "{text}");
+    let physical =
+        mtcache_repro::engine::optimizer::location::build(&logical, &db, &options.cost).unwrap();
+
+    // Correctness across the boundary: view part + remainder = full answer.
+    let sql = "SELECT cid, cgroup, cname FROM customer WHERE cgroup <= @v";
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        unreachable!()
+    };
+    let no_views = OptimizerOptions {
+        enable_view_matching: false,
+        ..Default::default()
+    };
+    let plain_plan = optimize(bind_select(&sel, &db).unwrap(), &db, &no_views).unwrap();
+    for v in [0i64, 1, 2, 3, 50, 99] {
+        let mut params = Bindings::new();
+        params.insert("v".into(), Value::Int(v));
+        let ctx = ExecContext {
+            db: &db,
+            remote: None,
+            params: &params,
+            work: &options.cost,
+        };
+        let got = execute(&physical, &ctx).unwrap();
+        // No duplicates between the view part and the remainder.
+        let unique: std::collections::HashSet<&Row> = got.rows.iter().collect();
+        assert_eq!(unique.len(), got.rows.len(), "mixed result must not duplicate");
+        // Same rows as the plain table scan. The standalone matched plan
+        // orders columns alphabetically (the optimizer pipeline's parent
+        // Project normally restores query order), so key rows by the `cid`
+        // column looked up through each result's schema.
+        let want = execute(&plain_plan.physical, &ctx).unwrap();
+        let key = |r: &mtcache_repro::engine::QueryResult| {
+            let idx = r.schema.index_of("cid").unwrap();
+            let mut ids: Vec<i64> = r.rows.iter().map(|row| row[idx].as_i64().unwrap()).collect();
+            ids.sort();
+            ids
+        };
+        assert_eq!(key(&got), key(&want), "@v = {v}");
+    }
+    let _ = sorted; // silence helper-unused in this test body
+}
+
+#[test]
+fn eager_maintenance_keeps_backend_mv_fresh_through_the_dynamic_plan() {
+    let b = backend();
+    let conn = Connection::connect(b.clone());
+    conn.query("UPDATE customer SET cname = 'fresh' WHERE cid = 7")
+        .unwrap();
+    // The MV was maintained in the same transaction; the dynamic plan's
+    // local branch must see the new value immediately.
+    let r = conn
+        .query_with(
+            "SELECT cname FROM customer WHERE cid <= @v AND cid = 7",
+            &Connection::params(&[("v", Value::Int(500))]),
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![Row::new(vec![Value::str("fresh")])]);
+}

@@ -1,0 +1,118 @@
+//! Property-based equivalence: for randomized queries and parameter values,
+//! the cache server answers exactly what the backend answers — the
+//! observable definition of transparency.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::types::{Row, Value};
+
+const N_ROWS: i64 = 3000;
+const VIEW_BOUND: i64 = 1000;
+
+fn setup() -> (Arc<BackendServer>, Arc<CacheServer>) {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, grp INT, val FLOAT, name VARCHAR);
+             CREATE INDEX ix_t_grp ON t (grp);",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=N_ROWS)
+        .map(|i| {
+            format!(
+                "INSERT INTO t VALUES ({i}, {}, {}.5, 'name{}')",
+                i % 17,
+                i % 83,
+                i % 29
+            )
+        })
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub);
+    cache
+        .create_cached_view(
+            "t_head",
+            &format!("SELECT id, grp, val, name FROM t WHERE id <= {VIEW_BOUND}"),
+        )
+        .unwrap();
+    (backend, cache)
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+/// A randomized single-table query over the fixture schema.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let col = prop_oneof![Just("id"), Just("grp"), Just("val")];
+    let op = prop_oneof![Just("<="), Just("<"), Just("="), Just(">="), Just(">"), Just("<>")];
+    (col, op, 0i64..(N_ROWS + 500)).prop_map(|(col, op, bound)| {
+        format!("SELECT id, grp, val FROM t WHERE {col} {op} {bound}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs two full queries over 3000 rows
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_range_queries_agree(sql in query_strategy()) {
+        let (backend, cache) = setup();
+        let b = Connection::connect(backend).query(&sql).unwrap();
+        let c = Connection::connect(cache).query(&sql).unwrap();
+        prop_assert_eq!(sorted(b.rows), sorted(c.rows), "query: {}", sql);
+    }
+
+    #[test]
+    fn random_parameters_agree_across_guard(v in 0i64..(N_ROWS + 500)) {
+        let (backend, cache) = setup();
+        let sql = "SELECT id, grp, val, name FROM t WHERE id <= @v";
+        let params = Connection::params(&[("v", Value::Int(v))]);
+        let b = Connection::connect(backend).query_with(sql, &params).unwrap();
+        let c_res = Connection::connect(cache.clone()).query_with(sql, &params).unwrap();
+        prop_assert_eq!(sorted(b.rows), sorted(c_res.rows), "@v = {}", v);
+        // The routing decision itself must respect the guard.
+        if v <= VIEW_BOUND {
+            prop_assert_eq!(c_res.metrics.remote_calls, 0, "@v = {} should stay local", v);
+        } else {
+            prop_assert!(c_res.metrics.remote_calls > 0, "@v = {} must go remote", v);
+        }
+    }
+
+    #[test]
+    fn random_conjunctions_agree(
+        lo in 0i64..N_ROWS,
+        width in 1i64..800,
+        grp in 0i64..17,
+    ) {
+        let (backend, cache) = setup();
+        let sql = format!(
+            "SELECT id, val FROM t WHERE id >= {lo} AND id <= {} AND grp = {grp}",
+            lo + width
+        );
+        let b = Connection::connect(backend).query(&sql).unwrap();
+        let c = Connection::connect(cache).query(&sql).unwrap();
+        prop_assert_eq!(sorted(b.rows), sorted(c.rows), "query: {}", sql);
+    }
+
+    #[test]
+    fn aggregates_agree(grp in 0i64..17) {
+        let (backend, cache) = setup();
+        let sql = format!(
+            "SELECT COUNT(*) AS n, SUM(val) AS s, MIN(id) AS lo, MAX(id) AS hi FROM t WHERE grp = {grp}"
+        );
+        let b = Connection::connect(backend).query(&sql).unwrap();
+        let c = Connection::connect(cache).query(&sql).unwrap();
+        prop_assert_eq!(b.rows, c.rows, "query: {}", sql);
+    }
+}

@@ -1,0 +1,118 @@
+//! §3: "cached views … may be selections and projections of tables **or
+//! materialized views on the backend server**." This exercises the full
+//! chain: backend aggregate MV → manual refresh (logged diff) → replication
+//! → cached copy on the mid-tier, plus a three-cache-server deployment.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::types::Value;
+
+fn backend_with_orders() -> Arc<BackendServer> {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE order_line (ol_id INT NOT NULL, ol_o_id INT NOT NULL, ol_i_id INT, ol_qty INT, PRIMARY KEY (ol_o_id, ol_id));
+             GRANT SELECT ON order_line TO app;",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=300)
+        .map(|i| {
+            format!(
+                "INSERT INTO order_line VALUES (1, {i}, {}, {})",
+                i % 20 + 1,
+                i % 5 + 1
+            )
+        })
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    backend
+}
+
+#[test]
+fn cached_view_over_backend_aggregate_mv() {
+    let backend = backend_with_orders();
+    // An aggregate materialized view on the backend (best-seller style).
+    backend
+        .run_script(
+            "CREATE MATERIALIZED VIEW sales_by_item AS \
+             SELECT ol_i_id, SUM(ol_qty) AS qty FROM order_line GROUP BY ol_i_id",
+        )
+        .unwrap();
+    backend.run_script("GRANT SELECT ON sales_by_item TO app").unwrap();
+    assert_eq!(
+        backend.db.read().table_ref("sales_by_item").unwrap().row_count(),
+        20
+    );
+
+    // A cache server caches a selection of that MV.
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view("hot_items", "SELECT ol_i_id, qty FROM sales_by_item")
+        .unwrap();
+    assert_eq!(
+        cache.db.read().table_ref("hot_items").unwrap().row_count(),
+        20
+    );
+
+    // A query against the MV is answered locally from the cached copy.
+    let conn = Connection::connect_as(cache.clone(), "app");
+    let r = conn
+        .query("SELECT qty FROM sales_by_item WHERE ol_i_id = 3")
+        .unwrap();
+    assert_eq!(r.metrics.remote_calls, 0, "served from hot_items");
+    let before: i64 = r.rows[0][0].as_i64().unwrap();
+
+    // New sales land; aggregates refresh manually (logged diff), then the
+    // diff replicates to the cached copy.
+    backend
+        .run_script("INSERT INTO order_line VALUES (2, 77, 3, 10)")
+        .unwrap();
+    let changed = backend.refresh_materialized_view("sales_by_item").unwrap();
+    assert!(changed >= 1, "refresh produced a diff");
+    hub.lock().pump(1_000).unwrap();
+
+    let r = conn
+        .query("SELECT qty FROM sales_by_item WHERE ol_i_id = 3")
+        .unwrap();
+    assert_eq!(r.metrics.remote_calls, 0);
+    assert_eq!(r.rows[0][0], Value::Int(before + 10), "diff replicated");
+}
+
+#[test]
+fn three_cache_servers_one_distributor() {
+    let backend = backend_with_orders();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let caches: Vec<Arc<CacheServer>> = (1..=3)
+        .map(|i| {
+            let c = CacheServer::create(&format!("cache{i}"), backend.clone(), hub.clone());
+            c.create_cached_view(
+                &"ol_all".to_string(),
+                "SELECT ol_id, ol_o_id, ol_i_id, ol_qty FROM order_line",
+            )
+            .unwrap();
+            c
+        })
+        .collect();
+
+    // One write fans out to all three subscribers in one distribution pass.
+    backend
+        .run_script("INSERT INTO order_line VALUES (9, 999, 1, 4)")
+        .unwrap();
+    hub.lock().pump(50).unwrap();
+    for c in &caches {
+        let r = Connection::connect_as(c.clone(), "app")
+            .query("SELECT ol_qty FROM order_line WHERE ol_o_id = 999 AND ol_id = 9")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4), "{}", c.name());
+        assert_eq!(r.metrics.remote_calls, 0, "{}", c.name());
+    }
+    // Distribution database truncated once every subscriber is served.
+    assert_eq!(hub.lock().distribution_depth(), 0);
+    assert_eq!(hub.lock().metrics.txns_applied, 3, "one apply per subscriber");
+}

@@ -1,0 +1,140 @@
+//! The paper's core claim: caching is *transparent*. The same application
+//! code, run against the backend and against a cache server, produces the
+//! same answers — queries, parameterized queries, stored procedures and
+//! updates included.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::types::{Row, Value};
+
+fn setup() -> (Arc<BackendServer>, Arc<CacheServer>, Arc<Mutex<ReplicationHub>>) {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE product (p_id INT NOT NULL PRIMARY KEY, p_name VARCHAR, p_price FLOAT, p_category VARCHAR);
+             CREATE INDEX ix_product_cat ON product (p_category);
+             GRANT SELECT ON product TO app;
+             GRANT UPDATE ON product TO app;
+             GRANT INSERT ON product TO app;",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=5000)
+        .map(|i| {
+            format!(
+                "INSERT INTO product VALUES ({i}, 'product{i}', {}.25, 'cat{}')",
+                i % 90,
+                i % 12
+            )
+        })
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend
+        .create_procedure(
+            "priceBand",
+            &["lo", "hi"],
+            "SELECT p_id, p_name, p_price FROM product WHERE p_price BETWEEN @lo AND @hi ORDER BY p_id ASC",
+        )
+        .unwrap();
+    backend.analyze();
+
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view(
+            "hot_products",
+            "SELECT p_id, p_name, p_price, p_category FROM product WHERE p_id <= 2000",
+        )
+        .unwrap();
+    cache.copy_procedure("priceBand").unwrap();
+    (backend, cache, hub)
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn identical_results_for_every_query_shape() {
+    let (backend, cache, _hub) = setup();
+    let queries = [
+        "SELECT p_name FROM product WHERE p_id = 77",
+        "SELECT p_id, p_price FROM product WHERE p_id <= 150 ORDER BY p_price DESC, p_id ASC",
+        "SELECT p_category, COUNT(*) AS n, AVG(p_price) AS avg_price FROM product GROUP BY p_category ORDER BY p_category ASC",
+        "SELECT TOP 7 p_id FROM product WHERE p_category = 'cat3' ORDER BY p_id ASC",
+        "SELECT DISTINCT p_category FROM product WHERE p_id <= 1200 ORDER BY p_category ASC",
+        "SELECT COUNT(*) AS n FROM product WHERE p_name LIKE '%duct12%'",
+        "SELECT p_id FROM product WHERE p_id BETWEEN 1990 AND 2010 ORDER BY p_id ASC",
+    ];
+    let bconn = Connection::connect_as(backend.clone(), "app");
+    let cconn = Connection::connect_as(cache.clone(), "app");
+    for q in queries {
+        let b = bconn.query(q).unwrap_or_else(|e| panic!("backend `{q}`: {e}"));
+        let c = cconn.query(q).unwrap_or_else(|e| panic!("cache `{q}`: {e}"));
+        assert_eq!(b.rows, c.rows, "result mismatch for `{q}`");
+    }
+}
+
+#[test]
+fn parameterized_queries_agree_across_the_guard_boundary() {
+    let (backend, cache, _hub) = setup();
+    let bconn = Connection::connect_as(backend.clone(), "app");
+    let cconn = Connection::connect_as(cache.clone(), "app");
+    let sql = "SELECT p_id, p_name, p_price, p_category FROM product WHERE p_id <= @v";
+    // Values straddling the view boundary (2000), including the exact edge.
+    for v in [1i64, 500, 1999, 2000, 2001, 3500, 5000, 9999] {
+        let params = Connection::params(&[("v", Value::Int(v))]);
+        let b = bconn.query_with(sql, &params).unwrap();
+        let c = cconn.query_with(sql, &params).unwrap();
+        assert_eq!(
+            sorted(b.rows),
+            sorted(c.rows),
+            "mismatch at @v = {v}"
+        );
+    }
+}
+
+#[test]
+fn stored_procedures_agree() {
+    let (backend, cache, _hub) = setup();
+    let bconn = Connection::connect_as(backend.clone(), "app");
+    let cconn = Connection::connect_as(cache.clone(), "app");
+    let call = "EXEC priceBand @lo = 10.0, @hi = 30.0";
+    let b = bconn.query(call).unwrap();
+    let c = cconn.query(call).unwrap();
+    assert!(!b.rows.is_empty());
+    assert_eq!(b.rows, c.rows);
+}
+
+#[test]
+fn updates_through_the_cache_are_visible_everywhere_after_sync() {
+    let (backend, cache, hub) = setup();
+    let cconn = Connection::connect_as(cache.clone(), "app");
+    cconn
+        .query("UPDATE product SET p_price = 999.5 WHERE p_id = 123")
+        .unwrap();
+    // Immediately visible on the backend...
+    let b = Connection::connect_as(backend.clone(), "app")
+        .query("SELECT p_price FROM product WHERE p_id = 123")
+        .unwrap();
+    assert_eq!(b.rows[0][0], Value::Float(999.5));
+    // ...and on the cache after replication catches up.
+    hub.lock().pump(1_000_000).unwrap();
+    let c = cconn
+        .query("SELECT p_price FROM product WHERE p_id = 123")
+        .unwrap();
+    assert_eq!(c.rows[0][0], Value::Float(999.5));
+    assert_eq!(c.metrics.remote_calls, 0, "read served from the cached view");
+}
+
+#[test]
+fn permission_model_is_shadowed() {
+    let (_backend, cache, _hub) = setup();
+    let conn = Connection::connect_as(cache, "intruder");
+    let err = conn.query("SELECT p_name FROM product WHERE p_id = 1").unwrap_err();
+    assert_eq!(err.kind(), "permission");
+}
