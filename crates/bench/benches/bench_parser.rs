@@ -1,6 +1,6 @@
 //! Microbenchmark: SQL parsing throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mtc_util::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mtc_util::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mtc_engine::{bind_select, optimize, CostModel, OptimizerOptions};

@@ -4,7 +4,7 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mtc_util::bench::{criterion_group, criterion_main, Criterion};
 
 use mtc_storage::RowChange;
 use mtc_types::row;

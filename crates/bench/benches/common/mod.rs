@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mtc_util::sync::Mutex;
 
 use mtc_replication::ReplicationHub;
 use mtcache::{BackendServer, CacheServer};

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mtc_util::sync::Mutex;
 
 use mtc_replication::{Clock, ManualClock, ReplicationHub};
 use mtc_tpcw::datagen::{generate, Scale};

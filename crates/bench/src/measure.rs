@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 use mtc_sim::TierDemands;
 use mtc_tpcw::interactions::{run_interaction, Interaction};

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use mtc_util::sync::{Mutex, RwLock};
 
 use mtc_engine::eval::Bindings;
 use mtc_engine::{

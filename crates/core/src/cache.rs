@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use mtc_util::sync::{Mutex, RwLock};
 
 use mtc_engine::eval::Bindings;
 use mtc_engine::{bind_select, execute, ExecContext, OptimizerOptions, QueryResult};

@@ -100,7 +100,7 @@ impl Connection {
 mod tests {
     use super::*;
     use mtc_replication::ReplicationHub;
-    use parking_lot::Mutex;
+    use mtc_util::sync::Mutex;
 
     #[test]
     fn same_code_runs_against_backend_and_cache() {

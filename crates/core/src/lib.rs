@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use parking_lot::Mutex;
+//! use mtc_util::sync::Mutex;
 //! use mtcache::{BackendServer, CacheServer, Connection};
 //! use mtc_replication::ReplicationHub;
 //!

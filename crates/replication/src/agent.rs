@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use mtc_util::sync::Mutex;
 
 use crate::clock::Clock;
 use crate::hub::ReplicationHub;
@@ -77,7 +77,7 @@ mod tests {
     use mtc_sql::{parse_statement, Statement};
     use mtc_storage::{Database, RowChange};
     use mtc_types::{row, Column, DataType, Schema};
-    use parking_lot::RwLock;
+    use mtc_util::sync::RwLock;
 
     #[test]
     fn agent_applies_changes_in_background() {

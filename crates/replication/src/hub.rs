@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use mtc_util::sync::RwLock;
 
 use mtc_storage::{CommittedTransaction, Database, Lsn, RowChange};
 use mtc_types::{Error, Result, Row, Schema};
@@ -215,13 +215,25 @@ impl ReplicationHub {
                     &txn.changes,
                 )?;
                 if !changes.is_empty() {
+                    // Ship the filtered transaction through a wire frame:
+                    // the subscriber applies what it *decodes*, not what the
+                    // distributor holds in memory, so the codec sits on the
+                    // real delivery path.
+                    let framed = CommittedTransaction {
+                        lsn: txn.lsn,
+                        commit_ts_ms: txn.commit_ts_ms,
+                        changes,
+                    };
+                    let frame = crate::wire::encode_frame(&framed);
+                    self.metrics.wire_bytes += frame.len() as u64;
+                    let delivered = crate::wire::decode_frame(&frame)?;
                     let mut tdb = sub.target.write();
-                    tdb.apply_unlogged(&changes)?;
+                    tdb.apply_unlogged(&delivered.changes)?;
                     self.metrics.txns_applied += 1;
-                    self.metrics.changes_applied += changes.len() as u64;
+                    self.metrics.changes_applied += delivered.changes.len() as u64;
                     self.metrics.apply_work +=
-                        self.costs.apply_per_change * changes.len() as f64;
-                    self.latency.record(now_ms - txn.commit_ts_ms);
+                        self.costs.apply_per_change * delivered.changes.len() as f64;
+                    self.latency.record(now_ms - delivered.commit_ts_ms);
                 }
                 sub.next_lsn = txn.lsn.next();
                 sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
@@ -540,6 +552,38 @@ mod tests {
         assert_eq!(hub.distribution_depth(), 5);
         hub.run_distribution(100).unwrap();
         assert_eq!(hub.distribution_depth(), 0, "delivered ⇒ truncated");
+    }
+
+    #[test]
+    fn delivery_goes_through_wire_frames() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        assert_eq!(hub.metrics.wire_bytes, 0, "snapshot is not framed");
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Update {
+                    table: "customer".into(),
+                    before: row![7, "c7", 0.0],
+                    after: row![7, "c7x", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(20).unwrap();
+        // Frame = magic + version + lsn + ts + count + one Update change
+        // with projected before/after images; must be non-trivial.
+        assert!(
+            hub.metrics.wire_bytes > 10,
+            "wire bytes: {}",
+            hub.metrics.wire_bytes
+        );
+        let db = cache.read();
+        assert_eq!(
+            db.table_ref("cust50").unwrap().get(&row![7]).unwrap()[1],
+            Value::str("c7x"),
+            "decoded frame applied"
+        );
     }
 
     #[test]

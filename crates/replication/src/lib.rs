@@ -23,9 +23,11 @@ pub mod article;
 pub mod clock;
 pub mod hub;
 pub mod metrics;
+pub mod wire;
 
 pub use agent::{spawn_agent, AgentHandle};
 pub use article::Article;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use hub::{ReplicationHub, SubscriptionId, SubscriptionInfo};
 pub use metrics::{LatencyStats, ReplicationMetrics};
+pub use wire::{decode_frame, encode_frame};

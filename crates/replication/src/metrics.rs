@@ -20,6 +20,9 @@ pub struct ReplicationMetrics {
     pub reader_work: f64,
     /// Work units consumed on subscribers (applying changes).
     pub apply_work: f64,
+    /// Bytes of encoded wire frames shipped from the distributor to
+    /// subscribers (every delivered transaction crosses the codec).
+    pub wire_bytes: u64,
 }
 
 /// Commit-to-apply latency distribution (Experiment 3's metric: time from

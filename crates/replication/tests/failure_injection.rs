@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use mtc_util::sync::RwLock;
 
 use mtc_replication::{Article, ReplicationHub};
 use mtc_sql::{parse_statement, Statement};

@@ -10,8 +10,8 @@
 //! is why the paper measures 0.55 s lightly loaded but 1.67 s with every
 //! machine saturated.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 /// Configuration of one latency simulation.
 #[derive(Debug, Clone)]

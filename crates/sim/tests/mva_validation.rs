@@ -3,8 +3,8 @@
 //! with exponential service). Product-form theory says they must agree;
 //! this guards the solver against off-by-one and bookkeeping bugs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 use mtc_sim::ClosedNetwork;
 
@@ -20,12 +20,6 @@ fn simulate(
     horizon: f64,
     seed: u64,
 ) -> (f64, Vec<f64>) {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Ev {
-        ArriveAt(usize),
-        // Service completion at station .0
-        Done(usize),
-    }
     let mut rng = StdRng::seed_from_u64(seed);
     let stations = demands.len();
     let mut queues: Vec<std::collections::VecDeque<usize>> =
@@ -64,7 +58,7 @@ fn simulate(
         }
         last_t = now;
 
-        let mut start_service = |s: usize,
+        let start_service = |s: usize,
                                  user: usize,
                                  rng: &mut StdRng,
                                  events: &mut std::collections::BinaryHeap<(

@@ -6,7 +6,8 @@
 //! transaction appends one [`CommittedTransaction`] carrying its row-level
 //! changes in order, and the replication crate's log reader tails it.
 
-use mtc_types::Row;
+use mtc_types::codec::{write_str, write_varint, write_zigzag};
+use mtc_types::{BinCodec, ByteReader, Error, Result, Row};
 
 /// Log sequence number — position of a committed transaction in the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -77,6 +78,100 @@ pub struct CommittedTransaction {
     /// (the simulator's clock during experiments).
     pub commit_ts_ms: i64,
     pub changes: Vec<RowChange>,
+}
+
+// --- Wire encoding -------------------------------------------------------
+//
+// Committed transactions are what the replication pipeline ships from the
+// publisher to subscribers, so they (and their row changes) carry the
+// in-tree binary codec. Tags: 0 = Insert, 1 = Update, 2 = Delete.
+
+impl BinCodec for Lsn {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.0);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Lsn> {
+        Ok(Lsn(r.read_varint()?))
+    }
+}
+
+impl BinCodec for RowChange {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RowChange::Insert { table, row } => {
+                out.push(0);
+                write_str(out, table);
+                row.encode_into(out);
+            }
+            RowChange::Update {
+                table,
+                before,
+                after,
+            } => {
+                out.push(1);
+                write_str(out, table);
+                before.encode_into(out);
+                after.encode_into(out);
+            }
+            RowChange::Delete { table, row } => {
+                out.push(2);
+                write_str(out, table);
+                row.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<RowChange> {
+        Ok(match r.read_u8()? {
+            0 => RowChange::Insert {
+                table: r.read_str()?.to_string(),
+                row: Row::decode_from(r)?,
+            },
+            1 => RowChange::Update {
+                table: r.read_str()?.to_string(),
+                before: Row::decode_from(r)?,
+                after: Row::decode_from(r)?,
+            },
+            2 => RowChange::Delete {
+                table: r.read_str()?.to_string(),
+                row: Row::decode_from(r)?,
+            },
+            tag => return Err(Error::encoding(format!("unknown RowChange tag {tag}"))),
+        })
+    }
+}
+
+impl BinCodec for CommittedTransaction {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.lsn.encode_into(out);
+        write_zigzag(out, self.commit_ts_ms);
+        write_varint(out, self.changes.len() as u64);
+        for c in &self.changes {
+            c.encode_into(out);
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<CommittedTransaction> {
+        let lsn = Lsn::decode_from(r)?;
+        let commit_ts_ms = r.read_zigzag()?;
+        let n = r.read_varint()? as usize;
+        if n > r.remaining() {
+            return Err(Error::encoding(format!(
+                "change count {n} exceeds remaining input {}",
+                r.remaining()
+            )));
+        }
+        let mut changes = Vec::with_capacity(n);
+        for _ in 0..n {
+            changes.push(RowChange::decode_from(r)?);
+        }
+        Ok(CommittedTransaction {
+            lsn,
+            commit_ts_ms,
+            changes,
+        })
+    }
 }
 
 /// Append-only transaction log.
@@ -202,5 +297,39 @@ mod tests {
             row: row![1],
         };
         assert!(del.after_image().is_none());
+    }
+
+    #[test]
+    fn committed_transaction_round_trips_through_codec() {
+        let txn = CommittedTransaction {
+            lsn: Lsn(42),
+            commit_ts_ms: -7, // clocks can start before the epoch in tests
+            changes: vec![
+                RowChange::Insert {
+                    table: "t".into(),
+                    row: row![1, "a", 2.5],
+                },
+                RowChange::Update {
+                    table: "t".into(),
+                    before: row![1, "a", 2.5],
+                    after: row![1, "b", mtc_types::Value::Null],
+                },
+                RowChange::Delete {
+                    table: "other".into(),
+                    row: row![9],
+                },
+            ],
+        };
+        let bytes = txn.to_bytes();
+        assert_eq!(CommittedTransaction::from_bytes(&bytes).unwrap(), txn);
+        // Truncation anywhere is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(CommittedTransaction::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn row_change_codec_rejects_unknown_tag() {
+        assert!(RowChange::from_bytes(&[9, 0]).is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! Scaled TPC-W data generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 use mtc_storage::RowChange;
 use mtc_types::{Result, Row, Value};
@@ -116,8 +116,8 @@ pub fn generate(backend: &BackendServer, scale: Scale) -> Result<Scale> {
                 Value::Int(c_id % scale.addresses() as i64 + 1),
                 Value::str("555-0100"),
                 Value::str(format!("user{c_id}@example.com")),
-                Value::Timestamp(now_ms - rng.gen_range(0..1_000_000)),
-                Value::Timestamp(now_ms - rng.gen_range(0..100_000)),
+                Value::Timestamp(now_ms - rng.gen_range(0..1_000_000i64)),
+                Value::Timestamp(now_ms - rng.gen_range(0..100_000i64)),
                 Value::Float(rng.gen_range(0.0..0.5)),
                 Value::Float(0.0),
                 Value::Float(rng.gen_range(0.0..1000.0)),
@@ -145,7 +145,7 @@ pub fn generate(backend: &BackendServer, scale: Scale) -> Result<Scale> {
                 Value::Int(i_id),
                 Value::str(format!("title {} vol {}", word(i_id), i_id)),
                 Value::Int(rng.gen_range(1..=scale.authors() as i64)),
-                Value::Timestamp(now_ms - rng.gen_range(0..2_000_000)),
+                Value::Timestamp(now_ms - rng.gen_range(0..2_000_000i64)),
                 Value::str(format!("publisher{}", i_id % 20)),
                 Value::str(SUBJECTS[(i_id as usize) % SUBJECTS.len()]),
                 Value::str("description"),
@@ -167,12 +167,12 @@ pub fn generate(backend: &BackendServer, scale: Scale) -> Result<Scale> {
             vec![
                 Value::Int(o_id),
                 Value::Int(c_id),
-                Value::Timestamp(now_ms - rng.gen_range(0..1_000_000)),
+                Value::Timestamp(now_ms - rng.gen_range(0..1_000_000i64)),
                 Value::Float(sub),
                 Value::Float(sub * 0.08),
                 Value::Float(sub * 1.08),
                 Value::str(SHIP_TYPES[rng.gen_range(0..SHIP_TYPES.len())]),
-                Value::Timestamp(now_ms - rng.gen_range(0..500_000)),
+                Value::Timestamp(now_ms - rng.gen_range(0..500_000i64)),
                 Value::Int(c_id % scale.addresses() as i64 + 1),
                 Value::Int(c_id % scale.addresses() as i64 + 1),
                 Value::str(STATUS_TYPES[rng.gen_range(0..STATUS_TYPES.len())]),
@@ -200,7 +200,7 @@ pub fn generate(backend: &BackendServer, scale: Scale) -> Result<Scale> {
                 Value::str("4111111111111111"),
                 Value::str("card holder"),
                 Value::Float(sub * 1.08),
-                Value::Timestamp(now_ms - rng.gen_range(0..500_000)),
+                Value::Timestamp(now_ms - rng.gen_range(0..500_000i64)),
                 Value::Int(rng.gen_range(1..=scale.countries() as i64)),
             ],
         ));

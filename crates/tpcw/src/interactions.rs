@@ -4,7 +4,7 @@
 //! pages issue, against whatever server the connection points at — the
 //! backend directly (baseline) or a cache server (MTCache configuration).
 
-use rand::Rng;
+use mtc_util::rng::Rng;
 
 use mtc_engine::ExecMetrics;
 use mtc_types::{Result, Value};
@@ -402,8 +402,8 @@ mod tests {
     use crate::procs::register_all;
     use crate::session::IdAllocator;
     use mtcache::BackendServer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mtc_util::rng::StdRng;
+    use mtc_util::rng::SeedableRng;
 
     #[test]
     fn every_interaction_runs_against_backend() {

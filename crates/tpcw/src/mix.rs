@@ -1,6 +1,6 @@
 //! The three TPC-W workload mixes.
 
-use rand::Rng;
+use mtc_util::rng::Rng;
 
 use crate::interactions::Interaction;
 
@@ -125,8 +125,8 @@ impl Mix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mtc_util::rng::StdRng;
+    use mtc_util::rng::SeedableRng;
 
     /// §6.1.1's table: Browsing 95/5, Shopping 80/20, Ordering 50/50.
     #[test]

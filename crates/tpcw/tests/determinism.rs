@@ -1,0 +1,94 @@
+//! Same-seed reproducibility of the workload substrate.
+//!
+//! The experiments in §6 are only comparable across configurations if the
+//! generated database and the sampled interaction stream are functions of
+//! the seed alone. With the in-tree `mtc_util::rng` this is a hard
+//! guarantee (no platform- or version-dependent stream), which these tests
+//! pin: generating twice with one seed is bit-identical, and a different
+//! seed actually changes the data.
+
+use mtc_tpcw::{generate, Scale, Workload};
+use mtc_util::rng::{Rng, SeedableRng, StdRng};
+use mtcache::BackendServer;
+use mtc_types::Row;
+
+/// Scans every table of a generated database into a comparable snapshot.
+fn snapshot(backend: &BackendServer) -> Vec<(String, Vec<Row>)> {
+    let db = backend.db.read();
+    let mut tables: Vec<(String, Vec<Row>)> = db
+        .tables()
+        .map(|t| (t.name().to_string(), t.scan().cloned().collect()))
+        .collect();
+    tables.sort_by(|a, b| a.0.cmp(&b.0));
+    tables
+}
+
+fn generate_with_seed(seed: u64) -> Vec<(String, Vec<Row>)> {
+    let backend = BackendServer::new("backend");
+    let mut scale = Scale::tiny();
+    scale.seed = seed;
+    generate(&backend, scale).unwrap();
+    snapshot(&backend)
+}
+
+#[test]
+fn same_seed_generates_identical_database() {
+    let a = generate_with_seed(1234);
+    let b = generate_with_seed(1234);
+    assert_eq!(a, b, "datagen must be a pure function of the seed");
+}
+
+#[test]
+fn different_seed_generates_different_database() {
+    let a = generate_with_seed(1234);
+    let b = generate_with_seed(4321);
+    assert_ne!(a, b, "seed must actually drive the generator");
+}
+
+#[test]
+fn same_seed_samples_identical_interaction_mix() {
+    for workload in Workload::ALL {
+        let mix = workload.mix();
+        let sample_stream = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..2_000).map(|_| mix.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = sample_stream(99);
+        let b = sample_stream(99);
+        assert_eq!(a, b, "{} mix must replay under one seed", mix.name);
+        let c = sample_stream(100);
+        assert_ne!(a, c, "{} mix must vary across seeds", mix.name);
+    }
+}
+
+#[test]
+fn mix_weights_are_respected_under_the_in_tree_rng() {
+    // Sanity: Browsing is ~95% browse-class; the sampled stream should be
+    // within a few points of the analytic fraction.
+    let mix = Workload::Browsing.mix();
+    let expected = mix.browse_fraction();
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 20_000;
+    let browse = (0..n)
+        .filter(|_| mix.sample(&mut rng).is_browse_class())
+        .count();
+    let observed = browse as f64 / n as f64;
+    assert!(
+        (observed - expected).abs() < 0.02,
+        "observed {observed:.3}, expected {expected:.3}"
+    );
+}
+
+#[test]
+fn rng_streams_are_independent_per_seed_not_time() {
+    // Guard against accidental reintroduction of entropy-based seeding in
+    // the substrate: two RNGs created back-to-back from the same seed agree
+    // on an arbitrary mixed-draw sequence.
+    let mut a = StdRng::seed_from_u64(0xDEADBEEF);
+    let mut b = StdRng::seed_from_u64(0xDEADBEEF);
+    for _ in 0..1_000 {
+        assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        assert_eq!(a.gen_bool(0.3), b.gen_bool(0.3));
+        assert_eq!(a.gen_range(-5.0..5.0).to_bits(), b.gen_range(-5.0..5.0).to_bits());
+    }
+}

@@ -30,6 +30,8 @@ pub enum Error {
     Replication(String),
     /// A query's freshness requirement cannot be met by any cached view.
     Freshness(String),
+    /// Binary encode/decode failures (wire frames, persisted bytes).
+    Encoding(String),
 }
 
 impl Error {
@@ -60,6 +62,9 @@ impl Error {
     pub fn freshness(msg: impl Into<String>) -> Error {
         Error::Freshness(msg.into())
     }
+    pub fn encoding(msg: impl Into<String>) -> Error {
+        Error::Encoding(msg.into())
+    }
 
     /// Short machine-readable category name.
     pub fn kind(&self) -> &'static str {
@@ -73,6 +78,7 @@ impl Error {
             Error::Constraint(_) => "constraint",
             Error::Replication(_) => "replication",
             Error::Freshness(_) => "freshness",
+            Error::Encoding(_) => "encoding",
         }
     }
 }
@@ -89,6 +95,7 @@ impl fmt::Display for Error {
             Error::Constraint(m) => ("constraint violation", m),
             Error::Replication(m) => ("replication error", m),
             Error::Freshness(m) => ("freshness violation", m),
+            Error::Encoding(m) => ("encoding error", m),
         };
         write!(f, "{kind}: {msg}")
     }

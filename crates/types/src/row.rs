@@ -10,7 +10,7 @@ use crate::value::Value;
 /// Rows flow through physical operators by value; cloning a row clones its
 /// `Vec` but string payloads are `Arc<str>`, so clones are cheap in the
 /// common string-heavy TPC-W rows.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Row(pub Vec<Value>);
 
 impl Row {

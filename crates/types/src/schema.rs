@@ -5,7 +5,7 @@ use crate::value::DataType;
 use crate::normalize_ident;
 
 /// A column definition: name, type, nullability.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     pub name: String,
     pub dtype: DataType,
@@ -36,7 +36,7 @@ impl Column {
 ///
 /// Column lookup is by (normalized) name; output schemas produced by joins
 /// may qualify duplicated names as `alias.column`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<Column>,
 }

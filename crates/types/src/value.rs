@@ -11,7 +11,7 @@ use crate::error::{Error, Result};
 ///
 /// This is the subset a TPC-W schema needs; `Timestamp` stores milliseconds
 /// since an arbitrary epoch (the simulator's clock origin).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -70,7 +70,7 @@ impl fmt::Display for DataType {
 /// `Null` sorts before everything, then `Bool < Int/Float < Str < Timestamp`.
 /// `Int` and `Float` compare numerically with each other so a predicate like
 /// `price > 10` works whether `price` was loaded as an int or a float.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),

@@ -1,0 +1,215 @@
+//! A tiny microbenchmark harness, replacing `criterion`.
+//!
+//! Surface-compatible with the slice of criterion the workspace's nine
+//! `harness = false` benches use: `Criterion::default()`,
+//! `bench_function(name, |b| b.iter(|| ...))` and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Methodology is the
+//! classic warmup → calibrate → sample loop:
+//!
+//! 1. **Warmup** runs the closure for ~`warmup` wall time so caches,
+//!    branch predictors and lazily initialized state settle.
+//! 2. **Calibration** picks an iteration count per sample targeting
+//!    ~`measure / samples` per batch, so per-sample timer overhead is
+//!    amortized for nanosecond-scale bodies.
+//! 3. **Sampling** collects `samples` batches and reports min / median /
+//!    mean per-iteration time.
+//!
+//! Set `MTC_BENCH_QUICK=1` to shrink times by ~10× (useful in CI smoke
+//! runs where you only care that the bench executes).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects and prints one report per `bench_function`.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::var("MTC_BENCH_QUICK").is_ok();
+        Criterion {
+            warmup: Duration::from_millis(if quick { 5 } else { 60 }),
+            measure: Duration::from_millis(if quick { 20 } else { 300 }),
+            samples: if quick { 10 } else { 30 },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warmup = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    pub fn sample_count(mut self, n: usize) -> Criterion {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Runs one named benchmark. The closure receives a [`Bencher`] and is
+    /// expected to call [`Bencher::iter`] exactly once (criterion's
+    /// contract as used in this workspace).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples: self.samples,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Criterion compatibility no-op (criterion prints a summary on drop).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `body`, storing per-iteration samples for the report.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warmup + rough rate estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Batch size so each sample takes ~measure/samples.
+        let target_sample = self.measure.as_secs_f64() / self.samples as f64;
+        let batch = ((target_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{name:<40} (no samples — iter() never called)");
+            return;
+        }
+        let mut sorted = self.per_iter_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro:
+/// `criterion_group!(benches, bench_a, bench_b);` expands to a
+/// `fn benches()` that runs each benchmark function against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main()` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Make the macros importable as `mtc_util::bench::{criterion_group, criterion_main}`
+// so bench files migrate from criterion with a one-line import swap.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("MTC_BENCH_QUICK", "1");
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5))
+            .sample_count(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0, "body never executed");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with("s"));
+    }
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        fn tiny(c: &mut Criterion) {
+            c.bench_function("macro_smoke", |b| b.iter(|| black_box(1 + 1)));
+        }
+        // Expand the macro inside a test: we only need the generated fn.
+        criterion_group!(test_group, tiny);
+        std::env::set_var("MTC_BENCH_QUICK", "1");
+        test_group();
+    }
+}

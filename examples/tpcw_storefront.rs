@@ -5,8 +5,8 @@
 //! cargo run --release --example tpcw_storefront
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 use mtcache_repro::tpcw::datagen::Scale;
 use mtcache_repro::tpcw::interactions::run_interaction;

@@ -4,8 +4,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
+use mtc_util::check::{self, Config};
+use mtc_util::rng::Rng;
+use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
 use mtcache_repro::engine::{bind_select, optimize, OptimizerOptions};
@@ -55,97 +56,111 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 20,
-        .. ProptestConfig::default()
-    })]
+/// §5.1: the dynamic plan's result equals the backend's for every
+/// parameter value, and only one branch ever executes.
+#[test]
+fn dynamic_plan_equals_ground_truth() {
+    check::run(
+        &Config::cases(20),
+        "dynamic_plan_equals_ground_truth",
+        |rng| rng.gen_range(0i64..(N + 200)),
+        |&v| {
+            let (backend, cache) = setup();
+            let sql = "SELECT ckey, name FROM customer WHERE ckey <= @v";
+            let params = Connection::params(&[("v", Value::Int(v))]);
+            let truth = Connection::connect(backend).query_with(sql, &params).unwrap();
+            let cached = Connection::connect(cache).query_with(sql, &params).unwrap();
+            assert_eq!(sorted(truth.rows), sorted(cached.rows), "@v = {v}");
+            // Exactly one branch: local (0 remote calls) xor remote (1 call).
+            assert!(cached.metrics.remote_calls <= 1);
+            assert_eq!(cached.metrics.remote_calls == 0, v <= BOUND, "@v = {v}");
+        },
+    );
+}
 
-    /// §5.1: the dynamic plan's result equals the backend's for every
-    /// parameter value, and only one branch ever executes.
-    #[test]
-    fn dynamic_plan_equals_ground_truth(v in 0i64..(N + 200)) {
-        let (backend, cache) = setup();
-        let sql = "SELECT ckey, name FROM customer WHERE ckey <= @v";
-        let params = Connection::params(&[("v", Value::Int(v))]);
-        let truth = Connection::connect(backend).query_with(sql, &params).unwrap();
-        let cached = Connection::connect(cache).query_with(sql, &params).unwrap();
-        prop_assert_eq!(sorted(truth.rows), sorted(cached.rows), "@v = {}", v);
-        // Exactly one branch: local (0 remote calls) xor remote (1 call).
-        prop_assert!(cached.metrics.remote_calls <= 1);
-        prop_assert_eq!(cached.metrics.remote_calls == 0, v <= BOUND, "@v = {}", v);
-    }
+/// §5.1.2: pulling ChoosePlan above a join never changes the answer.
+#[test]
+fn pullup_preserves_join_results() {
+    check::run(
+        &Config::cases(20),
+        "pullup_preserves_join_results",
+        |rng| rng.gen_range(0i64..(N + 200)),
+        |&v| {
+            let (backend, cache) = setup();
+            let sql = "SELECT c.name, o.total FROM customer AS c, orders AS o \
+                       WHERE c.ckey = o.ckey AND c.ckey <= @v";
+            let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+                unreachable!()
+            };
+            let mut params = Bindings::new();
+            params.insert("v".into(), Value::Int(v));
+            let db = cache.db.read();
+            let remote: &dyn mtcache_repro::engine::RemoteExecutor = &*backend;
 
-    /// §5.1.2: pulling ChoosePlan above a join never changes the answer.
-    #[test]
-    fn pullup_preserves_join_results(v in 0i64..(N + 200)) {
-        let (backend, cache) = setup();
-        let sql = "SELECT c.name, o.total FROM customer AS c, orders AS o \
-                   WHERE c.ckey = o.ckey AND c.ckey <= @v";
-        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
-            unreachable!()
-        };
-        let mut params = Bindings::new();
-        params.insert("v".into(), Value::Int(v));
-        let db = cache.db.read();
-        let remote: &dyn mtcache_repro::engine::RemoteExecutor = &*backend;
+            let mut rows_by_mode = Vec::new();
+            for pullup in [true, false] {
+                let options = OptimizerOptions {
+                    enable_choose_plan_pullup: pullup,
+                    ..Default::default()
+                };
+                let plan = bind_select(&sel, &db).unwrap();
+                let optimized = optimize(plan, &db, &options).unwrap();
+                let ctx = ExecContext {
+                    db: &db,
+                    remote: Some(remote),
+                    params: &params,
+                    work: &options.cost,
+                };
+                rows_by_mode.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
+            }
+            let with_pullup = rows_by_mode.remove(0);
+            let without = rows_by_mode.remove(0);
+            assert_eq!(with_pullup, without, "@v = {v}");
+        },
+    );
+}
 
-        let mut rows_by_mode = Vec::new();
-        for pullup in [true, false] {
-            let options = OptimizerOptions {
-                enable_choose_plan_pullup: pullup,
-                ..Default::default()
+/// View matching soundness: disabling it never changes results, only
+/// where they are computed.
+#[test]
+fn view_matching_is_sound() {
+    check::run(
+        &Config::cases(20),
+        "view_matching_is_sound",
+        |rng| (rng.gen_range(0i64..N), rng.gen_range(0i64..600)),
+        |&(lo, width)| {
+            let (backend, cache) = setup();
+            let sql = format!(
+                "SELECT ckey, name FROM customer WHERE ckey >= {lo} AND ckey <= {}",
+                lo + width
+            );
+            let Statement::Select(sel) = parse_statement(&sql).unwrap() else {
+                unreachable!()
             };
-            let plan = bind_select(&sel, &db).unwrap();
-            let optimized = optimize(plan, &db, &options).unwrap();
-            let ctx = ExecContext {
-                db: &db,
-                remote: Some(remote),
-                params: &params,
-                work: &options.cost,
-            };
-            rows_by_mode.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
-        }
-        let with_pullup = rows_by_mode.remove(0);
-        let without = rows_by_mode.remove(0);
-        prop_assert_eq!(with_pullup, without, "@v = {}", v);
-    }
-
-    /// View matching soundness: disabling it never changes results, only
-    /// where they are computed.
-    #[test]
-    fn view_matching_is_sound(lo in 0i64..N, width in 0i64..600) {
-        let (backend, cache) = setup();
-        let sql = format!(
-            "SELECT ckey, name FROM customer WHERE ckey >= {lo} AND ckey <= {}",
-            lo + width
-        );
-        let Statement::Select(sel) = parse_statement(&sql).unwrap() else {
-            unreachable!()
-        };
-        let db = cache.db.read();
-        let remote: &dyn mtcache_repro::engine::RemoteExecutor = &*backend;
-        let params = Bindings::new();
-        let mut results = Vec::new();
-        for matching in [true, false] {
-            let options = OptimizerOptions {
-                enable_view_matching: matching,
-                ..Default::default()
-            };
-            let plan = bind_select(&sel, &db).unwrap();
-            let optimized = optimize(plan, &db, &options).unwrap();
-            let ctx = ExecContext {
-                db: &db,
-                remote: Some(remote),
-                params: &params,
-                work: &options.cost,
-            };
-            results.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
-        }
-        let with = results.remove(0);
-        let without = results.remove(0);
-        prop_assert_eq!(with, without, "query: {}", sql);
-    }
+            let db = cache.db.read();
+            let remote: &dyn mtcache_repro::engine::RemoteExecutor = &*backend;
+            let params = Bindings::new();
+            let mut results = Vec::new();
+            for matching in [true, false] {
+                let options = OptimizerOptions {
+                    enable_view_matching: matching,
+                    ..Default::default()
+                };
+                let plan = bind_select(&sel, &db).unwrap();
+                let optimized = optimize(plan, &db, &options).unwrap();
+                let ctx = ExecContext {
+                    db: &db,
+                    remote: Some(remote),
+                    params: &params,
+                    work: &options.cost,
+                };
+                results.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
+            }
+            let with = results.remove(0);
+            let without = results.remove(0);
+            assert_eq!(with, without, "query: {sql}");
+        },
+    );
 }
 
 /// The paper's guard-boundary behavior, pinned exactly (not property-based,

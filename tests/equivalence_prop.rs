@@ -4,8 +4,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
+use mtc_util::check::{self, Config};
+use mtc_util::rng::{Rng, StdRng};
+use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
 use mtcache_repro::replication::ReplicationHub;
@@ -50,69 +51,95 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-/// A randomized single-table query over the fixture schema.
-fn query_strategy() -> impl Strategy<Value = String> {
-    let col = prop_oneof![Just("id"), Just("grp"), Just("val")];
-    let op = prop_oneof![Just("<="), Just("<"), Just("="), Just(">="), Just(">"), Just("<>")];
-    (col, op, 0i64..(N_ROWS + 500)).prop_map(|(col, op, bound)| {
-        format!("SELECT id, grp, val FROM t WHERE {col} {op} {bound}")
-    })
+/// A randomized single-table query over the fixture schema (old
+/// `query_strategy`).
+fn gen_query(rng: &mut StdRng) -> String {
+    let col = *rng.choose(&["id", "grp", "val"]).unwrap();
+    let op = *rng.choose(&["<=", "<", "=", ">=", ">", "<>"]).unwrap();
+    let bound = rng.gen_range(0i64..(N_ROWS + 500));
+    format!("SELECT id, grp, val FROM t WHERE {col} {op} {bound}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case runs two full queries over 3000 rows
-        .. ProptestConfig::default()
-    })]
+#[test]
+fn random_range_queries_agree() {
+    check::run(
+        // Each case runs two full queries over 3000 rows.
+        &Config::cases(24),
+        "random_range_queries_agree",
+        gen_query,
+        |sql| {
+            let (backend, cache) = setup();
+            let b = Connection::connect(backend).query(sql).unwrap();
+            let c = Connection::connect(cache).query(sql).unwrap();
+            assert_eq!(sorted(b.rows), sorted(c.rows), "query: {sql}");
+        },
+    );
+}
 
-    #[test]
-    fn random_range_queries_agree(sql in query_strategy()) {
-        let (backend, cache) = setup();
-        let b = Connection::connect(backend).query(&sql).unwrap();
-        let c = Connection::connect(cache).query(&sql).unwrap();
-        prop_assert_eq!(sorted(b.rows), sorted(c.rows), "query: {}", sql);
-    }
+#[test]
+fn random_parameters_agree_across_guard() {
+    check::run(
+        &Config::cases(24),
+        "random_parameters_agree_across_guard",
+        |rng| rng.gen_range(0i64..(N_ROWS + 500)),
+        |&v| {
+            let (backend, cache) = setup();
+            let sql = "SELECT id, grp, val, name FROM t WHERE id <= @v";
+            let params = Connection::params(&[("v", Value::Int(v))]);
+            let b = Connection::connect(backend).query_with(sql, &params).unwrap();
+            let c_res = Connection::connect(cache.clone())
+                .query_with(sql, &params)
+                .unwrap();
+            assert_eq!(sorted(b.rows), sorted(c_res.rows), "@v = {v}");
+            // The routing decision itself must respect the guard.
+            if v <= VIEW_BOUND {
+                assert_eq!(c_res.metrics.remote_calls, 0, "@v = {v} should stay local");
+            } else {
+                assert!(c_res.metrics.remote_calls > 0, "@v = {v} must go remote");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn random_parameters_agree_across_guard(v in 0i64..(N_ROWS + 500)) {
-        let (backend, cache) = setup();
-        let sql = "SELECT id, grp, val, name FROM t WHERE id <= @v";
-        let params = Connection::params(&[("v", Value::Int(v))]);
-        let b = Connection::connect(backend).query_with(sql, &params).unwrap();
-        let c_res = Connection::connect(cache.clone()).query_with(sql, &params).unwrap();
-        prop_assert_eq!(sorted(b.rows), sorted(c_res.rows), "@v = {}", v);
-        // The routing decision itself must respect the guard.
-        if v <= VIEW_BOUND {
-            prop_assert_eq!(c_res.metrics.remote_calls, 0, "@v = {} should stay local", v);
-        } else {
-            prop_assert!(c_res.metrics.remote_calls > 0, "@v = {} must go remote", v);
-        }
-    }
+#[test]
+fn random_conjunctions_agree() {
+    check::run(
+        &Config::cases(24),
+        "random_conjunctions_agree",
+        |rng| {
+            (
+                rng.gen_range(0i64..N_ROWS),
+                rng.gen_range(1i64..800),
+                rng.gen_range(0i64..17),
+            )
+        },
+        |&(lo, width, grp)| {
+            let (backend, cache) = setup();
+            let sql = format!(
+                "SELECT id, val FROM t WHERE id >= {lo} AND id <= {} AND grp = {grp}",
+                lo + width
+            );
+            let b = Connection::connect(backend).query(&sql).unwrap();
+            let c = Connection::connect(cache).query(&sql).unwrap();
+            assert_eq!(sorted(b.rows), sorted(c.rows), "query: {sql}");
+        },
+    );
+}
 
-    #[test]
-    fn random_conjunctions_agree(
-        lo in 0i64..N_ROWS,
-        width in 1i64..800,
-        grp in 0i64..17,
-    ) {
-        let (backend, cache) = setup();
-        let sql = format!(
-            "SELECT id, val FROM t WHERE id >= {lo} AND id <= {} AND grp = {grp}",
-            lo + width
-        );
-        let b = Connection::connect(backend).query(&sql).unwrap();
-        let c = Connection::connect(cache).query(&sql).unwrap();
-        prop_assert_eq!(sorted(b.rows), sorted(c.rows), "query: {}", sql);
-    }
-
-    #[test]
-    fn aggregates_agree(grp in 0i64..17) {
-        let (backend, cache) = setup();
-        let sql = format!(
-            "SELECT COUNT(*) AS n, SUM(val) AS s, MIN(id) AS lo, MAX(id) AS hi FROM t WHERE grp = {grp}"
-        );
-        let b = Connection::connect(backend).query(&sql).unwrap();
-        let c = Connection::connect(cache).query(&sql).unwrap();
-        prop_assert_eq!(b.rows, c.rows, "query: {}", sql);
-    }
+#[test]
+fn aggregates_agree() {
+    check::run(
+        &Config::cases(17),
+        "aggregates_agree",
+        |rng| rng.gen_range(0i64..17),
+        |&grp| {
+            let (backend, cache) = setup();
+            let sql = format!(
+                "SELECT COUNT(*) AS n, SUM(val) AS s, MIN(id) AS lo, MAX(id) AS hi FROM t WHERE grp = {grp}"
+            );
+            let b = Connection::connect(backend).query(&sql).unwrap();
+            let c = Connection::connect(cache).query(&sql).unwrap();
+            assert_eq!(b.rows, c.rows, "query: {sql}");
+        },
+    );
 }

@@ -1,0 +1,196 @@
+//! Build-hermeticity guard: the workspace must never depend on anything
+//! outside this repository. The build environment has no registry access,
+//! so a single `foo = "1.0"` line anywhere re-breaks the build the way the
+//! original seed was broken. This test walks every manifest and fails if
+//! any dependency is not a `path` dependency (directly or via
+//! `workspace = true` indirection into `[workspace.dependencies]`, whose
+//! entries are themselves checked).
+//!
+//! The parser is deliberately tiny — section headers plus `name = value`
+//! lines — because the manifests are ours and simple. If a manifest grows
+//! syntax this misreads, the right fix is to keep the manifest simple.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml manifests in the repo: the root and every crate.
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory");
+    for entry in entries {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 2, "expected root + crate manifests");
+    out
+}
+
+/// Strips a trailing `# comment` (manifests here never put `#` in strings).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True if this section name declares dependencies of some kind:
+/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.'...'.dependencies]`, and the
+/// table-per-dependency form `[dependencies.foo]`.
+fn dependency_section(section: &str) -> Option<DepSection> {
+    if let Some(dep) = section
+        .rsplit_once('.')
+        .and_then(|(head, tail)| head.ends_with("dependencies").then(|| tail.to_string()))
+    {
+        return Some(DepSection::SingleDependency(dep));
+    }
+    if section.ends_with("dependencies") {
+        return Some(DepSection::List);
+    }
+    None
+}
+
+enum DepSection {
+    /// `[*dependencies]`: each `name = value` line is one dependency.
+    List,
+    /// `[*dependencies.foo]`: the whole section describes one dependency.
+    SingleDependency(String),
+}
+
+/// Is this dependency *value* hermetic? Either a local path or deferred to
+/// the (also checked) workspace dependency table.
+fn value_is_hermetic(value: &str) -> bool {
+    value.contains("path") && value.contains('=') || value.contains("workspace")
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut section = String::new();
+        // For `[dependencies.foo]`-style sections: collected keys.
+        let mut single: Option<(String, Vec<String>)> = None;
+        let manifest_name = manifest.display().to_string();
+        let flush_single =
+            |single: &mut Option<(String, Vec<String>)>, violations: &mut Vec<String>| {
+                if let Some((name, keys)) = single.take() {
+                    let ok = keys.iter().any(|k| k == "path" || k == "workspace");
+                    if !ok {
+                        violations.push(format!("{manifest_name}: [..dependencies.{name}]"));
+                    }
+                }
+            };
+        for raw in text.lines() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                flush_single(&mut single, &mut violations);
+                section = name.trim().to_string();
+                if let Some(DepSection::SingleDependency(dep)) = dependency_section(&section) {
+                    single = Some((dep, Vec::new()));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match dependency_section(&section) {
+                Some(DepSection::List) => {
+                    // `foo = { path = ".." }`, `foo.workspace = true`,
+                    // `foo = "1.0"` (violation).
+                    let hermetic = key.ends_with(".workspace") || value_is_hermetic(value);
+                    if !hermetic {
+                        violations.push(format!(
+                            "{}: [{}] {} = {}",
+                            manifest.display(),
+                            section,
+                            key,
+                            value
+                        ));
+                    }
+                }
+                Some(DepSection::SingleDependency(_)) => {
+                    if let Some((_, keys)) = single.as_mut() {
+                        keys.push(key.split('.').next().unwrap_or(key).to_string());
+                    }
+                }
+                None => {}
+            }
+        }
+        flush_single(&mut single, &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found (the offline build would break):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn workspace_dependency_table_points_into_the_repo() {
+    // Every `[workspace.dependencies]` entry must be `{ path = "crates/..." }`
+    // and the path must exist.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    let mut in_table = false;
+    let mut checked = 0;
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let path = value
+            .split("path")
+            .nth(1)
+            .and_then(|rest| rest.split('"').nth(1))
+            .unwrap_or_else(|| panic!("workspace dep `{}` has no path", name.trim()));
+        assert!(
+            root.join(path).join("Cargo.toml").is_file(),
+            "workspace dep `{}` points at missing {path}",
+            name.trim()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "workspace dependency table not found");
+}
+
+#[test]
+fn no_proptest_or_criterion_remain_anywhere() {
+    // The replacements live in mtc-util; stray references to the removed
+    // crates in manifests would mean a half-migrated target.
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).unwrap();
+        // Comments may (and do) mention history; only live lines count.
+        let live: String = text
+            .lines()
+            .map(strip_comment)
+            .collect::<Vec<_>>()
+            .join("\n");
+        for banned in [
+            "proptest", "criterion", "rand ", "rand=", "rand.", "parking_lot", "serde",
+            "crossbeam", "bytes =",
+        ] {
+            assert!(
+                !live.contains(banned),
+                "{} still mentions `{banned}`",
+                manifest.display()
+            );
+        }
+    }
+}

@@ -4,8 +4,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
+use mtc_util::check::{self, Config};
+use mtc_util::rng::{Rng, StdRng};
+use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
 use mtcache_repro::replication::ReplicationHub;
@@ -21,13 +22,24 @@ enum Action {
     Delete { id: i64 },
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (200i64..400, 0i64..100).prop_map(|(id, qty)| Action::Insert { id, qty }),
-        (0i64..400, 0i64..100).prop_map(|(id, qty)| Action::UpdateQty { id, qty }),
-        (0i64..400, 200i64..400).prop_map(|(id, new_id)| Action::Rekey { id, new_id }),
-        (0i64..400).prop_map(|id| Action::Delete { id }),
-    ]
+fn gen_action(rng: &mut StdRng) -> Action {
+    match rng.gen_range(0u32..4) {
+        0 => Action::Insert {
+            id: rng.gen_range(200i64..400),
+            qty: rng.gen_range(0i64..100),
+        },
+        1 => Action::UpdateQty {
+            id: rng.gen_range(0i64..400),
+            qty: rng.gen_range(0i64..100),
+        },
+        2 => Action::Rekey {
+            id: rng.gen_range(0i64..400),
+            new_id: rng.gen_range(200i64..400),
+        },
+        _ => Action::Delete {
+            id: rng.gen_range(0i64..400),
+        },
+    }
 }
 
 fn setup() -> (Arc<BackendServer>, Arc<CacheServer>, Arc<Mutex<ReplicationHub>>) {
@@ -72,69 +84,76 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 16,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn cached_view_converges_to_definition(actions in prop::collection::vec(action_strategy(), 1..60)) {
-        let (backend, cache, hub) = setup();
-        for (i, a) in actions.iter().enumerate() {
-            apply(&backend, a);
-            // Pump mid-stream occasionally: convergence must not depend on
-            // batch boundaries.
-            if i % 7 == 3 {
-                hub.lock().pump(i as i64).unwrap();
+#[test]
+fn cached_view_converges_to_definition() {
+    check::run(
+        &Config::cases(16),
+        "cached_view_converges_to_definition",
+        |rng| check::vec_of(rng, 1..60, gen_action),
+        |actions| {
+            let (backend, cache, hub) = setup();
+            for (i, a) in actions.iter().enumerate() {
+                apply(&backend, a);
+                // Pump mid-stream occasionally: convergence must not depend on
+                // batch boundaries.
+                if i % 7 == 3 {
+                    hub.lock().pump(i as i64).unwrap();
+                }
             }
-        }
-        // Quiesce.
-        hub.lock().pump(1_000_000).unwrap();
-        hub.lock().pump(1_000_001).unwrap();
+            // Quiesce.
+            hub.lock().pump(1_000_000).unwrap();
+            hub.lock().pump(1_000_001).unwrap();
 
-        // Ground truth: recompute the subset on the backend.
-        let expected = Connection::connect(backend.clone())
-            .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
-            .unwrap();
-        // The cached view's backing table, read directly.
-        let cache_db = cache.db.read();
-        let actual: Vec<Row> = cache_db
-            .table_ref("stock_head")
-            .unwrap()
-            .scan()
-            .cloned()
-            .collect();
-        prop_assert_eq!(
-            sorted(expected.rows),
-            sorted(actual),
-            "view diverged after {} actions",
-            actions.len()
-        );
-    }
+            // Ground truth: recompute the subset on the backend.
+            let expected = Connection::connect(backend.clone())
+                .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+                .unwrap();
+            // The cached view's backing table, read directly.
+            let cache_db = cache.db.read();
+            let actual: Vec<Row> = cache_db
+                .table_ref("stock_head")
+                .unwrap()
+                .scan()
+                .cloned()
+                .collect();
+            assert_eq!(
+                sorted(expected.rows),
+                sorted(actual),
+                "view diverged after {} actions",
+                actions.len()
+            );
+        },
+    );
+}
 
-    #[test]
-    fn log_reader_off_then_on_catches_up(actions in prop::collection::vec(action_strategy(), 1..30)) {
-        let (backend, cache, hub) = setup();
-        hub.lock().log_reader_enabled = false;
-        for a in &actions {
-            apply(&backend, a);
-        }
-        hub.lock().pump(1).unwrap();
-        // Nothing moved while the reader was off...
-        hub.lock().log_reader_enabled = true;
-        hub.lock().pump(2).unwrap();
+#[test]
+fn log_reader_off_then_on_catches_up() {
+    check::run(
+        &Config::cases(16),
+        "log_reader_off_then_on_catches_up",
+        |rng| check::vec_of(rng, 1..30, gen_action),
+        |actions| {
+            let (backend, cache, hub) = setup();
+            hub.lock().log_reader_enabled = false;
+            for a in actions {
+                apply(&backend, a);
+            }
+            hub.lock().pump(1).unwrap();
+            // Nothing moved while the reader was off...
+            hub.lock().log_reader_enabled = true;
+            hub.lock().pump(2).unwrap();
 
-        let expected = Connection::connect(backend.clone())
-            .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
-            .unwrap();
-        let cache_db = cache.db.read();
-        let actual: Vec<Row> = cache_db
-            .table_ref("stock_head")
-            .unwrap()
-            .scan()
-            .cloned()
-            .collect();
-        prop_assert_eq!(sorted(expected.rows), sorted(actual));
-    }
+            let expected = Connection::connect(backend.clone())
+                .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+                .unwrap();
+            let cache_db = cache.db.read();
+            let actual: Vec<Row> = cache_db
+                .table_ref("stock_head")
+                .unwrap()
+                .scan()
+                .cloned()
+                .collect();
+            assert_eq!(sorted(expected.rows), sorted(actual));
+        },
+    );
 }

@@ -1,8 +1,8 @@
 //! End-to-end TPC-W through the full stack: every interaction type against
 //! a cached deployment, with business-level invariants checked afterwards.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtc_util::rng::StdRng;
+use mtc_util::rng::{Rng, SeedableRng};
 
 use mtc_bench::Deployment;
 use mtcache_repro::types::Value;
