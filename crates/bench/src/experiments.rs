@@ -173,6 +173,7 @@ pub fn run_all(scale: Scale, samples: usize) -> ExperimentResults {
         shared_cpu_utilization: 0.15,
         transactions: 20_000,
         seed: 11,
+        ..ReplLatencyConfig::default()
     });
     // Closed-loop stability: the benchmark's admission rule keeps every
     // pipeline below saturation, so the simulated arrival rate cannot
@@ -186,6 +187,7 @@ pub fn run_all(scale: Scale, samples: usize) -> ExperimentResults {
         shared_cpu_utilization: heavy_util,
         transactions: 20_000,
         seed: 12,
+        ..ReplLatencyConfig::default()
     });
     let exp3 = Exp3 {
         light_avg_s: light.avg_latency_s,

@@ -369,6 +369,13 @@ impl BackendServer {
         self.db.write().analyze();
     }
 
+    /// The backend's current commit LSN (head of its transaction log).
+    /// Cache servers compare this against their applied LSNs to measure
+    /// replication lag in transactions.
+    pub fn commit_lsn(&self) -> mtc_storage::Lsn {
+        self.db.read().log().head()
+    }
+
     /// Optimizes a SELECT and returns its physical plan text (EXPLAIN).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let Statement::Select(sel) = parse_statement(sql)? else {

@@ -295,23 +295,17 @@ impl CacheServer {
         // Freshness routing (§7 extension): if the statement carries a
         // staleness bound, check it against the cached views the chosen
         // plan *actually reads* (per-view staleness, not a server-wide
-        // worst case). If any is too stale, re-plan without view matching —
-        // backend data is always fresh.
-        if let Some(bound_s) = sel.freshness_seconds {
-            let bound_ms = (bound_s as i64) * 1000;
-            let used = local_objects(&opt.physical);
-            let too_stale = used.iter().any(|obj| {
-                self.staleness_of_view(obj)
-                    .map(|ms| ms > bound_ms)
-                    .unwrap_or(false)
-            });
-            if too_stale {
-                let no_views = OptimizerOptions {
-                    enable_view_matching: false,
-                    ..options.clone()
-                };
-                opt = mtc_engine::optimize(plan, &db, &no_views)?;
-            }
+        // worst case). If any is too stale, the local plan is rejected and
+        // the statement degrades gracefully to the backend — backend data
+        // is always fresh. Queries without a bound are untouched.
+        if let Some(decision) = self.currency_violation(sel, &opt.physical) {
+            let no_views = OptimizerOptions {
+                enable_view_matching: false,
+                ..options.clone()
+            };
+            opt = mtc_engine::optimize(plan, &db, &no_views)?;
+            self.stats.lock().freshness_fallbacks += 1;
+            let _ = decision; // the routing reason is observable via explain()
         }
         let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
         let ctx = ExecContext {
@@ -387,18 +381,67 @@ impl CacheServer {
 
     /// Optimizes a SELECT on this cache server and returns its physical
     /// plan text (EXPLAIN) — shows local/remote routing, DataTransfer
-    /// boundaries and dynamic-plan guards.
+    /// boundaries, dynamic-plan guards, and (for currency-bounded
+    /// statements) the freshness routing decision.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let Statement::Select(sel) = parse_statement(sql)? else {
             return Err(Error::plan("EXPLAIN supports SELECT statements"));
         };
         let db = self.db.read();
         let plan = bind_select(&sel, &db)?;
-        let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        let mut opt = mtc_engine::optimize(plan.clone(), &db, &self.options)?;
+        // Mirror execute_select's currency check so EXPLAIN shows the plan
+        // that would actually run, with the routing reason spelled out.
+        let mut routing = String::new();
+        if let Some(bound_s) = sel.freshness_seconds {
+            match self.currency_violation(&sel, &opt.physical) {
+                Some(d) => {
+                    let no_views = OptimizerOptions {
+                        enable_view_matching: false,
+                        ..self.options.clone()
+                    };
+                    opt = mtc_engine::optimize(plan, &db, &no_views)?;
+                    routing = format!(
+                        "routing: backend fallback — cached view `{}` stale {}ms > bound {}ms (lag {} txns)\n",
+                        d.view, d.staleness_ms, d.bound_ms, d.lag_txns
+                    );
+                }
+                None => {
+                    routing = format!("routing: local (currency bound {bound_s}s satisfied)\n");
+                }
+            }
+        }
         Ok(format!(
-            "estimated cost: {:.1}\nestimated rows: {:.0}\n{}",
+            "estimated cost: {:.1}\nestimated rows: {:.0}\n{routing}{}",
             opt.est_cost, opt.est_rows, opt.physical.explain()
         ))
+    }
+
+    /// Checks a statement's currency bound against the cached views its
+    /// chosen plan actually reads. Returns the first violation (the reason
+    /// the local plan must be rejected), or `None` when the plan is
+    /// admissible — including for statements without a bound.
+    fn currency_violation(
+        &self,
+        sel: &Select,
+        physical: &mtc_engine::PhysicalPlan,
+    ) -> Option<CurrencyDecision> {
+        let bound_s = sel.freshness_seconds?;
+        let bound_ms = (bound_s as i64) * 1000;
+        for obj in local_objects(physical) {
+            if let Some(staleness_ms) = self.staleness_of_view(&obj) {
+                if staleness_ms > bound_ms {
+                    let lag_txns = self.lag_of_view(&obj).unwrap_or(0);
+                    return Some(CurrencyDecision {
+                        view: obj,
+                        staleness_ms,
+                        bound_ms,
+                        lag_txns,
+                    });
+                }
+            }
+        }
+        None
     }
 
     /// Replication staleness of one cached view, in milliseconds; `None`
@@ -412,6 +455,24 @@ impl CacheServer {
             .iter()
             .find(|(v, _)| *v == view)
             .and_then(|(_, id)| hub.staleness_ms(*id, now))
+    }
+
+    /// Replication lag of one cached view in *transactions*: backend commit
+    /// LSN (log head) minus the LSN applied to this cache's subscription.
+    /// `None` if `view` is not one of this server's cached views.
+    pub fn lag_of_view(&self, view: &str) -> Option<u64> {
+        let view = mtc_types::normalize_ident(view);
+        // Read the backend head before taking the hub lock (the hub's pump
+        // path locks hub → target db; never hold both here).
+        let head = self.backend.db.read().log().head();
+        let id = self
+            .subscriptions
+            .lock()
+            .iter()
+            .find(|(v, _)| *v == view)
+            .map(|(_, id)| *id)?;
+        let applied = self.hub.lock().applied_lsn(id)?;
+        Some(head.0.saturating_sub(applied.0))
     }
 
     /// Worst-case replication staleness over this server's subscriptions.
@@ -434,6 +495,22 @@ impl CacheServer {
             .map(|(v, _)| v.clone())
             .collect()
     }
+}
+
+/// Why a currency-bounded statement's local plan was rejected: the cached
+/// view it would read is further behind the backend than the statement
+/// tolerates. Surfaced through `explain` ("routing: backend fallback — …").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurrencyDecision {
+    /// The cached view that violated the bound.
+    pub view: String,
+    /// Observed staleness (publisher clock) when the statement was planned.
+    pub staleness_ms: i64,
+    /// The statement's `WITH FRESHNESS n SECONDS` bound, in milliseconds.
+    pub bound_ms: i64,
+    /// Backend-commit-LSN vs. applied-LSN backlog behind the violation, in
+    /// transactions.
+    pub lag_txns: u64,
 }
 
 /// Local data objects a physical plan reads (cached views and their

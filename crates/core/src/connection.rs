@@ -153,6 +153,50 @@ mod tests {
         assert!(conn.explain("DELETE FROM t").is_err());
     }
 
+    /// The currency-routing decision surfaces through the application-facing
+    /// handle: an app holding a `Connection` can see, in `explain`, why its
+    /// freshness-bounded query left the cache.
+    #[test]
+    fn explain_surfaces_currency_routing_through_connection() {
+        use mtc_replication::ManualClock;
+        let clock = ManualClock::new(0);
+        let backend = BackendServer::with_clock("b", Arc::new(clock.clone()));
+        backend
+            .run_script("CREATE TABLE t (id INT NOT NULL PRIMARY KEY, v VARCHAR)")
+            .unwrap();
+        let rows: Vec<String> = (1..=300)
+            .map(|i| format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+            .collect();
+        backend.run_script(&rows.join(";")).unwrap();
+        backend.analyze();
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        let cache = CacheServer::create("c", backend.clone(), hub.clone());
+        cache
+            .create_cached_view("t_all", "SELECT id, v FROM t")
+            .unwrap();
+        let conn = Connection::connect(cache);
+
+        // Fresh view: the bound is satisfied and explain says so.
+        let bounded = "SELECT v FROM t WHERE id = 7 WITH FRESHNESS 60 SECONDS";
+        let plan = conn.explain(bounded).unwrap();
+        assert!(plan.contains("routing: local"), "{plan}");
+
+        // Pause replication, mutate the backend and let time pass: the
+        // bound is violated.
+        hub.lock().log_reader_enabled = false;
+        backend
+            .run_script("UPDATE t SET v = 'stale' WHERE id = 7")
+            .unwrap();
+        clock.advance(10_000);
+        let tight = "SELECT v FROM t WHERE id = 7 WITH FRESHNESS 1 SECONDS";
+        let plan = conn.explain(tight).unwrap();
+        assert!(plan.contains("routing: backend fallback"), "{plan}");
+        assert!(plan.contains("t_all"), "{plan}");
+        // An unbounded query through the same connection carries no line.
+        let plan = conn.explain("SELECT v FROM t WHERE id = 7").unwrap();
+        assert!(!plan.contains("routing:"), "{plan}");
+    }
+
     #[test]
     fn params_helper() {
         let p = Connection::params(&[("ID", Value::Int(1)), ("name", Value::str("x"))]);

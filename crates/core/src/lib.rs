@@ -62,7 +62,7 @@ pub mod scripting;
 pub mod stats;
 
 pub use backend::BackendServer;
-pub use cache::CacheServer;
+pub use cache::{CacheServer, CurrencyDecision};
 pub use connection::{Connection, ServerHandle};
 pub use scripting::script_shadow_database;
 pub use stats::ServerStats;

@@ -21,6 +21,9 @@ pub struct ServerStats {
     pub remote_work: f64,
     /// Remote round trips issued by this server.
     pub remote_calls: u64,
+    /// Queries whose local plan was rejected because a cached view violated
+    /// the statement's currency bound (graceful degradation to the backend).
+    pub freshness_fallbacks: u64,
 }
 
 impl ServerStats {

@@ -1,7 +1,21 @@
 //! The replication hub: log reader + distribution database + distributor.
+//!
+//! Delivery is *fault-aware*: an optional seeded [`FaultPlan`] is consulted
+//! on every delivery attempt and may drop, duplicate, delay or corrupt the
+//! wire frame, or crash the "agent" mid-delivery. Recovery is built on two
+//! invariants:
+//!
+//! 1. **LSN resume** — a subscription only advances `next_lsn` after a
+//!    delivery fully succeeds, so any failed/lost/crashed attempt is
+//!    redelivered from the distribution database on the next pass.
+//! 2. **Idempotent apply** — changes are resolved against the subscriber's
+//!    current state before applying (insert→upsert, delete-if-present,
+//!    update-by-key), so duplicates and post-crash replays converge to the
+//!    same state instead of double-applying or erroring.
 
 use std::sync::Arc;
 
+use mtc_util::fault::{FaultDecision, FaultPlan};
 use mtc_util::sync::RwLock;
 
 use mtc_storage::{CommittedTransaction, Database, Lsn, RowChange};
@@ -50,6 +64,9 @@ pub struct SubscriptionInfo {
     /// Commit timestamp (publisher clock) through which this subscriber is
     /// known to be in sync.
     pub synced_through_ms: i64,
+    /// Delivery attempts spent on the transaction currently at `next_lsn`
+    /// (0 when the head of the queue has not been attempted yet).
+    pub attempts_at_next: u32,
 }
 
 struct Subscription {
@@ -59,6 +76,11 @@ struct Subscription {
     target_table: String,
     next_lsn: Lsn,
     synced_through_ms: i64,
+    /// Fault-injected hold: no deliveries to this subscription before this
+    /// instant (publisher clock).
+    delayed_until_ms: i64,
+    /// Failed attempts for the transaction at `next_lsn`; reset on success.
+    attempts_at_next: u32,
 }
 
 /// One transaction queued in the distribution database.
@@ -79,6 +101,9 @@ pub struct ReplicationHub {
     pub costs: ReplicationCosts,
     pub metrics: ReplicationMetrics,
     pub latency: LatencyStats,
+    /// Seeded fault oracle consulted on every delivery attempt; `None`
+    /// delivers everything perfectly (the pre-fault-injection behaviour).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ReplicationHub {
@@ -96,11 +121,27 @@ impl ReplicationHub {
             costs: ReplicationCosts::default(),
             metrics: ReplicationMetrics::default(),
             latency: LatencyStats::default(),
+            fault_plan: None,
         }
     }
 
     pub fn publisher(&self) -> &Arc<RwLock<Database>> {
         &self.publisher
+    }
+
+    /// Installs a seeded fault plan on the delivery path.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the fault plan; subsequent deliveries are perfect again.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    pub fn fault_counts(&self) -> Option<mtc_util::fault::FaultCounts> {
+        self.fault_plan.as_ref().map(|p| p.counts)
     }
 
     /// Creates a push subscription for `article` targeting
@@ -173,6 +214,8 @@ impl ReplicationHub {
             target_table: target_table.to_string(),
             next_lsn: snapshot_lsn,
             synced_through_ms: now_ms,
+            delayed_until_ms: i64::MIN,
+            attempts_at_next: 0,
         });
         Ok(id)
     }
@@ -201,8 +244,24 @@ impl ReplicationHub {
     /// Distribution pass: pushes pending transactions to every subscriber,
     /// one complete transaction at a time in commit order, then truncates
     /// the distribution database up to the slowest subscriber.
+    ///
+    /// Every delivery attempt consults the installed [`FaultPlan`] (if any).
+    /// A faulted attempt never advances `next_lsn`, so the transaction is
+    /// redelivered on a later pass; successful re-apply is idempotent (see
+    /// [`apply_idempotent`]), so duplicates and post-crash replays converge.
     pub fn run_distribution(&mut self, now_ms: i64) -> Result<()> {
+        let last_read = self.last_read;
         for sub in &mut self.subscriptions {
+            // Lag gauge: transactions read by the log reader but not yet
+            // applied to this subscription.
+            let lag = last_read.0.saturating_sub(sub.next_lsn.0);
+            if lag > self.metrics.max_lag_txns {
+                self.metrics.max_lag_txns = lag;
+            }
+            // A fault-injected delay holds the whole subscription.
+            if now_ms < sub.delayed_until_ms {
+                continue;
+            }
             for pending in &self.distribution {
                 let txn = &pending.txn;
                 if txn.lsn < sub.next_lsn {
@@ -214,29 +273,104 @@ impl ReplicationHub {
                     &sub.target_table,
                     &txn.changes,
                 )?;
-                if !changes.is_empty() {
-                    // Ship the filtered transaction through a wire frame:
-                    // the subscriber applies what it *decodes*, not what the
-                    // distributor holds in memory, so the codec sits on the
-                    // real delivery path.
-                    let framed = CommittedTransaction {
-                        lsn: txn.lsn,
-                        commit_ts_ms: txn.commit_ts_ms,
-                        changes,
-                    };
-                    let frame = crate::wire::encode_frame(&framed);
-                    self.metrics.wire_bytes += frame.len() as u64;
-                    let delivered = crate::wire::decode_frame(&frame)?;
-                    let mut tdb = sub.target.write();
-                    tdb.apply_unlogged(&delivered.changes)?;
-                    self.metrics.txns_applied += 1;
-                    self.metrics.changes_applied += delivered.changes.len() as u64;
-                    self.metrics.apply_work +=
-                        self.costs.apply_per_change * delivered.changes.len() as f64;
-                    self.latency.record(now_ms - delivered.commit_ts_ms);
+                if changes.is_empty() {
+                    // Nothing for this article: advance past it fault-free
+                    // (there is no delivery to fault).
+                    sub.next_lsn = txn.lsn.next();
+                    sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
+                    continue;
                 }
-                sub.next_lsn = txn.lsn.next();
-                sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
+                if sub.attempts_at_next > 0 {
+                    self.metrics.retries += 1;
+                }
+                let decision = match self.fault_plan.as_mut() {
+                    Some(plan) => plan.next_decision(),
+                    None => FaultDecision::Deliver,
+                };
+                // Ship the filtered transaction through a wire frame: the
+                // subscriber applies what it *decodes*, not what the
+                // distributor holds in memory, so the codec sits on the real
+                // delivery path.
+                let framed = CommittedTransaction {
+                    lsn: txn.lsn,
+                    commit_ts_ms: txn.commit_ts_ms,
+                    changes,
+                };
+                match decision {
+                    FaultDecision::Drop => {
+                        // Lost in flight: the subscription blocks here until
+                        // a later pass redelivers.
+                        self.metrics.deliveries_dropped += 1;
+                        sub.attempts_at_next += 1;
+                        break;
+                    }
+                    FaultDecision::Delay { ms } => {
+                        self.metrics.deliveries_delayed += 1;
+                        sub.attempts_at_next += 1;
+                        sub.delayed_until_ms = now_ms + ms;
+                        break;
+                    }
+                    FaultDecision::Corrupt => {
+                        // Damage the encoded frame and let the strict wire
+                        // decoder reject it; the error is surfaced to the
+                        // caller (agent retry loop) and the transaction stays
+                        // queued for redelivery.
+                        let mut frame = crate::wire::encode_frame(&framed);
+                        self.metrics.wire_bytes += frame.len() as u64;
+                        if let Some(plan) = self.fault_plan.as_mut() {
+                            plan.corrupt_frame(&mut frame);
+                        }
+                        let err = match crate::wire::decode_frame(&frame) {
+                            Err(e) => e,
+                            Ok(_) => Error::encoding("corrupted frame unexpectedly decoded"),
+                        };
+                        self.metrics.corrupt_frames += 1;
+                        sub.attempts_at_next += 1;
+                        return Err(err);
+                    }
+                    FaultDecision::Deliver | FaultDecision::Duplicate | FaultDecision::Crash => {
+                        let frame = crate::wire::encode_frame(&framed);
+                        self.metrics.wire_bytes += frame.len() as u64;
+                        let delivered = crate::wire::decode_frame(&frame)?;
+                        {
+                            let mut tdb = sub.target.write();
+                            let effective = apply_idempotent(&mut tdb, &delivered.changes)?;
+                            self.metrics.changes_applied += effective;
+                            self.metrics.apply_work +=
+                                self.costs.apply_per_change * delivered.changes.len() as f64;
+                        }
+                        self.metrics.txns_applied += 1;
+                        if matches!(decision, FaultDecision::Duplicate) {
+                            // Redundant second delivery of the same frame;
+                            // idempotent apply makes its net effect zero.
+                            let dup = crate::wire::decode_frame(&frame)?;
+                            self.metrics.wire_bytes += frame.len() as u64;
+                            let mut tdb = sub.target.write();
+                            let extra = apply_idempotent(&mut tdb, &dup.changes)?;
+                            self.metrics.changes_applied += extra;
+                            self.metrics.duplicates_delivered += 1;
+                        }
+                        self.latency.record(now_ms - framed.commit_ts_ms);
+                        if matches!(decision, FaultDecision::Crash) {
+                            // The delivery applied but the agent died before
+                            // persisting its progress record: `next_lsn`
+                            // stays put and the restarted agent re-applies
+                            // this transaction (idempotently) from the
+                            // distribution database.
+                            self.metrics.crashes_injected += 1;
+                            sub.attempts_at_next += 1;
+                            return Err(Error::replication(
+                                "injected agent crash: delivery applied but progress record lost",
+                            ));
+                        }
+                        if sub.attempts_at_next > 0 {
+                            self.metrics.redeliveries += 1;
+                            sub.attempts_at_next = 0;
+                        }
+                        sub.next_lsn = txn.lsn.next();
+                        sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
+                    }
+                }
             }
             // Even with no pending work the subscriber is in sync with
             // everything the reader has seen.
@@ -267,6 +401,33 @@ impl ReplicationHub {
             .map(|s| (now_ms - s.synced_through_ms).max(0))
     }
 
+    /// Read-but-unapplied transaction backlog for one subscription, in
+    /// transactions (0 = fully caught up with the log reader).
+    pub fn lag_txns(&self, id: SubscriptionId) -> Option<u64> {
+        self.subscriptions
+            .get(id.0)
+            .map(|s| self.last_read.0.saturating_sub(s.next_lsn.0))
+    }
+
+    /// The LSN *past* the last transaction durably applied to the given
+    /// subscription — the point a crash-restarted agent resumes from.
+    pub fn applied_lsn(&self, id: SubscriptionId) -> Option<Lsn> {
+        self.subscriptions.get(id.0).map(|s| s.next_lsn)
+    }
+
+    /// True when the pipeline holds no undelivered work: the log reader has
+    /// caught up with the publisher's log, the distribution database is
+    /// empty, and every subscription has applied everything read.
+    pub fn drained(&self) -> bool {
+        let head = self.publisher.read().log().head();
+        self.distribution.is_empty()
+            && self.last_read == head
+            && self
+                .subscriptions
+                .iter()
+                .all(|s| s.next_lsn >= self.last_read)
+    }
+
     pub fn subscriptions(&self) -> Vec<SubscriptionInfo> {
         self.subscriptions
             .iter()
@@ -277,6 +438,7 @@ impl ReplicationHub {
                 target_table: s.target_table.clone(),
                 next_lsn: s.next_lsn,
                 synced_through_ms: s.synced_through_ms,
+                attempts_at_next: s.attempts_at_next,
             })
             .collect()
     }
@@ -337,6 +499,99 @@ fn filter_changes(
                     }),
                     (false, false) => {}
                 }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a delivered transaction *idempotently*: each change is first
+/// resolved against the subscriber's current state (see
+/// [`resolve_idempotent`]) and only the net effect is applied. Replaying a
+/// transaction that already (fully or partially) applied therefore converges
+/// to the same state instead of double-inserting or erroring — the property
+/// crash-restart resume and duplicate delivery rely on.
+///
+/// Returns the number of *effective* changes (a clean duplicate replays as 0).
+pub fn apply_idempotent(db: &mut Database, changes: &[RowChange]) -> Result<u64> {
+    let mut effective = 0u64;
+    for change in changes {
+        // Resolve against the state produced by the previous changes of this
+        // same transaction, one change at a time.
+        let resolved = resolve_idempotent(db, change)?;
+        effective += resolved.len() as u64;
+        db.apply_unlogged(&resolved)?;
+    }
+    Ok(effective)
+}
+
+/// Rewrites one replicated change into the operations that take the
+/// subscriber from its *current* state to the change's after-state:
+///
+/// * `Insert` — absent ⇒ insert; identical ⇒ no-op; different row under the
+///   same key ⇒ update (upsert semantics).
+/// * `Delete` — present ⇒ delete the *current* image; absent ⇒ no-op.
+/// * `Update` — if the key moved, delete whatever sits at the before-key;
+///   then at the after-key: identical ⇒ no-op, different ⇒ update the
+///   current image, absent ⇒ insert.
+///
+/// Keyless (rowid) tables cannot be resolved by key; the raw change is
+/// passed through unchanged (replication targets always have keys — the hub
+/// rejects subscriptions whose article does not project the target key).
+pub fn resolve_idempotent(db: &Database, change: &RowChange) -> Result<Vec<RowChange>> {
+    let table = db.table_ref(change.table())?;
+    if table.primary_key().is_empty() {
+        return Ok(vec![change.clone()]);
+    }
+    let mut out = Vec::new();
+    match change {
+        RowChange::Insert { table: name, row } => {
+            let key = table.key_of(row).expect("keyed table");
+            match table.get(&key) {
+                Some(existing) if existing == row => {}
+                Some(existing) => out.push(RowChange::Update {
+                    table: name.clone(),
+                    before: existing.clone(),
+                    after: row.clone(),
+                }),
+                None => out.push(change.clone()),
+            }
+        }
+        RowChange::Delete { table: name, row } => {
+            let key = table.key_of(row).expect("keyed table");
+            if let Some(existing) = table.get(&key) {
+                out.push(RowChange::Delete {
+                    table: name.clone(),
+                    row: existing.clone(),
+                });
+            }
+        }
+        RowChange::Update {
+            table: name,
+            before,
+            after,
+        } => {
+            let before_key = table.key_of(before).expect("keyed table");
+            let after_key = table.key_of(after).expect("keyed table");
+            if before_key != after_key {
+                if let Some(existing) = table.get(&before_key) {
+                    out.push(RowChange::Delete {
+                        table: name.clone(),
+                        row: existing.clone(),
+                    });
+                }
+            }
+            match table.get(&after_key) {
+                Some(existing) if existing == after => {}
+                Some(existing) => out.push(RowChange::Update {
+                    table: name.clone(),
+                    before: existing.clone(),
+                    after: after.clone(),
+                }),
+                None => out.push(RowChange::Insert {
+                    table: name.clone(),
+                    row: after.clone(),
+                }),
             }
         }
     }
@@ -620,6 +875,209 @@ mod tests {
         // next distribution pass at 6s marks full sync.
         hub.run_distribution(6_000).unwrap();
         assert_eq!(hub.staleness_ms(id, 6_500), Some(500));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        use mtc_util::fault::{FaultPlan, FaultSpec};
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        hub.set_fault_plan(FaultPlan::new(7, FaultSpec::duplicate(1.0)));
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Update {
+                    table: "customer".into(),
+                    before: row![7, "c7", 0.0],
+                    after: row![7, "c7-dup", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(20).unwrap();
+        let db = cache.read();
+        let t = db.table_ref("cust50").unwrap();
+        assert_eq!(t.row_count(), 50, "no double-apply");
+        assert_eq!(t.get(&row![7]).unwrap()[1], Value::str("c7-dup"));
+        assert_eq!(hub.metrics.duplicates_delivered, 1);
+        // The second delivery resolved to zero effective changes.
+        assert_eq!(hub.metrics.txns_applied, 1);
+    }
+
+    #[test]
+    fn drop_blocks_then_redelivery_converges() {
+        use mtc_util::fault::{FaultPlan, FaultSpec};
+        let (backend, cache, mut hub) = setup();
+        let id = hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        hub.set_fault_plan(FaultPlan::new(3, FaultSpec::drop(1.0)));
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![5, "c5", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(20).unwrap();
+        // Dropped in flight: nothing applied, LSN did not advance.
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
+        assert_eq!(hub.metrics.deliveries_dropped, 1);
+        assert_eq!(hub.lag_txns(id), Some(1));
+        assert!(!hub.drained());
+        // Heal the link: redelivery applies and counters record the retry.
+        hub.clear_fault_plan();
+        hub.pump(30).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
+        assert_eq!(hub.metrics.retries, 1);
+        assert_eq!(hub.metrics.redeliveries, 1);
+        assert_eq!(hub.lag_txns(id), Some(0));
+        assert!(hub.drained());
+    }
+
+    #[test]
+    fn corrupt_frame_surfaces_encoding_error_and_retries() {
+        use mtc_util::fault::{FaultPlan, FaultSpec};
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        hub.set_fault_plan(FaultPlan::new(11, FaultSpec::corrupt(1.0)));
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![9, "c9", 0.0],
+                }],
+            )
+            .unwrap();
+        let err = hub.pump(20).unwrap_err();
+        assert_eq!(err.kind(), "encoding", "strict decode rejects: {err}");
+        assert_eq!(hub.metrics.corrupt_frames, 1);
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
+        // Clean link: the queued transaction redelivers.
+        hub.clear_fault_plan();
+        hub.pump(30).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
+        assert_eq!(hub.metrics.redeliveries, 1);
+    }
+
+    #[test]
+    fn crash_applies_but_loses_progress_then_replay_converges() {
+        use mtc_util::fault::{FaultPlan, FaultSpec};
+        let (backend, cache, mut hub) = setup();
+        let id = hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        // crash_every=1 ⇒ the very first delivery crashes after applying.
+        hub.set_fault_plan(FaultPlan::new(5, FaultSpec::crash_every(1)));
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Update {
+                    table: "customer".into(),
+                    before: row![2, "c2", 0.0],
+                    after: row![2, "c2-crash", 0.0],
+                }],
+            )
+            .unwrap();
+        let before_lsn = hub.applied_lsn(id).unwrap();
+        let err = hub.pump(20).unwrap_err();
+        assert_eq!(err.kind(), "replication");
+        // The change *did* land, but the progress record was lost.
+        assert_eq!(
+            cache.read().table_ref("cust50").unwrap().get(&row![2]).unwrap()[1],
+            Value::str("c2-crash")
+        );
+        assert_eq!(hub.applied_lsn(id), Some(before_lsn), "LSN not advanced");
+        assert_eq!(hub.metrics.crashes_injected, 1);
+        // Restarted agent replays from the last applied LSN; idempotent
+        // apply makes the replay a no-op and progress advances.
+        hub.clear_fault_plan();
+        hub.pump(30).unwrap();
+        assert_eq!(
+            cache.read().table_ref("cust50").unwrap().get(&row![2]).unwrap()[1],
+            Value::str("c2-crash")
+        );
+        assert_eq!(hub.metrics.redeliveries, 1);
+        assert!(hub.drained());
+    }
+
+    #[test]
+    fn delay_holds_subscription_until_deadline() {
+        use mtc_util::fault::{FaultPlan, FaultSpec};
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        hub.set_fault_plan(FaultPlan::new(2, FaultSpec::delay(1.0, 500)));
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![4, "c4", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(100).unwrap();
+        assert_eq!(hub.metrics.deliveries_delayed, 1);
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
+        // Still inside the hold window: nothing moves (and no new decision
+        // is drawn because the subscription is skipped entirely).
+        hub.clear_fault_plan();
+        hub.pump(400).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
+        // Past the deadline the held transaction delivers.
+        hub.pump(700).unwrap();
+        assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
+    }
+
+    #[test]
+    fn resolve_idempotent_rewrites_against_current_state() {
+        let (_backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        let db = cache.read();
+        // Insert of an existing identical row ⇒ no-op.
+        let r = resolve_idempotent(
+            &db,
+            &RowChange::Insert {
+                table: "cust50".into(),
+                row: row![7, "c7"],
+            },
+        )
+        .unwrap();
+        assert!(r.is_empty());
+        // Insert colliding with a different image ⇒ update.
+        let r = resolve_idempotent(
+            &db,
+            &RowChange::Insert {
+                table: "cust50".into(),
+                row: row![7, "other"],
+            },
+        )
+        .unwrap();
+        assert!(matches!(&r[..], [RowChange::Update { .. }]));
+        // Delete of an absent row ⇒ no-op.
+        let r = resolve_idempotent(
+            &db,
+            &RowChange::Delete {
+                table: "cust50".into(),
+                row: row![999, "ghost"],
+            },
+        )
+        .unwrap();
+        assert!(r.is_empty());
+        // Update whose target vanished ⇒ insert of the after-image.
+        let r = resolve_idempotent(
+            &db,
+            &RowChange::Update {
+                table: "cust50".into(),
+                before: row![999, "ghost"],
+                after: row![999, "materialized"],
+            },
+        )
+        .unwrap();
+        assert!(matches!(&r[..], [RowChange::Insert { .. }]));
     }
 
     #[test]

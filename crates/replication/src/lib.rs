@@ -25,9 +25,12 @@ pub mod hub;
 pub mod metrics;
 pub mod wire;
 
-pub use agent::{spawn_agent, AgentHandle};
+pub use agent::{spawn_agent, spawn_agent_with, AgentHandle, AgentOptions, StopReport};
 pub use article::Article;
 pub use clock::{Clock, ManualClock, WallClock};
-pub use hub::{ReplicationHub, SubscriptionId, SubscriptionInfo};
+pub use hub::{
+    apply_idempotent, resolve_idempotent, ReplicationHub, SubscriptionId, SubscriptionInfo,
+};
 pub use metrics::{LatencyStats, ReplicationMetrics};
+pub use mtc_util::fault::{FaultCounts, FaultDecision, FaultKind, FaultPlan, FaultSpec, RetryPolicy};
 pub use wire::{decode_frame, encode_frame};

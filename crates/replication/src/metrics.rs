@@ -23,6 +23,27 @@ pub struct ReplicationMetrics {
     /// Bytes of encoded wire frames shipped from the distributor to
     /// subscribers (every delivered transaction crosses the codec).
     pub wire_bytes: u64,
+    // -- fault & recovery accounting ------------------------------------
+    /// Deliveries lost in flight (fault-injected drops); each one blocks
+    /// its subscription until redelivered.
+    pub deliveries_dropped: u64,
+    /// Deliveries held by a fault-injected delay.
+    pub deliveries_delayed: u64,
+    /// Redundant second deliveries of an already-applied frame (idempotent
+    /// apply makes their net effect zero).
+    pub duplicates_delivered: u64,
+    /// Frames damaged in flight and rejected by the strict wire decoder.
+    pub corrupt_frames: u64,
+    /// Injected agent crashes (delivery applied, progress record lost).
+    pub crashes_injected: u64,
+    /// Delivery attempts beyond the first for a given transaction —
+    /// the cost of drops/delays/corruption/crashes.
+    pub retries: u64,
+    /// Transactions whose *successful* apply needed more than one attempt.
+    pub redeliveries: u64,
+    /// Worst read-but-unapplied transaction backlog observed for any
+    /// subscription (a lag gauge, in transactions).
+    pub max_lag_txns: u64,
 }
 
 /// Commit-to-apply latency distribution (Experiment 3's metric: time from
@@ -70,6 +91,24 @@ mod tests {
         assert_eq!(s.avg_ms(), 200.0);
         assert_eq!(s.max_ms, 300);
         assert!((s.avg_seconds() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_start_at_zero() {
+        let m = ReplicationMetrics::default();
+        assert_eq!(
+            (
+                m.deliveries_dropped,
+                m.deliveries_delayed,
+                m.duplicates_delivered,
+                m.corrupt_frames,
+                m.crashes_injected,
+                m.retries,
+                m.redeliveries,
+                m.max_lag_txns,
+            ),
+            (0, 0, 0, 0, 0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
 }
 
 #[test]
-fn apply_conflict_blocks_then_resumes_without_loss() {
+fn apply_conflict_self_heals_by_converging_to_publisher_image() {
+    // Pre-idempotent-apply, a foreign row squatting on a replicated key
+    // blocked the whole pipeline with a constraint error. Idempotent apply
+    // resolves the insert against current state instead: the squatter is
+    // overwritten with the publisher's image and the pipeline keeps
+    // draining in order — divergence is repaired, not fatal.
     let (publisher, subscriber, mut hub) = setup();
 
     // Sabotage: a foreign row squats on the key the next change will use.
@@ -69,7 +74,7 @@ fn apply_conflict_blocks_then_resumes_without_loss() {
             }],
         )
         .unwrap();
-    // A second transaction queued behind the poisoned one.
+    // A second transaction queued behind the formerly-poisoned one.
     publisher
         .write()
         .apply(
@@ -81,29 +86,58 @@ fn apply_conflict_blocks_then_resumes_without_loss() {
         )
         .unwrap();
 
-    // The pump fails on the conflict...
-    let err = hub.pump(30).unwrap_err();
-    assert_eq!(err.kind(), "constraint");
-    // ...and neither the poisoned nor the following transaction applied.
-    assert!(subscriber.read().table_ref("t_cache").unwrap().get(&row![101]).is_none());
-
-    // Retry without clearing the fault: still blocked, still no loss.
-    assert!(hub.pump(40).is_err());
-
-    // Clear the fault and retry: the pipeline drains in order.
-    subscriber
-        .write()
-        .apply_unlogged(&[RowChange::Delete {
-            table: "t_cache".into(),
-            row: row![100, "squatter"],
-        }])
-        .unwrap();
-    hub.pump(50).unwrap();
+    hub.pump(30).unwrap();
     let sub = subscriber.read();
     let t = sub.table_ref("t_cache").unwrap();
-    assert_eq!(t.get(&row![100]).unwrap()[1], Value::str("legit"));
-    assert_eq!(t.get(&row![101]).unwrap()[1], Value::str("after"));
+    assert_eq!(t.get(&row![100]).unwrap()[1], Value::str("legit"), "squatter overwritten");
+    assert_eq!(t.get(&row![101]).unwrap()[1], Value::str("after"), "pipeline not blocked");
     assert_eq!(t.row_count(), 22);
+    assert!(hub.drained());
+}
+
+#[test]
+fn crash_restart_resumes_from_last_applied_lsn() {
+    use mtc_util::fault::{FaultPlan, FaultSpec};
+    let (publisher, subscriber, mut hub) = setup();
+    // Crash on every second delivery: the agent dies after applying but
+    // before recording progress, and a restarted pump must replay from the
+    // last applied LSN without double-applying.
+    hub.set_fault_plan(FaultPlan::new(41, FaultSpec::crash_every(2)));
+    for i in 0..6 {
+        publisher
+            .write()
+            .apply(
+                (i + 1) * 10,
+                vec![RowChange::Update {
+                    table: "t".into(),
+                    before: row![i + 1, format!("v{}", i + 1)],
+                    after: row![i + 1, format!("w{}", i + 1)],
+                }],
+            )
+            .unwrap();
+    }
+    // Pump until drained; each Err is one injected crash + restart.
+    let mut crashes = 0;
+    for attempt in 0..64 {
+        match hub.pump(1_000 + attempt) {
+            Ok(()) if hub.drained() => break,
+            Ok(()) => {}
+            Err(e) => {
+                assert_eq!(e.kind(), "replication", "{e}");
+                crashes += 1;
+            }
+        }
+    }
+    assert!(hub.drained(), "pipeline drained despite crashes");
+    assert!(crashes >= 3, "crash cadence hit repeatedly: {crashes}");
+    assert_eq!(hub.metrics.crashes_injected, crashes);
+    assert_eq!(hub.metrics.redeliveries, crashes, "every crash forced a replay");
+    let sub = subscriber.read();
+    let t = sub.table_ref("t_cache").unwrap();
+    assert_eq!(t.row_count(), 20, "no duplicates from replays");
+    for i in 1..=6i64 {
+        assert_eq!(t.get(&row![i]).unwrap()[1], Value::str(format!("w{i}")));
+    }
 }
 
 #[test]

@@ -30,6 +30,17 @@ pub struct ReplLatencyConfig {
     /// Transactions to simulate.
     pub transactions: usize,
     pub seed: u64,
+    /// Probability that a polled batch is lost in flight (the agent did the
+    /// shipping work but the delivery never lands); the batch stays pending
+    /// and is redelivered on the next poll. Mirrors `FaultSpec::drop_p` on
+    /// the real pipeline. 0 disables faults and draws no extra randomness.
+    pub fault_drop_p: f64,
+    /// Crash the agent on every Nth delivered batch (0 = never). The batch
+    /// is redone after `crash_restart_s` of downtime — the simulated cost of
+    /// LSN-resume plus idempotent re-apply.
+    pub crash_every: u64,
+    /// Agent restart time after an injected crash (seconds).
+    pub crash_restart_s: f64,
 }
 
 impl Default for ReplLatencyConfig {
@@ -41,6 +52,9 @@ impl Default for ReplLatencyConfig {
             shared_cpu_utilization: 0.1,
             transactions: 20_000,
             seed: 17,
+            fault_drop_p: 0.0,
+            crash_every: 0,
+            crash_restart_s: 0.5,
         }
     }
 }
@@ -51,6 +65,8 @@ pub struct ReplLatencyResult {
     pub avg_latency_s: f64,
     pub max_latency_s: f64,
     pub p90_latency_s: f64,
+    /// Batches that had to be delivered more than once (drops + crashes).
+    pub redeliveries: u64,
 }
 
 /// Runs the discrete-event simulation and reports commit→apply latency.
@@ -76,6 +92,11 @@ pub fn simulate_replication_latency(config: &ReplLatencyConfig) -> ReplLatencyRe
     let mut next_poll = config.poll_interval_s;
     let mut agent_free_at = 0.0f64;
     let mut idx = 0usize;
+    // Cap the drop probability so the simulation always terminates: a link
+    // that loses *every* delivery would redeliver forever.
+    let drop_p = config.fault_drop_p.clamp(0.0, 0.95);
+    let mut batches_attempted = 0u64;
+    let mut redeliveries = 0u64;
     while idx < commit_times.len() {
         let poll_at = next_poll.max(agent_free_at);
         // Collect the pending batch.
@@ -88,6 +109,27 @@ pub fn simulate_replication_latency(config: &ReplLatencyConfig) -> ReplLatencyRe
             next_poll = poll_at + config.poll_interval_s;
             continue;
         }
+        batches_attempted += 1;
+        let batch_service = effective_service * (batch_end - idx) as f64;
+
+        // Fault-lengthened lag: a crashed or dropped delivery consumes the
+        // agent's service time (the work was done) but lands nothing — the
+        // batch stays pending and redelivers on a later poll, so every
+        // transaction in it waits at least one more poll interval.
+        let crashed = config.crash_every > 0 && batches_attempted % config.crash_every == 0;
+        if crashed {
+            agent_free_at = poll_at + batch_service + config.crash_restart_s;
+            next_poll = poll_at + config.poll_interval_s;
+            redeliveries += 1;
+            continue;
+        }
+        if drop_p > 0.0 && rng.gen_f64() < drop_p {
+            agent_free_at = poll_at + batch_service;
+            next_poll = poll_at + config.poll_interval_s;
+            redeliveries += 1;
+            continue;
+        }
+
         let mut finish = poll_at;
         for &commit in &commit_times[idx..batch_end] {
             finish += effective_service;
@@ -105,6 +147,7 @@ pub fn simulate_replication_latency(config: &ReplLatencyConfig) -> ReplLatencyRe
         avg_latency_s: avg,
         max_latency_s: *latencies.last().expect("nonempty"),
         p90_latency_s: p90,
+        redeliveries,
     }
 }
 
@@ -158,5 +201,57 @@ mod tests {
         let a = simulate_replication_latency(&ReplLatencyConfig::default());
         let b = simulate_replication_latency(&ReplLatencyConfig::default());
         assert_eq!(a.avg_latency_s, b.avg_latency_s);
+        assert_eq!(a.redeliveries, 0, "no faults by default");
+    }
+
+    #[test]
+    fn dropped_deliveries_lengthen_lag() {
+        let clean = simulate_replication_latency(&ReplLatencyConfig::default());
+        let lossy = simulate_replication_latency(&ReplLatencyConfig {
+            fault_drop_p: 0.3,
+            ..ReplLatencyConfig::default()
+        });
+        assert!(lossy.redeliveries > 0);
+        assert!(
+            lossy.avg_latency_s > 1.2 * clean.avg_latency_s,
+            "lossy {} vs clean {}",
+            lossy.avg_latency_s,
+            clean.avg_latency_s
+        );
+        assert!(lossy.max_latency_s > clean.max_latency_s);
+    }
+
+    #[test]
+    fn crash_restarts_add_downtime_to_lag() {
+        let clean = simulate_replication_latency(&ReplLatencyConfig::default());
+        let crashy = simulate_replication_latency(&ReplLatencyConfig {
+            crash_every: 5,
+            crash_restart_s: 1.0,
+            ..ReplLatencyConfig::default()
+        });
+        assert!(crashy.redeliveries > 0);
+        assert!(
+            crashy.avg_latency_s > clean.avg_latency_s,
+            "crashy {} vs clean {}",
+            crashy.avg_latency_s,
+            clean.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let run = |seed| {
+            simulate_replication_latency(&ReplLatencyConfig {
+                fault_drop_p: 0.25,
+                crash_every: 50,
+                seed,
+                ..ReplLatencyConfig::default()
+            })
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a.avg_latency_s, b.avg_latency_s);
+        assert_eq!(a.redeliveries, b.redeliveries);
+        let c = run(4);
+        assert_ne!(a.avg_latency_s, c.avg_latency_s);
     }
 }

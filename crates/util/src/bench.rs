@@ -16,6 +16,11 @@
 //!
 //! Set `MTC_BENCH_QUICK=1` to shrink times by ~10× (useful in CI smoke
 //! runs where you only care that the bench executes).
+//!
+//! For a fast correctness smoke of the whole workspace (no benches, quiet
+//! output) the conventional alias is plain `cargo test -q`; the full
+//! tier-1 gate is `cargo build --release && cargo test -q`. Bench targets
+//! are `harness = false` and only run under `cargo bench`.
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,396 @@
+//! Deterministic fault injection and retry policy.
+//!
+//! The replication pipeline's transparency rests on deliveries arriving
+//! intact and in order; a production-scale system must keep converging when
+//! they don't. [`FaultPlan`] is a *seeded* oracle the delivery path consults
+//! once per attempt: it answers with a [`FaultDecision`] — deliver, drop,
+//! duplicate, delay, corrupt the frame, or crash the agent — drawn from a
+//! [`FaultSpec`]'s probabilities through the in-tree PCG32. The same seed
+//! yields the same decision sequence on every platform and every run, so a
+//! failing fault test replays from a one-line seed (`MTC_CHECK_SEED`, see
+//! `mtc_util::check`).
+//!
+//! [`RetryPolicy`] is the companion recovery knob: exponential backoff with
+//! multiplicative jitter (jitter drawn from the caller's own seeded RNG, so
+//! backoff schedules are reproducible too).
+//!
+//! This module is substrate, not replication-specific: decisions are about
+//! abstract "deliveries", and the simulator reuses the same probabilities to
+//! model fault-lengthened propagation lag.
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// The kinds of fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The delivery is lost; the sender must redeliver.
+    Drop,
+    /// The delivery arrives twice; the receiver must apply it exactly once
+    /// (in effect).
+    Duplicate,
+    /// The delivery is held for a while before it can be retried.
+    Delay,
+    /// The wire frame is damaged in flight; strict decoding must reject it.
+    Corrupt,
+    /// The applying agent dies after applying but before recording progress;
+    /// restart re-applies from the last recorded position.
+    Crash,
+}
+
+/// Probabilities (and the crash cadence) for one fault plan.
+///
+/// The four probabilities are mutually exclusive per decision and must sum
+/// to at most 1; the remainder is a clean delivery. `crash_every` is
+/// counter-based — deterministic even without the RNG — and takes
+/// precedence over the probabilistic faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a delivery is dropped.
+    pub drop_p: f64,
+    /// Probability a delivery is applied twice.
+    pub duplicate_p: f64,
+    /// Probability a delivery is held for `delay_ms`.
+    pub delay_p: f64,
+    /// Hold duration for delayed deliveries (milliseconds).
+    pub delay_ms: i64,
+    /// Probability the encoded frame is corrupted in flight.
+    pub corrupt_p: f64,
+    /// Crash the agent on every Nth decision (0 = never).
+    pub crash_every: u64,
+}
+
+impl FaultSpec {
+    /// No faults at all — every decision is `Deliver`.
+    pub const NONE: FaultSpec = FaultSpec {
+        drop_p: 0.0,
+        duplicate_p: 0.0,
+        delay_p: 0.0,
+        delay_ms: 0,
+        corrupt_p: 0.0,
+        crash_every: 0,
+    };
+
+    pub fn drop(p: f64) -> FaultSpec {
+        FaultSpec { drop_p: p, ..FaultSpec::NONE }
+    }
+
+    pub fn duplicate(p: f64) -> FaultSpec {
+        FaultSpec { duplicate_p: p, ..FaultSpec::NONE }
+    }
+
+    pub fn delay(p: f64, delay_ms: i64) -> FaultSpec {
+        FaultSpec { delay_p: p, delay_ms, ..FaultSpec::NONE }
+    }
+
+    pub fn corrupt(p: f64) -> FaultSpec {
+        FaultSpec { corrupt_p: p, ..FaultSpec::NONE }
+    }
+
+    pub fn crash_every(n: u64) -> FaultSpec {
+        FaultSpec { crash_every: n, ..FaultSpec::NONE }
+    }
+
+    /// Sum of the probabilistic fault rates.
+    fn total_p(&self) -> f64 {
+        self.drop_p + self.duplicate_p + self.delay_p + self.corrupt_p
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec::NONE
+    }
+}
+
+/// What to do with one delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the delivery; it stays queued for redelivery.
+    Drop,
+    /// Deliver, then deliver the identical frame a second time.
+    Duplicate,
+    /// Hold the delivery; retry no earlier than `ms` from now.
+    Delay { ms: i64 },
+    /// Damage the encoded frame before the receiver decodes it.
+    Corrupt,
+    /// Apply, then kill the agent before it records progress.
+    Crash,
+}
+
+/// Cumulative injection counters (what the plan *chose*, independent of how
+/// the pipeline recovered).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    pub decisions: u64,
+    pub drops: u64,
+    pub duplicates: u64,
+    pub delays: u64,
+    pub corruptions: u64,
+    pub crashes: u64,
+}
+
+/// A seeded source of fault decisions, consumed one delivery attempt at a
+/// time. Decisions depend only on `(seed, spec, attempt index)`, so a run
+/// that consumes decisions in a deterministic order is itself deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rng: StdRng,
+    /// What has been injected so far.
+    pub counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and a spec. Panics if the probabilistic
+    /// rates sum above 1 (they are mutually exclusive per decision).
+    pub fn new(seed: u64, spec: FaultSpec) -> FaultPlan {
+        assert!(
+            spec.total_p() <= 1.0 + 1e-9,
+            "fault probabilities sum to {} > 1",
+            spec.total_p()
+        );
+        FaultPlan {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Draws the decision for the next delivery attempt.
+    pub fn next_decision(&mut self) -> FaultDecision {
+        self.counts.decisions += 1;
+        // Counter-based crash first: deterministic cadence, independent of
+        // the probabilistic stream.
+        if self.spec.crash_every > 0 && self.counts.decisions % self.spec.crash_every == 0 {
+            self.counts.crashes += 1;
+            return FaultDecision::Crash;
+        }
+        if self.spec.total_p() <= 0.0 {
+            return FaultDecision::Deliver;
+        }
+        let u = self.rng.gen_f64();
+        let mut threshold = self.spec.drop_p;
+        if u < threshold {
+            self.counts.drops += 1;
+            return FaultDecision::Drop;
+        }
+        threshold += self.spec.duplicate_p;
+        if u < threshold {
+            self.counts.duplicates += 1;
+            return FaultDecision::Duplicate;
+        }
+        threshold += self.spec.delay_p;
+        if u < threshold {
+            self.counts.delays += 1;
+            return FaultDecision::Delay { ms: self.spec.delay_ms };
+        }
+        threshold += self.spec.corrupt_p;
+        if u < threshold {
+            self.counts.corruptions += 1;
+            return FaultDecision::Corrupt;
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Damages an encoded frame so that a *strict* decoder must reject it.
+    /// Four deterministic-per-seed modes: bad magic, bumped version, one
+    /// byte truncated, one trailing byte appended — each is a hard decode
+    /// error for the replication wire format.
+    pub fn corrupt_frame(&mut self, frame: &mut Vec<u8>) {
+        match self.rng.gen_range(0u32..4) {
+            0 => {
+                if let Some(b) = frame.first_mut() {
+                    *b ^= 0xFF;
+                }
+            }
+            1 => {
+                if let Some(b) = frame.get_mut(1) {
+                    *b = b.wrapping_add(1);
+                }
+            }
+            2 => {
+                let keep = frame.len().saturating_sub(1);
+                frame.truncate(keep);
+            }
+            _ => frame.push(0xEE),
+        }
+    }
+}
+
+/// Exponential backoff with multiplicative jitter.
+///
+/// Attempt `k` (1-based) waits `base · 2^(k−1)` capped at `max_delay_ms`,
+/// scaled by a uniform factor in `[1 − jitter, 1 + jitter]`. Jitter comes
+/// from the caller's RNG so a seeded agent produces a reproducible backoff
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delivery/drain attempts before giving up (used by the agent's
+    /// shutdown flush; the steady-state loop retries forever).
+    pub max_attempts: u32,
+    /// First backoff step (milliseconds).
+    pub base_delay_ms: u64,
+    /// Backoff cap (milliseconds).
+    pub max_delay_ms: u64,
+    /// Jitter fraction in `[0, 1)`; 0 disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            base_delay_ms: 5,
+            max_delay_ms: 2_000,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based; 0 is treated as 1).
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let exp = attempt.max(1).saturating_sub(1).min(32);
+        let raw = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms.max(self.base_delay_ms));
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let factor = (1.0 - self.jitter) + rng.gen_f64() * (2.0 * self.jitter);
+        ((raw as f64) * factor).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let spec = FaultSpec {
+            drop_p: 0.2,
+            duplicate_p: 0.1,
+            delay_p: 0.1,
+            delay_ms: 50,
+            corrupt_p: 0.05,
+            crash_every: 13,
+        };
+        let draw = |seed: u64| {
+            let mut plan = FaultPlan::new(seed, spec);
+            (0..500).map(|_| plan.next_decision()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let spec = FaultSpec {
+            drop_p: 0.3,
+            duplicate_p: 0.2,
+            ..FaultSpec::NONE
+        };
+        let mut plan = FaultPlan::new(7, spec);
+        for _ in 0..20_000 {
+            plan.next_decision();
+        }
+        let drop_frac = plan.counts.drops as f64 / plan.counts.decisions as f64;
+        let dup_frac = plan.counts.duplicates as f64 / plan.counts.decisions as f64;
+        assert!((0.27..0.33).contains(&drop_frac), "drop {drop_frac}");
+        assert!((0.17..0.23).contains(&dup_frac), "dup {dup_frac}");
+    }
+
+    #[test]
+    fn crash_cadence_is_exact() {
+        let mut plan = FaultPlan::new(1, FaultSpec::crash_every(5));
+        let decisions: Vec<_> = (0..20).map(|_| plan.next_decision()).collect();
+        for (i, d) in decisions.iter().enumerate() {
+            if (i + 1) % 5 == 0 {
+                assert_eq!(*d, FaultDecision::Crash, "decision {i}");
+            } else {
+                assert_eq!(*d, FaultDecision::Deliver, "decision {i}");
+            }
+        }
+        assert_eq!(plan.counts.crashes, 4);
+    }
+
+    #[test]
+    fn none_spec_always_delivers_without_consuming_entropy() {
+        let mut plan = FaultPlan::new(9, FaultSpec::NONE);
+        for _ in 0..100 {
+            assert_eq!(plan.next_decision(), FaultDecision::Deliver);
+        }
+        assert_eq!(plan.counts.decisions, 100);
+        assert_eq!(plan.counts, FaultCounts { decisions: 100, ..FaultCounts::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities")]
+    fn overfull_probabilities_panic() {
+        let _ = FaultPlan::new(0, FaultSpec { drop_p: 0.7, corrupt_p: 0.5, ..FaultSpec::NONE });
+    }
+
+    #[test]
+    fn delay_decision_carries_configured_hold() {
+        let mut plan = FaultPlan::new(3, FaultSpec::delay(1.0, 250));
+        assert_eq!(plan.next_decision(), FaultDecision::Delay { ms: 250 });
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            jitter: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.backoff_ms(1, &mut rng), 10);
+        assert_eq!(p.backoff_ms(2, &mut rng), 20);
+        assert_eq!(p.backoff_ms(3, &mut rng), 40);
+        assert_eq!(p.backoff_ms(4, &mut rng), 80);
+        assert_eq!(p.backoff_ms(5, &mut rng), 100, "capped");
+        assert_eq!(p.backoff_ms(60, &mut rng), 100, "deep attempts stay capped");
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band_and_is_seed_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            base_delay_ms: 100,
+            max_delay_ms: 10_000,
+            ..RetryPolicy::default()
+        };
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=6).map(|a| p.backoff_ms(a, &mut rng)).collect::<Vec<_>>()
+        };
+        for (attempt, &ms) in sample(11).iter().enumerate() {
+            let nominal = (100u64 << attempt).min(10_000) as f64;
+            assert!(
+                (nominal * 0.5..=nominal * 1.5 + 1.0).contains(&(ms as f64)),
+                "attempt {attempt}: {ms} outside band around {nominal}"
+            );
+        }
+        assert_eq!(sample(11), sample(11));
+    }
+
+    #[test]
+    fn corrupt_frame_always_changes_the_buffer() {
+        let mut plan = FaultPlan::new(5, FaultSpec::corrupt(1.0));
+        for _ in 0..64 {
+            let original = vec![0xAC, 0x01, 0x10, 0x20, 0x30];
+            let mut frame = original.clone();
+            plan.corrupt_frame(&mut frame);
+            assert_ne!(frame, original);
+        }
+    }
+}

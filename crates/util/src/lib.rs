@@ -14,11 +14,17 @@
 //! | `criterion`    | [`bench`] — warmup + iterate + report timer harness |
 //! | `serde`        | `mtc_types::codec` — compact binary `to_bytes`/`from_bytes` |
 //!
+//! Beyond the replacements, [`fault`] provides the workspace's deterministic
+//! failure substrate: seeded [`fault::FaultPlan`] decisions (drop /
+//! duplicate / delay / corrupt / crash) and the jittered-exponential
+//! [`fault::RetryPolicy`] the replication agents recover with.
+//!
 //! The invariant is enforced by the root `tests/hermetic.rs` guard, which
 //! fails if any `Cargo.toml` in the workspace declares a non-`path`
 //! dependency.
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod rng;
 pub mod sync;

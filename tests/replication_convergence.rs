@@ -9,7 +9,7 @@ use mtc_util::rng::{Rng, StdRng};
 use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
-use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::replication::{FaultPlan, FaultSpec, ReplicationHub};
 use mtcache_repro::types::Row;
 
 /// One randomized DML action against the `stockx` table.
@@ -124,6 +124,93 @@ fn cached_view_converges_to_definition() {
             );
         },
     );
+}
+
+/// Regression: every delivery is duplicated, so a naive (non-idempotent)
+/// apply would double-insert and double-count. Convergence must be
+/// unaffected and the duplicates must show up in the metrics.
+#[test]
+fn duplicate_deliveries_do_not_double_apply() {
+    check::run(
+        &Config::cases(16),
+        "duplicate_deliveries_do_not_double_apply",
+        |rng| check::vec_of(rng, 1..40, gen_action),
+        |actions| {
+            let (backend, cache, hub) = setup();
+            hub.lock()
+                .set_fault_plan(FaultPlan::new(0xD0B1_E5, FaultSpec::duplicate(1.0)));
+            for (i, a) in actions.iter().enumerate() {
+                apply(&backend, a);
+                if i % 7 == 3 {
+                    hub.lock().pump(i as i64).unwrap();
+                }
+            }
+            // Duplicates never block progress; two pumps quiesce.
+            hub.lock().pump(1_000_000).unwrap();
+            hub.lock().pump(1_000_001).unwrap();
+
+            let expected = Connection::connect(backend.clone())
+                .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+                .unwrap();
+            let cache_db = cache.db.read();
+            let actual: Vec<Row> = cache_db
+                .table_ref("stock_head")
+                .unwrap()
+                .scan()
+                .cloned()
+                .collect();
+            assert_eq!(
+                sorted(expected.rows),
+                sorted(actual),
+                "duplicated deliveries double-applied"
+            );
+            let h = hub.lock();
+            if h.metrics.txns_applied > 0 {
+                assert!(
+                    h.metrics.duplicates_delivered > 0,
+                    "dup_p = 1.0 but no duplicates recorded: {:?}",
+                    h.metrics
+                );
+            }
+        },
+    );
+}
+
+/// A corrupted wire frame must surface as a decode error from `pump` — not
+/// a panic and not silent progress — and the pipeline must recover once the
+/// corruption stops, redelivering from the last applied LSN.
+#[test]
+fn corrupt_frame_surfaces_decode_error_then_recovers() {
+    let (backend, cache, hub) = setup();
+    hub.lock()
+        .set_fault_plan(FaultPlan::new(7, FaultSpec::corrupt(1.0)));
+    backend
+        .run_script("UPDATE stockx SET s_qty = 999 WHERE s_id = 10")
+        .unwrap();
+
+    let err = hub.lock().pump(10).unwrap_err();
+    assert_eq!(err.kind(), "encoding", "decode failure surfaced: {err}");
+
+    // Stop corrupting: the frame redelivers cleanly from the same LSN.
+    let plan = hub.lock().clear_fault_plan().expect("plan was installed");
+    assert!(plan.counts.corruptions >= 1, "{:?}", plan.counts);
+    hub.lock().pump(20).unwrap();
+
+    let expected = Connection::connect(backend.clone())
+        .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+        .unwrap();
+    let cache_db = cache.db.read();
+    let actual: Vec<Row> = cache_db
+        .table_ref("stock_head")
+        .unwrap()
+        .scan()
+        .cloned()
+        .collect();
+    assert_eq!(sorted(expected.rows), sorted(actual));
+    let h = hub.lock();
+    assert!(h.metrics.corrupt_frames >= 1, "{:?}", h.metrics);
+    assert!(h.metrics.redeliveries >= 1, "{:?}", h.metrics);
+    assert!(h.drained());
 }
 
 #[test]

@@ -1,0 +1,251 @@
+//! Fault-injected replication: a seeded matrix over {drop, duplicate,
+//! delay, corrupt, crash} × fault rates, asserting that after the pipeline
+//! drains the cached view converges bit-exact to the backend subset and
+//! every transaction took effect exactly once (idempotent apply).
+//!
+//! All randomness is seeded (the in-tree `check` harness plus `FaultPlan`),
+//! and the servers run on a `ManualClock`, so any failure replays exactly:
+//!
+//! ```text
+//! MTC_CHECK_SEED=0x... cargo test --test replication_faults
+//! ```
+
+use std::sync::Arc;
+
+use mtc_util::check::{self, Config};
+use mtc_util::rng::{Rng, StdRng};
+use mtc_util::sync::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::{Clock, FaultPlan, FaultSpec, ManualClock, ReplicationHub};
+use mtcache_repro::types::Row;
+
+/// One randomized DML action against the `stockx` table.
+#[derive(Debug, Clone)]
+enum Action {
+    Insert { id: i64, qty: i64 },
+    UpdateQty { id: i64, qty: i64 },
+    Rekey { id: i64, new_id: i64 },
+    Delete { id: i64 },
+}
+
+fn gen_action(rng: &mut StdRng) -> Action {
+    match rng.gen_range(0u32..4) {
+        0 => Action::Insert {
+            id: rng.gen_range(200i64..400),
+            qty: rng.gen_range(0i64..100),
+        },
+        1 => Action::UpdateQty {
+            id: rng.gen_range(0i64..400),
+            qty: rng.gen_range(0i64..100),
+        },
+        2 => Action::Rekey {
+            id: rng.gen_range(0i64..400),
+            new_id: rng.gen_range(200i64..400),
+        },
+        _ => Action::Delete {
+            id: rng.gen_range(0i64..400),
+        },
+    }
+}
+
+/// One cell of the fault matrix: a spec, a plan seed, and a DML stream.
+#[derive(Debug, Clone)]
+struct FaultCase {
+    spec: FaultSpec,
+    plan_seed: u64,
+    actions: Vec<Action>,
+}
+
+fn gen_case(rng: &mut StdRng) -> FaultCase {
+    let spec = FaultSpec {
+        drop_p: *rng.choose(&[0.0, 0.1, 0.25]).unwrap(),
+        duplicate_p: *rng.choose(&[0.0, 0.1, 0.3]).unwrap(),
+        delay_p: *rng.choose(&[0.0, 0.1]).unwrap(),
+        delay_ms: 120,
+        corrupt_p: *rng.choose(&[0.0, 0.05]).unwrap(),
+        crash_every: *rng.choose(&[0u64, 4, 9]).unwrap(),
+    };
+    FaultCase {
+        spec,
+        plan_seed: rng.gen_range(0u64..u64::MAX),
+        actions: check::vec_of(rng, 5..40, gen_action),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn setup() -> (
+    Arc<BackendServer>,
+    Arc<CacheServer>,
+    Arc<Mutex<ReplicationHub>>,
+    ManualClock,
+) {
+    let clock = ManualClock::new(0);
+    let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
+    backend
+        .run_script("CREATE TABLE stockx (s_id INT NOT NULL PRIMARY KEY, s_qty INT, s_note VARCHAR)")
+        .unwrap();
+    let rows: Vec<String> = (0..200)
+        .map(|i| format!("INSERT INTO stockx VALUES ({i}, {}, 'n{i}')", i % 50))
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view("stock_head", "SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+        .unwrap();
+    (backend, cache, hub, clock)
+}
+
+fn apply(backend: &BackendServer, action: &Action) {
+    let sql = match action {
+        Action::Insert { id, qty } => format!("INSERT INTO stockx VALUES ({id}, {qty}, 'new')"),
+        Action::UpdateQty { id, qty } => {
+            format!("UPDATE stockx SET s_qty = {qty} WHERE s_id = {id}")
+        }
+        Action::Rekey { id, new_id } => {
+            format!("UPDATE stockx SET s_id = {new_id} WHERE s_id = {id}")
+        }
+        Action::Delete { id } => format!("DELETE FROM stockx WHERE s_id = {id}"),
+    };
+    // Constraint violations from random streams roll back atomically.
+    let _ = backend.execute(&sql, &Default::default(), "dbo");
+}
+
+/// Pumps the faulted pipeline until it drains. Errors (corrupt frames,
+/// injected crashes) model an agent restart: the next pump resumes from the
+/// last applied LSN. Time advances so delay faults expire.
+fn drain(hub: &Arc<Mutex<ReplicationHub>>, clock: &ManualClock) {
+    for _ in 0..10_000 {
+        clock.advance(50);
+        let mut h = hub.lock();
+        let _ = h.pump(clock.now_ms());
+        if h.drained() {
+            return;
+        }
+    }
+    panic!("pipeline failed to drain within the iteration budget");
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+/// Backend ground truth vs. the cached view's backing table, bit-exact.
+fn assert_converged(backend: &Arc<BackendServer>, cache: &Arc<CacheServer>) {
+    let expected = Connection::connect(backend.clone())
+        .query("SELECT s_id, s_qty FROM stockx WHERE s_id < 150")
+        .unwrap();
+    let cache_db = cache.db.read();
+    let actual: Vec<Row> = cache_db
+        .table_ref("stock_head")
+        .unwrap()
+        .scan()
+        .cloned()
+        .collect();
+    assert_eq!(sorted(expected.rows), sorted(actual), "view diverged");
+}
+
+#[test]
+fn faulted_pipeline_converges_with_exact_once_effect() {
+    check::run(
+        &Config::cases(16),
+        "faulted_pipeline_converges_with_exact_once_effect",
+        gen_case,
+        |case| {
+            let (backend, cache, hub, clock) = setup();
+            hub.lock()
+                .set_fault_plan(FaultPlan::new(case.plan_seed, case.spec));
+            for (i, a) in case.actions.iter().enumerate() {
+                clock.advance(10);
+                apply(&backend, a);
+                // Pump mid-stream (ignoring injected failures) so faults hit
+                // partially-drained queues, not just one big final batch.
+                if i % 5 == 2 {
+                    let _ = hub.lock().pump(clock.now_ms());
+                }
+            }
+            drain(&hub, &clock);
+            assert_converged(&backend, &cache);
+
+            // Exact-once *effect*: recovery bookkeeping must line up with
+            // what the plan actually injected.
+            let h = hub.lock();
+            let counts = h.fault_counts().expect("plan installed");
+            let blocked = counts.drops + counts.corruptions + counts.crashes + counts.delays;
+            assert!(
+                h.metrics.retries >= h.metrics.redeliveries,
+                "retries {} < redeliveries {}",
+                h.metrics.retries,
+                h.metrics.redeliveries
+            );
+            if blocked > 0 {
+                assert!(
+                    h.metrics.retries > 0,
+                    "faults blocked deliveries but no retries recorded: {counts:?}"
+                );
+            }
+            assert_eq!(h.metrics.duplicates_delivered, counts.duplicates);
+            assert_eq!(h.metrics.crashes_injected, counts.crashes);
+            assert_eq!(h.metrics.deliveries_dropped, counts.drops);
+            assert_eq!(h.metrics.corrupt_frames, counts.corruptions);
+        },
+    );
+}
+
+/// The acceptance scenario from the issue: 10% drop + 5% duplicate +
+/// crash-every-200-deliveries over a ~300-transaction update stream.
+/// The cache must converge bit-exact after drain, and the recovery counters
+/// must be nonzero and *identical across runs* for the same seed.
+#[test]
+fn acceptance_drop10_dup5_crash200_is_deterministic_per_seed() {
+    let spec = FaultSpec {
+        drop_p: 0.10,
+        duplicate_p: 0.05,
+        crash_every: 200,
+        ..FaultSpec::NONE
+    };
+    let run = |seed: u64| {
+        let (backend, cache, hub, clock) = setup();
+        hub.lock().set_fault_plan(FaultPlan::new(seed, spec));
+        for i in 0..300i64 {
+            clock.advance(10);
+            apply(
+                &backend,
+                &Action::UpdateQty {
+                    id: i % 140,
+                    qty: i,
+                },
+            );
+            if i % 4 == 1 {
+                let _ = hub.lock().pump(clock.now_ms());
+            }
+        }
+        drain(&hub, &clock);
+        assert_converged(&backend, &cache);
+        let h = hub.lock();
+        (h.metrics, h.fault_counts().unwrap())
+    };
+
+    let (m1, c1) = run(0xFA_17);
+    let (m2, c2) = run(0xFA_17);
+    assert_eq!(m1, m2, "metrics must be deterministic per seed");
+    assert_eq!(c1, c2, "fault counts must be deterministic per seed");
+
+    assert!(m1.deliveries_dropped > 0, "{m1:?}");
+    assert!(m1.duplicates_delivered > 0, "{m1:?}");
+    assert!(m1.crashes_injected > 0, "{m1:?}");
+    assert!(m1.retries > 0, "{m1:?}");
+    assert!(m1.redeliveries > 0, "{m1:?}");
+    assert!(m1.max_lag_txns > 0, "{m1:?}");
+
+    // A different seed takes a different fault path.
+    let (m3, _c3) = run(0xBEEF);
+    assert_ne!(
+        (m1.deliveries_dropped, m1.duplicates_delivered, m1.retries),
+        (m3.deliveries_dropped, m3.duplicates_delivered, m3.retries),
+        "different seeds should inject differently"
+    );
+}

@@ -1,0 +1,136 @@
+//! Staleness-aware query routing, end to end: while replication is paused a
+//! currency-bounded query must fall back to the backend (observably — via
+//! `explain`, the fallback counter, and backend hit stats), and return to
+//! the cache once replication catches up. Queries without a bound must be
+//! completely unaffected.
+
+use std::sync::Arc;
+
+use mtc_util::sync::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer};
+use mtcache_repro::replication::{Clock, ManualClock, ReplicationHub};
+use mtcache_repro::types::Value;
+
+const UNBOUNDED: &str = "SELECT cname FROM customer WHERE cid = 10";
+const BOUNDED: &str = "SELECT cname FROM customer WHERE cid = 10 WITH FRESHNESS 5 SECONDS";
+
+#[allow(clippy::type_complexity)]
+fn setup() -> (
+    Arc<BackendServer>,
+    Arc<CacheServer>,
+    Arc<Mutex<ReplicationHub>>,
+    ManualClock,
+) {
+    let clock = ManualClock::new(0);
+    let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
+    backend
+        .run_script("CREATE TABLE customer (cid INT NOT NULL PRIMARY KEY, cname VARCHAR)")
+        .unwrap();
+    let rows: Vec<String> = (1..=300)
+        .map(|i| format!("INSERT INTO customer VALUES ({i}, 'c{i}')"))
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub.clone());
+    cache
+        .create_cached_view("cust_v", "SELECT cid, cname FROM customer WHERE cid <= 200")
+        .unwrap();
+    (backend, cache, hub, clock)
+}
+
+#[test]
+fn currency_bound_falls_back_while_paused_and_returns_after_catchup() {
+    let (backend, cache, hub, clock) = setup();
+
+    // Pause replication, then change the backend. The cache is now behind
+    // by exactly one transaction.
+    hub.lock().log_reader_enabled = false;
+    backend
+        .run_script("UPDATE customer SET cname = 'renamed' WHERE cid = 10")
+        .unwrap();
+    clock.advance(30_000); // half a minute with no replication
+
+    assert_eq!(cache.lag_of_view("cust_v"), Some(1), "one unapplied txn");
+    assert!(cache.staleness_of_view("cust_v").unwrap() > 5_000);
+
+    // 1. Unbounded query: zero behavior change — local, stale, no fallback.
+    let r = cache.execute(UNBOUNDED, &Default::default(), "dbo").unwrap();
+    assert_eq!(r.rows[0][0], Value::str("c10"), "stale but allowed");
+    assert_eq!(r.metrics.remote_calls, 0, "unbounded stays local");
+    assert_eq!(cache.stats.lock().freshness_fallbacks, 0);
+
+    // 2. Bounded query: observably degrades to the backend.
+    let backend_queries_before = backend.stats.lock().queries;
+    let r = cache.execute(BOUNDED, &Default::default(), "dbo").unwrap();
+    assert_eq!(r.rows[0][0], Value::str("renamed"), "fresh answer");
+    assert!(r.metrics.remote_calls >= 1, "went remote");
+    assert_eq!(cache.stats.lock().freshness_fallbacks, 1);
+    assert!(
+        backend.stats.lock().queries > backend_queries_before,
+        "backend served the fallback"
+    );
+
+    // 3. The decision is visible in EXPLAIN, with the reason.
+    let plan = cache.explain(BOUNDED).unwrap();
+    assert!(
+        plan.contains("routing: backend fallback"),
+        "explain must state the fallback:\n{plan}"
+    );
+    assert!(plan.contains("cust_v"), "explain names the stale view:\n{plan}");
+    assert!(plan.contains("bound 5000ms"), "explain shows the bound:\n{plan}");
+    assert!(plan.contains("lag 1 txns"), "explain shows the LSN lag:\n{plan}");
+    // The unbounded plan carries no routing line at all.
+    let plan = cache.explain(UNBOUNDED).unwrap();
+    assert!(
+        !plan.contains("routing:"),
+        "unbounded explain unchanged:\n{plan}"
+    );
+
+    // 4. Resume replication and catch up: the bound is satisfiable locally.
+    hub.lock().log_reader_enabled = true;
+    hub.lock().pump(clock.now_ms()).unwrap();
+    hub.lock().pump(clock.now_ms()).unwrap();
+    assert_eq!(cache.lag_of_view("cust_v"), Some(0));
+
+    let plan = cache.explain(BOUNDED).unwrap();
+    assert!(
+        plan.contains("routing: local (currency bound 5s satisfied)"),
+        "explain shows the local decision:\n{plan}"
+    );
+    let r = cache.execute(BOUNDED, &Default::default(), "dbo").unwrap();
+    assert_eq!(r.rows[0][0], Value::str("renamed"));
+    assert_eq!(r.metrics.remote_calls, 0, "back on the cache");
+    assert_eq!(
+        cache.stats.lock().freshness_fallbacks,
+        1,
+        "no new fallback after catch-up"
+    );
+}
+
+#[test]
+fn bound_violation_is_per_view_and_lag_counts_transactions() {
+    let (backend, cache, hub, clock) = setup();
+    hub.lock().log_reader_enabled = false;
+    // Three backend transactions while paused → lag of 3.
+    for i in 0..3 {
+        backend
+            .run_script(&format!("UPDATE customer SET cname = 'u{i}' WHERE cid = 20"))
+            .unwrap();
+    }
+    clock.advance(10_000);
+    assert_eq!(cache.lag_of_view("cust_v"), Some(3));
+    let plan = cache.explain(BOUNDED).unwrap();
+    assert!(plan.contains("lag 3 txns"), "{plan}");
+    // A view name this server does not cache has no lag reading.
+    assert_eq!(cache.lag_of_view("no_such_view"), None);
+
+    // Catch up: lag returns to zero and the routing line flips.
+    hub.lock().log_reader_enabled = true;
+    hub.lock().pump(clock.now_ms()).unwrap();
+    hub.lock().pump(clock.now_ms()).unwrap();
+    assert_eq!(cache.lag_of_view("cust_v"), Some(0));
+    let plan = cache.explain(BOUNDED).unwrap();
+    assert!(plan.contains("routing: local"), "{plan}");
+}
