@@ -14,11 +14,13 @@
 
 pub mod deployment;
 pub mod experiments;
+pub mod hotpath;
 pub mod measure;
 pub mod report;
 
 pub use deployment::Deployment;
 pub use experiments::{run_all, ExperimentResults};
+pub use hotpath::{run_hotpath, HotpathResults};
 pub use measure::{measure_demands, MeasuredDemands};
 pub use report::render_experiments;
 

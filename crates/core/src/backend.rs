@@ -15,6 +15,7 @@ use mtc_storage::{Database, ProcedureDef, RowChange, ViewMeta};
 use mtc_types::{Column, Error, Result, Row, Schema};
 
 use crate::dml::{compile_dml, derive_view_changes, DML_STATEMENT_OVERHEAD, WORK_PER_CHANGE};
+use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
 use crate::procs::{bind_proc_args, parse_proc_body};
 use crate::stats::ServerStats;
 
@@ -26,6 +27,9 @@ pub struct BackendServer {
     pub options: OptimizerOptions,
     pub clock: Arc<dyn Clock>,
     pub stats: Mutex<ServerStats>,
+    /// Compiled-plan cache keyed by statement text + parameter signature,
+    /// invalidated by catalog version (see [`crate::plan_cache`]).
+    pub plan_cache: PlanCache,
     /// Statement trace for the cache advisor: normalized statement text →
     /// execution count. `None` when tracing is off.
     trace: Mutex<Option<BTreeMap<String, u64>>>,
@@ -43,6 +47,7 @@ impl BackendServer {
             options: OptimizerOptions::default(),
             clock,
             stats: Mutex::new(ServerStats::default()),
+            plan_cache: PlanCache::default(),
             trace: Mutex::new(None),
         })
     }
@@ -183,6 +188,12 @@ impl BackendServer {
     }
 
     /// Runs a SELECT entirely locally (the backend is the data of record).
+    ///
+    /// Plans come from the parameterized plan cache when a compiled plan
+    /// for this statement text + parameter signature is resident and still
+    /// valid at the current catalog version; otherwise the statement is
+    /// bound, optimized, compiled and cached. Permission checks run on
+    /// every execution, cached or not.
     pub fn execute_select(
         &self,
         sel: &Select,
@@ -191,15 +202,33 @@ impl BackendServer {
     ) -> Result<QueryResult> {
         let db = self.db.read();
         check_select_permissions(&db, sel, principal)?;
-        let plan = bind_select(sel, &db)?;
-        let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        let key = sel.to_string();
+        let sig = param_signature(params);
+        let version = db.catalog.version();
         let ctx = ExecContext {
             db: &db,
             remote: None,
             params,
             work: &self.options.cost,
         };
-        let result = execute(&opt.physical, &ctx)?;
+        let result = match self.plan_cache.lookup(&key, &sig, version) {
+            Some(hit) => mtc_engine::execute_compiled(&hit.compiled, &ctx)?,
+            None => {
+                let plan = bind_select(sel, &db)?;
+                let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+                let cached = self.plan_cache.insert(
+                    &key,
+                    &sig,
+                    CachedPlan {
+                        compiled: mtc_engine::compile(&opt.physical)?,
+                        est_cost: opt.est_cost,
+                        est_rows: opt.est_rows,
+                        catalog_version: version,
+                    },
+                );
+                mtc_engine::execute_compiled(&cached.compiled, &ctx)?
+            }
+        };
         self.stats
             .lock()
             .record_query(&result.metrics, result.rows.len());
@@ -384,9 +413,19 @@ impl BackendServer {
         let db = self.db.read();
         let plan = bind_select(&sel, &db)?;
         let opt = mtc_engine::optimize(plan, &db, &self.options)?;
+        let cached = self
+            .plan_cache
+            .contains_sql(&sel.to_string(), db.catalog.version());
+        let cs = self.plan_cache.stats();
         Ok(format!(
-            "estimated cost: {:.1}\nestimated rows: {:.0}\n{}",
-            opt.est_cost, opt.est_rows, opt.physical.explain()
+            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\n{}",
+            opt.est_cost,
+            opt.est_rows,
+            if cached { "cached" } else { "cold" },
+            cs.hits,
+            cs.misses,
+            cs.invalidations,
+            opt.physical.explain()
         ))
     }
 }

@@ -12,6 +12,7 @@ use mtc_storage::{Database, ProcedureDef, ViewMeta};
 use mtc_types::{Column, Error, Result, Schema};
 
 use crate::backend::{check_select_permissions, BackendServer};
+use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
 use crate::stats::ServerStats;
 
 /// An MTCache server: shadow database + cached views + transparent routing.
@@ -27,6 +28,10 @@ pub struct CacheServer {
     pub options: OptimizerOptions,
     pub clock: Arc<dyn Clock>,
     pub stats: Mutex<ServerStats>,
+    /// Compiled-plan cache keyed by statement text + parameter signature,
+    /// invalidated by the shadow catalog's version (see
+    /// [`crate::plan_cache`]). Statements with currency bounds bypass it.
+    pub plan_cache: PlanCache,
 }
 
 impl CacheServer {
@@ -48,6 +53,7 @@ impl CacheServer {
             subscriptions: Mutex::new(Vec::new()),
             options: OptimizerOptions::default(),
             stats: Mutex::new(ServerStats::default()),
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -268,12 +274,37 @@ impl CacheServer {
     ) -> Result<QueryResult> {
         let options = self.options.clone();
         let db = self.db.read();
+        // Statements carrying a currency bound are never plan-cached: their
+        // routing depends on replication staleness *at execution time*, not
+        // just on metadata, so they re-optimize every invocation.
+        let cacheable = sel.freshness_seconds.is_none();
+        let key = sel.to_string();
+        let sig = param_signature(params);
+        let version = db.catalog.version();
+
+        // Permission checks run on every execution, cached plan or not.
+        let perm = check_select_permissions(&db, sel, principal);
+        if cacheable && perm.is_ok() {
+            if let Some(hit) = self.plan_cache.lookup(&key, &sig, version) {
+                let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
+                let ctx = ExecContext {
+                    db: &db,
+                    remote: Some(backend),
+                    params,
+                    work: &options.cost,
+                };
+                let result = mtc_engine::execute_compiled(&hit.compiled, &ctx)?;
+                self.stats
+                    .lock()
+                    .record_query(&result.metrics, result.rows.len());
+                return Ok(result);
+            }
+        }
+
         // Blind forwarding (§7's pruned-shadow future work): a query naming
         // objects absent from this (possibly pruned) shadow catalog is
         // forwarded whole — the backend parses, authorizes and executes it.
-        let plan = match check_select_permissions(&db, sel, principal)
-            .and_then(|()| bind_select(sel, &db))
-        {
+        let plan = match perm.and_then(|()| bind_select(sel, &db)) {
             Ok(plan) => plan,
             Err(e) if e.kind() == "catalog" => {
                 drop(db);
@@ -314,7 +345,24 @@ impl CacheServer {
             params,
             work: &options.cost,
         };
-        let result = execute(&opt.physical, &ctx)?;
+        let result = if cacheable {
+            // Compile once, cache (stamped with the catalog version seen
+            // under this read lock), and execute the compiled form.
+            let cached = self.plan_cache.insert(
+                &key,
+                &sig,
+                CachedPlan {
+                    compiled: mtc_engine::compile(&opt.physical)?,
+                    est_cost: opt.est_cost,
+                    est_rows: opt.est_rows,
+                    catalog_version: version,
+                },
+            );
+            mtc_engine::execute_compiled(&cached.compiled, &ctx)?
+        } else {
+            // Freshness-routed plan: computed fresh, executed, never cached.
+            execute(&opt.physical, &ctx)?
+        };
         self.stats
             .lock()
             .record_query(&result.metrics, result.rows.len());
@@ -411,9 +459,19 @@ impl CacheServer {
                 }
             }
         }
+        let cached = self
+            .plan_cache
+            .contains_sql(&sel.to_string(), db.catalog.version());
+        let cs = self.plan_cache.stats();
         Ok(format!(
-            "estimated cost: {:.1}\nestimated rows: {:.0}\n{routing}{}",
-            opt.est_cost, opt.est_rows, opt.physical.explain()
+            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\n{routing}{}",
+            opt.est_cost,
+            opt.est_rows,
+            if cached { "cached" } else { "cold" },
+            cs.hits,
+            cs.misses,
+            cs.invalidations,
+            opt.physical.explain()
         ))
     }
 

@@ -57,6 +57,7 @@ pub mod backend;
 pub mod cache;
 pub mod connection;
 pub mod dml;
+pub mod plan_cache;
 pub mod procs;
 pub mod scripting;
 pub mod stats;
@@ -64,6 +65,7 @@ pub mod stats;
 pub use backend::BackendServer;
 pub use cache::{CacheServer, CurrencyDecision};
 pub use connection::{Connection, ServerHandle};
+pub use plan_cache::{param_signature, CachedPlan, CacheStats, PlanCache};
 pub use scripting::script_shadow_database;
 pub use stats::ServerStats;
 

@@ -1,0 +1,332 @@
+//! Parameterized plan cache.
+//!
+//! SQL Server answers the TPC-W mix almost entirely from its procedure /
+//! plan cache: a parameterized statement is compiled once — including the
+//! ChoosePlan dynamic plans of §5.1 — and re-executed with fresh parameter
+//! values. This module gives our servers the same hot path:
+//!
+//! * **Key** — the normalized statement text (`Select::to_string()`, which
+//!   canonicalizes identifiers) plus a *parameter signature*: the sorted
+//!   `name=type` list of the bound parameters. The same text bound with
+//!   `@x` as an `INT` and as a `VARCHAR` occupies two entries, exactly like
+//!   SQL Server's cache keyed on parameter types.
+//! * **Value** — the [`CompiledQuery`] (ordinals resolved, constants
+//!   folded, parameters slotted) produced by `mtc_engine::compile`,
+//!   stamped with the catalog version it was optimized under. Dynamic
+//!   ChoosePlan plans cache as-is: their startup predicates re-evaluate on
+//!   every execution, so one cached entry serves all parameter values.
+//! * **Invalidation** — versioned. Every plan-relevant metadata change
+//!   (CREATE/DROP TABLE, CREATE INDEX, view creation/removal, statistics
+//!   refresh) bumps [`mtc_storage::Catalog::version`]; a lookup that finds
+//!   a plan stamped with an older version discards it, counts an
+//!   invalidation, and forces re-optimization. Stale plans are therefore
+//!   never executed.
+//!
+//! Plans for statements carrying a `WITH FRESHNESS` bound are **never
+//! cached**: their routing depends on replication staleness at execution
+//! time, not just on metadata (see `CacheServer::execute_select`).
+//!
+//! Permission checks still run on every execution, cached or not — the
+//! cache stores *plans*, not authorization decisions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mtc_util::sync::Mutex;
+
+use mtc_engine::{Bindings, CompiledQuery};
+use mtc_types::Value;
+
+/// Observable plan-cache counters, surfaced through `CacheStats` consumers
+/// (server stats APIs and `EXPLAIN` output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (includes invalidations).
+    pub misses: u64,
+    /// Entries discarded because the catalog version moved past them.
+    pub invalidations: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// One cached, compiled, ready-to-execute plan.
+pub struct CachedPlan {
+    /// The compiled plan: execute via `mtc_engine::execute_compiled`.
+    pub compiled: CompiledQuery,
+    /// Optimizer cost estimate at compile time (for EXPLAIN).
+    pub est_cost: f64,
+    /// Optimizer cardinality estimate at compile time (for EXPLAIN).
+    pub est_rows: f64,
+    /// Catalog version this plan was optimized under.
+    pub catalog_version: u64,
+}
+
+type Key = (String, String);
+
+struct Inner {
+    entries: HashMap<Key, Arc<CachedPlan>>,
+    /// LRU order, least-recently-used first.
+    order: Vec<Key>,
+    stats: CacheStats,
+}
+
+/// A bounded, versioned cache of compiled plans keyed by
+/// `(statement text, parameter signature)`.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new(512)
+    }
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a plan for `(sql, sig)` valid at `current_version`.
+    ///
+    /// A resident plan stamped with an older catalog version is discarded
+    /// (counted as an invalidation *and* a miss) so a stale plan can never
+    /// be executed.
+    pub fn lookup(&self, sql: &str, sig: &str, current_version: u64) -> Option<Arc<CachedPlan>> {
+        let key = (sql.to_string(), sig.to_string());
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&key) {
+            Some(plan) if plan.catalog_version == current_version => {
+                let plan = plan.clone();
+                inner.stats.hits += 1;
+                // Move to the back of the LRU order.
+                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                    inner.order.remove(pos);
+                    inner.order.push(key);
+                }
+                Some(plan)
+            }
+            Some(_) => {
+                inner.entries.remove(&key);
+                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                    inner.order.remove(pos);
+                }
+                inner.stats.invalidations += 1;
+                inner.stats.misses += 1;
+                inner.stats.entries = inner.entries.len() as u64;
+                None
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled plan, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&self, sql: &str, sig: &str, plan: CachedPlan) -> Arc<CachedPlan> {
+        let key = (sql.to_string(), sig.to_string());
+        let plan = Arc::new(plan);
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            if !inner.order.is_empty() {
+                let victim = inner.order.remove(0);
+                inner.entries.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+            inner.order.remove(pos);
+        }
+        inner.order.push(key.clone());
+        inner.entries.insert(key, plan.clone());
+        inner.stats.insertions += 1;
+        inner.stats.entries = inner.entries.len() as u64;
+        plan
+    }
+
+    /// Non-counting peek used by EXPLAIN: is *any* plan for this statement
+    /// text resident and valid at `current_version` (regardless of which
+    /// parameter signature it was compiled for)?
+    pub fn contains_sql(&self, sql: &str, current_version: u64) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .any(|((s, _), p)| s == sql && p.catalog_version == current_version)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut inner = self.inner.lock();
+        inner.stats.entries = inner.entries.len() as u64;
+        inner.stats
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.order.clear();
+        inner.stats.entries = 0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The parameter signature of a binding set: sorted `name=type` pairs.
+/// `Bindings` is a `BTreeMap`, so iteration order is already canonical.
+pub fn param_signature(params: &Bindings) -> String {
+    let mut out = String::new();
+    for (name, value) in params {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push('=');
+        out.push_str(type_tag(value));
+    }
+    out
+}
+
+fn type_tag(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) => "int",
+        Value::Float(_) => "float",
+        Value::Str(_) => "str",
+        Value::Timestamp(_) => "ts",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_engine::{bind_select, compile, optimize, OptimizerOptions};
+    use mtc_sql::{parse_statement, Statement};
+    use mtc_storage::Database;
+    use mtc_types::{row, Column, DataType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        db.create_table(
+            "item",
+            Schema::new(vec![
+                Column::not_null("i_id", DataType::Int),
+                Column::new("i_cost", DataType::Float),
+            ]),
+            &["i_id".into()],
+        )
+        .unwrap();
+        db.apply(
+            0,
+            (1..=10)
+                .map(|i| mtc_storage::RowChange::Insert {
+                    table: "item".into(),
+                    row: row![i, i as f64],
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.analyze();
+        db
+    }
+
+    fn plan_for(db: &Database, sql: &str) -> CachedPlan {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let plan = bind_select(&sel, db).unwrap();
+        let opt = optimize(plan, db, &OptimizerOptions::default()).unwrap();
+        CachedPlan {
+            compiled: compile(&opt.physical).unwrap(),
+            est_cost: opt.est_cost,
+            est_rows: opt.est_rows,
+            catalog_version: db.catalog.version(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_signature_separation() {
+        let db = db();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT i_id FROM item WHERE i_id <= @n";
+        let v = db.catalog.version();
+        assert!(cache.lookup(sql, "n=int", v).is_none());
+        cache.insert(sql, "n=int", plan_for(&db, sql));
+        assert!(cache.lookup(sql, "n=int", v).is_some());
+        // A different parameter signature is a different entry.
+        assert!(cache.lookup(sql, "n=str", v).is_none());
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        let mut db = db();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT i_id FROM item WHERE i_id <= 5";
+        cache.insert(sql, "", plan_for(&db, sql));
+        let v0 = db.catalog.version();
+        assert!(cache.lookup(sql, "", v0).is_some());
+        // Metadata changes; the cached plan must not survive.
+        db.create_index("ix_cost", "item", &["i_cost".into()], false)
+            .unwrap();
+        let v1 = db.catalog.version();
+        assert!(v1 > v0);
+        assert!(cache.lookup(sql, "", v1).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let db = db();
+        let cache = PlanCache::new(2);
+        let v = db.catalog.version();
+        let sql = "SELECT i_id FROM item";
+        cache.insert("a", "", plan_for(&db, sql));
+        cache.insert("b", "", plan_for(&db, sql));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup("a", "", v).is_some());
+        cache.insert("c", "", plan_for(&db, sql));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a", "", v).is_some());
+        assert!(cache.lookup("b", "", v).is_none(), "LRU entry evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn signature_is_canonical() {
+        let mut p = Bindings::new();
+        p.insert("b".into(), Value::Int(1));
+        p.insert("a".into(), Value::str("x"));
+        assert_eq!(param_signature(&p), "a=str,b=int");
+        assert_eq!(param_signature(&Bindings::new()), "");
+    }
+}

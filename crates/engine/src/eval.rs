@@ -134,8 +134,9 @@ pub fn eval_predicate(
     Ok(truth(&eval(expr, row, schema, params)?))
 }
 
-/// Truth value of a scalar under SQL semantics.
-fn truth(v: &Value) -> Option<bool> {
+/// Truth value of a scalar under SQL semantics. Shared with the compiled
+/// evaluator ([`crate::compile`]) so both agree bit-for-bit.
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     match v {
         Value::Null => None,
         Value::Bool(b) => Some(*b),
@@ -180,7 +181,13 @@ fn eval_binary(
 
     let l = eval(left, row, schema, params)?;
     let r = eval(right, row, schema, params)?;
+    apply_cmp_arith(l, op, r)
+}
 
+/// Applies a comparison or arithmetic operator to two already-evaluated
+/// operands. Shared by the tree-walking interpreter and the compiled
+/// evaluator ([`crate::compile`]) so the two paths cannot drift apart.
+pub(crate) fn apply_cmp_arith(l: Value, op: BinOp, r: Value) -> Result<Value> {
     if op.is_comparison() {
         return Ok(match l.sql_cmp(&r) {
             None => Value::Null,
@@ -257,63 +264,10 @@ fn eval_scalar_function(
         .iter()
         .map(|a| eval(a, row, schema, params))
         .collect::<Result<_>>()?;
-    match name.to_ascii_uppercase().as_str() {
-        "LOWER" => str_fn(&argv, |s| s.to_ascii_lowercase()),
-        "UPPER" => str_fn(&argv, |s| s.to_ascii_uppercase()),
-        "LEN" | "LENGTH" => match argv.first() {
-            Some(Value::Str(s)) => Ok(Value::Int(s.len() as i64)),
-            Some(Value::Null) | None => Ok(Value::Null),
-            Some(other) => Err(Error::type_error(format!("LEN of non-string {other}"))),
-        },
-        "ABS" => match argv.first() {
-            Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
-            Some(Value::Float(f)) => Ok(Value::Float(f.abs())),
-            Some(Value::Null) | None => Ok(Value::Null),
-            Some(other) => Err(Error::type_error(format!("ABS of {other}"))),
-        },
-        "ROUND" => match argv.first() {
-            Some(Value::Float(f)) => {
-                let digits = argv.get(1).and_then(Value::as_i64).unwrap_or(0);
-                let scale = 10f64.powi(digits as i32);
-                Ok(Value::Float((f * scale).round() / scale))
-            }
-            Some(Value::Int(i)) => Ok(Value::Int(*i)),
-            Some(Value::Null) | None => Ok(Value::Null),
-            Some(other) => Err(Error::type_error(format!("ROUND of {other}"))),
-        },
-        "SUBSTRING" => {
-            // SUBSTRING(s, start, len) — 1-based, like T-SQL.
-            match (argv.first(), argv.get(1), argv.get(2)) {
-                (Some(Value::Str(s)), Some(start), Some(len)) => {
-                    let start = (start.as_i64().unwrap_or(1).max(1) - 1) as usize;
-                    let len = len.as_i64().unwrap_or(0).max(0) as usize;
-                    let out: String = s.chars().skip(start).take(len).collect();
-                    Ok(Value::str(out))
-                }
-                (Some(Value::Null), _, _) => Ok(Value::Null),
-                _ => Err(Error::type_error("SUBSTRING(s, start, len) expected")),
-            }
-        }
-        "COALESCE" => {
-            for v in &argv {
-                if !v.is_null() {
-                    return Ok(v.clone());
-                }
-            }
-            Ok(Value::Null)
-        }
-        other => Err(Error::execution(format!("unknown function `{other}`"))),
-    }
-}
-
-fn str_fn(argv: &[Value], f: impl Fn(&str) -> String) -> Result<Value> {
-    match argv.first() {
-        Some(Value::Str(s)) => Ok(Value::str(f(s))),
-        Some(Value::Null) | None => Ok(Value::Null),
-        Some(other) => Err(Error::type_error(format!(
-            "string function applied to {other}"
-        ))),
-    }
+    // Resolve the function name and apply: the interpreter resolves per
+    // call, the compiled evaluator resolves once at plan-build time — both
+    // run the same implementation in `compile::FuncKind::apply`.
+    crate::compile::FuncKind::parse(name).apply(&argv)
 }
 
 /// SQL `LIKE` matcher: `%` matches any run, `_` matches one character.

@@ -1,12 +1,25 @@
 //! Physical plan execution.
 //!
-//! Execution is materialized (each operator returns a `Vec<Row>`), which is
-//! plenty for the paper's workloads, with one crucial exception faithfully
-//! preserved: **startup predicates**. A UnionAll branch whose startup
-//! predicate evaluates to false is *never opened* (§5.1) — that is what
-//! makes dynamic plans cheap at run time.
+//! Two executors live here:
 //!
-//! The executor accumulates [`ExecMetrics`]: work units per server, rows
+//! * [`execute`] — the production hot path. It lowers the physical plan
+//!   through [`crate::compile`] (column ordinals resolved once, constants
+//!   folded, parameters slotted) and drives the pull-based batch streams in
+//!   [`crate::stream`]. Operators exchange batches of up to
+//!   [`crate::stream::BATCH_SIZE`] rows instead of cloning whole
+//!   intermediate `Vec<Row>`s, and `TOP n` stops pulling — and therefore
+//!   stops scanning — as soon as `n` rows have been produced.
+//! * [`execute_materialized`] — the seed's recursive materialize-everything
+//!   interpreter, kept as the differential-testing baseline and instrumented
+//!   with the same [`ExecMetrics`] counters so the streaming win is
+//!   observable (`rows_cloned`, `batches`).
+//!
+//! One crucial behavior is faithfully preserved in both: **startup
+//! predicates**. A UnionAll branch whose startup predicate evaluates to
+//! false is *never opened* (§5.1) — that is what makes dynamic plans cheap
+//! at run time.
+//!
+//! The executors accumulate [`ExecMetrics`]: work units per server, rows
 //! and bytes crossing DataTransfer boundaries. The multi-tier simulator
 //! charges these against CPU capacities to reproduce the paper's
 //! throughput experiments.
@@ -38,6 +51,13 @@ pub struct ExecMetrics {
     pub local_work: f64,
     /// Work units spent on the backend on behalf of this query.
     pub remote_work: f64,
+    /// Full `Row` clones made while executing (scan copies, join spills,
+    /// distinct/agg key copies). The streaming executor exists to push this
+    /// number down.
+    pub rows_cloned: u64,
+    /// Batches exchanged between operators (streaming) or operator
+    /// invocations (materialized).
+    pub batches: u64,
 }
 
 impl ExecMetrics {
@@ -49,6 +69,8 @@ impl ExecMetrics {
         self.remote_calls += other.remote_calls;
         self.local_work += other.local_work;
         self.remote_work += other.remote_work;
+        self.rows_cloned += other.rows_cloned;
+        self.batches += other.batches;
     }
 }
 
@@ -82,8 +104,20 @@ pub struct ExecContext<'a> {
 /// mediated entirely through [`ExecContext::db`].
 pub struct LocalData;
 
-/// Executes a physical plan to completion.
+/// Executes a physical plan to completion on the hot path: compile once
+/// (ordinal resolution, constant folding, parameter slots), then stream
+/// batches through the pull-based executor.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<QueryResult> {
+    let compiled = crate::compile::compile(plan)?;
+    execute_compiled(&compiled, ctx)
+}
+
+pub use crate::stream::execute_compiled;
+
+/// Executes a physical plan with the seed's recursive materialize-everything
+/// interpreter. Kept as the differential baseline for the streaming
+/// executor; instrumented with the same `rows_cloned`/`batches` counters.
+pub fn execute_materialized(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<QueryResult> {
     let mut metrics = ExecMetrics::default();
     let rows = run(plan, ctx, &mut metrics)?;
     Ok(QueryResult {
@@ -94,6 +128,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<QueryResult
 }
 
 fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Result<Vec<Row>> {
+    m.batches += 1;
     match plan {
         PhysicalPlan::Nothing { .. } => Ok(vec![Row::new(vec![])]),
 
@@ -118,6 +153,7 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             }
             m.local_work += ctx.work.scan(scanned as f64);
             m.local_rows += out.len() as u64;
+            m.rows_cloned += out.len() as u64;
             Ok(out)
         }
 
@@ -146,6 +182,7 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             }
             m.local_work += ctx.work.seek(touched as f64);
             m.local_rows += out.len() as u64;
+            m.rows_cloned += out.len() as u64;
             Ok(out)
         }
 
@@ -170,7 +207,10 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
                 Some(k) => Bound::Included(k),
                 None => Bound::Unbounded,
             };
+            // Seed behavior: materialize the whole PK range before probing.
+            // (The streaming executor walks the borrowed range instead.)
             let pks: Vec<Row> = ix.range(lo, hi).cloned().collect();
+            m.rows_cloned += pks.len() as u64;
             let mut out = Vec::new();
             for pk in &pks {
                 if let Some(row) = table.get(pk) {
@@ -181,6 +221,7 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             }
             m.local_work += ctx.work.seek(pks.len() as f64);
             m.local_rows += out.len() as u64;
+            m.rows_cloned += out.len() as u64;
             Ok(out)
         }
 
@@ -345,6 +386,9 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
                 let states = match groups.get_mut(&key) {
                     Some(s) => s,
                     None => {
+                        // Seed behavior: the key is cloned twice per new
+                        // group (order vector + map entry).
+                        m.rows_cloned += 2;
                         order.push(key.clone());
                         groups
                             .entry(key.clone())
@@ -415,6 +459,9 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             m.local_work += ctx.work.aggregate(rows.len() as f64, rows.len() as f64);
             let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
             let mut out = Vec::new();
+            // Seed behavior: every row is cloned into the seen-set, even
+            // duplicates that are then dropped.
+            m.rows_cloned += rows.len() as u64;
             for row in rows {
                 if seen.insert(row.clone()) {
                     out.push(row);
@@ -500,7 +547,10 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
                                 }
                                 Row::new(vals)
                             }
-                            None => irow.clone(),
+                            None => {
+                                m.rows_cloned += 1;
+                                irow.clone()
+                            }
                         };
                         let joined = orow.join(&projected);
                         let ok = match residual {
@@ -635,7 +685,7 @@ fn key_of(
 
 /// Pads a row with NULLs for outer-join non-matches. `on_left` pads on the
 /// left side (for right-outer unmatched build rows).
-fn null_extend(row: &Row, width: usize, on_left: bool) -> Row {
+pub(crate) fn null_extend(row: &Row, width: usize, on_left: bool) -> Row {
     let nulls = std::iter::repeat_n(Value::Null, width);
     if on_left {
         nulls.chain(row.values().iter().cloned()).collect()
@@ -645,7 +695,7 @@ fn null_extend(row: &Row, width: usize, on_left: bool) -> Row {
 }
 
 /// Incremental aggregate state.
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     CountDistinct(HashSet<Value>),
     Sum { sum: f64, any: bool, int: bool },
@@ -656,7 +706,12 @@ enum AggState {
 
 impl AggState {
     fn new(call: &crate::logical::AggCall) -> AggState {
-        match (call.func, call.distinct) {
+        AggState::from_parts(call.func, call.distinct)
+    }
+
+    /// Builds state from the pre-resolved pieces a compiled plan carries.
+    pub(crate) fn from_parts(func: AggFunc, distinct: bool) -> AggState {
+        match (func, distinct) {
             (AggFunc::Count, true) => AggState::CountDistinct(HashSet::new()),
             (AggFunc::Count, false) => AggState::Count(0),
             (AggFunc::Sum, _) => AggState::Sum {
@@ -670,7 +725,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) {
+    pub(crate) fn update(&mut self, v: Option<Value>) {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) counts rows; COUNT(expr) skips NULLs.
@@ -723,7 +778,7 @@ impl AggState {
         }
     }
 
-    fn finish(&self) -> Value {
+    pub(crate) fn finish(&self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(*n),
             AggState::CountDistinct(set) => Value::Int(set.len() as i64),

@@ -20,16 +20,22 @@
 //! shipped as textual SQL" limitation.
 
 pub mod binder;
+pub mod compile;
 pub mod eval;
 pub mod exec;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod sqlgen;
+pub mod stream;
 
 pub use binder::{bind_select, Binder};
+pub use compile::{compile, CompiledExpr, CompiledPlan, CompiledQuery, EvalEnv, ParamSlots};
 pub use eval::{eval, eval_predicate, Bindings};
-pub use exec::{execute, ExecContext, ExecMetrics, LocalData, QueryResult, RemoteExecutor};
+pub use exec::{
+    execute, execute_compiled, execute_materialized, ExecContext, ExecMetrics, LocalData,
+    QueryResult, RemoteExecutor,
+};
 pub use logical::{AggCall, AggFunc, DataLocation, LogicalPlan};
 pub use optimizer::{optimize, CostModel, Optimized, OptimizerOptions};
 pub use physical::PhysicalPlan;

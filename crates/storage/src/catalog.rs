@@ -78,11 +78,28 @@ pub struct Catalog {
     permissions: BTreeMap<(String, String), BTreeSet<Permission>>,
     /// Per table / materialized view statistics.
     stats: BTreeMap<String, TableStats>,
+    /// Monotonic counter bumped on every change that can affect plan choice
+    /// (views, statistics, and — via [`crate::Database`] — tables and
+    /// indexes). Cached compiled plans are stamped with the version they
+    /// were optimized under and invalidated when it moves.
+    version: u64,
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Current plan-relevant metadata version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Bumps the metadata version — called by every catalog mutation that
+    /// can change optimizer decisions, and by [`crate::Database`] DDL
+    /// (tables/indexes live outside the catalog but equally shape plans).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     // -- views --------------------------------------------------------------
@@ -93,14 +110,18 @@ impl Catalog {
             return Err(Error::catalog(format!("view `{name}` already exists")));
         }
         self.views.insert(name, view);
+        self.bump_version();
         Ok(())
     }
 
     pub fn drop_view(&mut self, name: &str) -> Result<ViewMeta> {
         let name = normalize_ident(name);
-        self.views
+        let meta = self
+            .views
             .remove(&name)
-            .ok_or_else(|| Error::catalog(format!("view `{name}` not found")))
+            .ok_or_else(|| Error::catalog(format!("view `{name}` not found")))?;
+        self.bump_version();
+        Ok(meta)
     }
 
     pub fn view(&self, name: &str) -> Option<&ViewMeta> {
@@ -199,11 +220,13 @@ impl Catalog {
 
     pub fn set_stats(&mut self, object: &str, stats: TableStats) {
         self.stats.insert(normalize_ident(object), stats);
+        self.bump_version();
     }
 
     /// Drops the statistics of an object (used when pruning shadow tables).
     pub fn remove_stats(&mut self, object: &str) {
         self.stats.remove(&normalize_ident(object));
+        self.bump_version();
     }
 
     pub fn stats(&self, object: &str) -> Option<&TableStats> {
@@ -222,6 +245,7 @@ impl Catalog {
         for (name, stats) in other.all_stats() {
             self.stats.insert(name.to_string(), stats.clone());
         }
+        self.bump_version();
     }
 }
 

@@ -80,6 +80,7 @@ impl Database {
         for ix in self.table_indexes.remove(&name).unwrap_or_default() {
             self.indexes.remove(&ix);
         }
+        self.catalog.bump_version();
         Ok(())
     }
 
@@ -102,9 +103,11 @@ impl Database {
             .map(|c| t.schema().index_of(c))
             .collect::<Result<_>>()?;
         let mut ix = Index::new(&name, &table_name, cols, unique);
+        // scan_with_keys avoids the per-row `key_of` full scan (O(n²) on
+        // rowid tables) the seed build performed.
         let pairs: Vec<(Row, Row)> = t
-            .scan()
-            .map(|r| (r.clone(), t.key_of(r).expect("scanned row has a key")))
+            .scan_with_keys()
+            .map(|(k, r)| (r.clone(), k.clone()))
             .collect();
         ix.rebuild(pairs.iter().map(|(r, k)| (r, k.clone())))?;
         self.indexes.insert(name.clone(), ix);
@@ -112,6 +115,7 @@ impl Database {
             .entry(table_name)
             .or_default()
             .push(name);
+        self.catalog.bump_version();
         Ok(())
     }
 
@@ -224,11 +228,13 @@ impl Database {
     }
 
     fn apply_one(&mut self, change: &RowChange) -> Result<()> {
+        // The clustering key is threaded through each arm instead of being
+        // rediscovered per step: `Table::key_of` is a full scan on rowid
+        // tables, and the seed paid it up to three times per change.
         match change {
             RowChange::Insert { table, row } => {
                 let t = self.table_mut(table)?;
-                let row = t.insert(row.clone())?;
-                let pk = t.key_of(&row).expect("inserted row has a key");
+                let (row, pk) = t.insert_keyed(row.clone())?;
                 self.index_insert(table, &row, pk)
             }
             RowChange::Update {
@@ -240,9 +246,7 @@ impl Database {
                 let old_pk = t.key_of(before).ok_or_else(|| {
                     Error::execution(format!("update target not found in `{table}`"))
                 })?;
-                t.update(before, after.clone())?;
-                let t = self.table_ref(table)?;
-                let new_pk = t.key_of(after).expect("updated row has a key");
+                let new_pk = t.update_with_key(&old_pk, after.clone())?;
                 self.index_remove(table, before, &old_pk);
                 self.index_insert(table, after, new_pk)
             }
@@ -251,7 +255,7 @@ impl Database {
                 let pk = t.key_of(row).ok_or_else(|| {
                     Error::execution(format!("delete target not found in `{table}`"))
                 })?;
-                if !t.delete(row) {
+                if t.delete_by_key(&pk).is_none() {
                     return Err(Error::execution(format!(
                         "delete target not found in `{table}`"
                     )));

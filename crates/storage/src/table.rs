@@ -128,6 +128,14 @@ impl Table {
 
     /// Inserts a validated row; errors on duplicate primary key.
     pub fn insert(&mut self, row: Row) -> Result<Row> {
+        self.insert_keyed(row).map(|(row, _)| row)
+    }
+
+    /// Inserts a validated row and returns `(row, clustering key)`. Callers
+    /// that need the key afterwards (index maintenance) must use this
+    /// instead of `insert` + [`Table::key_of`]: for rowid tables the latter
+    /// rediscovers the freshly allocated rowid with a full scan.
+    pub fn insert_keyed(&mut self, row: Row) -> Result<(Row, Row)> {
         if self.is_shadow {
             return Err(Error::execution(format!(
                 "cannot insert into shadow table `{}`",
@@ -142,8 +150,8 @@ impl Table {
                 self.name
             )));
         }
-        self.rows.insert(key, row.clone());
-        Ok(row)
+        self.rows.insert(key.clone(), row.clone());
+        Ok((row, key))
     }
 
     /// Inserts, replacing any existing row with the same key (replication
@@ -170,27 +178,35 @@ impl Table {
 
     /// Replaces `before` with `after`; handles key changes.
     pub fn update(&mut self, before: &Row, after: Row) -> Result<()> {
-        let after = self.validate(&after)?;
         let Some(old_key) = self.key_of(before) else {
             return Err(Error::execution(format!(
                 "update target row not found in `{}`",
                 self.name
             )));
         };
+        self.update_with_key(&old_key, after).map(|_| ())
+    }
+
+    /// Replaces the row stored under `old_key` with `after`, returning the
+    /// new clustering key. This is the hot-path form: callers that already
+    /// know the key (UPDATE/DELETE executors, index maintenance) skip the
+    /// rowid-table full scan [`Table::key_of`] would otherwise perform.
+    pub fn update_with_key(&mut self, old_key: &Row, after: Row) -> Result<Row> {
+        let after = self.validate(&after)?;
         let new_key = if self.primary_key.is_empty() {
             old_key.clone()
         } else {
             after.project(&self.primary_key)
         };
-        if new_key != old_key && self.rows.contains_key(&new_key) {
+        if new_key != *old_key && self.rows.contains_key(&new_key) {
             return Err(Error::constraint(format!(
                 "duplicate primary key {new_key} in `{}`",
                 self.name
             )));
         }
-        self.rows.remove(&old_key);
-        self.rows.insert(new_key, after);
-        Ok(())
+        self.rows.remove(old_key);
+        self.rows.insert(new_key.clone(), after);
+        Ok(new_key)
     }
 
     /// Point lookup by primary key.
@@ -201,6 +217,13 @@ impl Table {
     /// Full scan in clustering-key order.
     pub fn scan(&self) -> impl Iterator<Item = &Row> + '_ {
         self.rows.values()
+    }
+
+    /// Full scan yielding `(clustering key, row)` pairs — index builds use
+    /// this instead of `scan` + per-row [`Table::key_of`] (which is a full
+    /// scan per row, O(n²) total, on rowid tables).
+    pub fn scan_with_keys(&self) -> impl Iterator<Item = (&Row, &Row)> + '_ {
+        self.rows.iter()
     }
 
     /// The row with the smallest clustering key (O(log n)).

@@ -1,6 +1,13 @@
 //! Property-based equivalence: for randomized queries and parameter values,
 //! the cache server answers exactly what the backend answers — the
 //! observable definition of transparency.
+//!
+//! Since the executor rewrite this file also pins the *internal*
+//! equivalence: the compiled streaming executor (`execute`) returns exactly
+//! what the seed's materialized interpreter (`execute_materialized`)
+//! returns — same rows, same order — across every query shape (joins,
+//! outer joins, GROUP BY, TOP, DISTINCT, scalar functions/CASE, and
+//! ChoosePlan dynamic plans on both branches), while cloning no more rows.
 
 use std::sync::Arc;
 
@@ -9,7 +16,13 @@ use mtc_util::rng::{Rng, StdRng};
 use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::engine::{
+    bind_select, execute, execute_materialized, optimize, Bindings, ExecContext,
+    OptimizerOptions, QueryResult, RemoteExecutor,
+};
 use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::sql::{parse_statement, Statement};
+use mtcache_repro::storage::Database;
 use mtcache_repro::types::{Row, Value};
 
 const N_ROWS: i64 = 3000;
@@ -142,4 +155,161 @@ fn aggregates_agree() {
             assert_eq!(b.rows, c.rows, "query: {sql}");
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Internal equivalence: compiled streaming executor vs seed interpreter.
+//
+// These tests pin the executor rewrite: `execute` (compile + stream) must
+// produce exactly the rows `execute_materialized` (the instrumented seed
+// interpreter) produces — same rows, same order — from the *same* physical
+// plan, and must never clone more rows doing it.
+// ---------------------------------------------------------------------------
+
+/// Smaller two-table database for executor-level shape tests: `t` as in
+/// [`setup`] but 600 rows, plus `u (uid PK, t_grp, label)` whose `t_grp`
+/// values cover only some of `t.grp` (and include values `t` lacks), so
+/// outer joins exercise null extension in both directions.
+fn join_db() -> Arc<BackendServer> {
+    let backend = BackendServer::new("exec");
+    backend
+        .run_script(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, grp INT, val FLOAT, name VARCHAR);
+             CREATE INDEX ix_t_grp ON t (grp);
+             CREATE TABLE u (uid INT NOT NULL PRIMARY KEY, t_grp INT, label VARCHAR);",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=600i64)
+        .map(|i| {
+            format!(
+                "INSERT INTO t VALUES ({i}, {}, {}.5, 'name{}')",
+                i % 17,
+                i % 83,
+                i % 29
+            )
+        })
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    let urows: Vec<String> = (0..40i64)
+        .map(|i| format!("INSERT INTO u VALUES ({i}, {}, 'label{}')", i % 23, i % 7))
+        .collect();
+    backend.run_script(&urows.join(";")).unwrap();
+    backend.analyze();
+    backend
+}
+
+/// Parses, binds, and optimizes `sql` against `db`, then runs the single
+/// resulting physical plan through both executors.
+fn both_ways(
+    db: &Database,
+    sql: &str,
+    params: &Bindings,
+    remote: Option<&dyn RemoteExecutor>,
+) -> (QueryResult, QueryResult) {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        panic!("not a SELECT: {sql}");
+    };
+    let options = OptimizerOptions::default();
+    let plan = bind_select(&sel, db).unwrap();
+    let opt = optimize(plan, db, &options).unwrap();
+    let ctx = ExecContext {
+        db,
+        remote,
+        params,
+        work: &options.cost,
+    };
+    let streamed = execute(&opt.physical, &ctx).unwrap();
+    let seed = execute_materialized(&opt.physical, &ctx).unwrap();
+    (streamed, seed)
+}
+
+fn assert_equivalent(sql: &str, streamed: &QueryResult, seed: &QueryResult) {
+    assert_eq!(streamed.schema, seed.schema, "schema differs: {sql}");
+    assert_eq!(streamed.rows, seed.rows, "rows differ: {sql}");
+    assert!(
+        streamed.metrics.rows_cloned <= seed.metrics.rows_cloned,
+        "streaming cloned more rows ({} > {}): {sql}",
+        streamed.metrics.rows_cloned,
+        seed.metrics.rows_cloned
+    );
+}
+
+/// A randomized query spanning every shape the executor supports: inner and
+/// outer joins, GROUP BY aggregates with HAVING, TOP, DISTINCT, and
+/// CASE/scalar-function projections.
+fn gen_shape(rng: &mut StdRng) -> String {
+    let bound = rng.gen_range(0i64..700);
+    let grp = rng.gen_range(0i64..17);
+    let top = rng.gen_range(1i64..40);
+    match rng.gen_range(0u64..8) {
+        0 => format!(
+            "SELECT t.id, t.grp, u.label FROM t INNER JOIN u ON t.grp = u.t_grp \
+             WHERE t.id <= {bound} ORDER BY t.id ASC, u.label ASC"
+        ),
+        1 => format!(
+            "SELECT t.id, u.uid FROM t LEFT JOIN u ON t.grp = u.t_grp \
+             WHERE t.id <= {bound} ORDER BY t.id ASC, u.uid ASC"
+        ),
+        2 => format!(
+            "SELECT u.uid, t.id FROM t RIGHT JOIN u ON t.grp = u.t_grp \
+             WHERE u.uid <= {top} ORDER BY u.uid ASC, t.id ASC"
+        ),
+        3 => format!(
+            "SELECT t.id, u.uid FROM t FULL JOIN u ON t.grp = u.t_grp \
+             ORDER BY t.id ASC, u.uid ASC"
+        ),
+        4 => format!(
+            "SELECT grp, COUNT(*) AS n, SUM(val) AS s, MIN(id) AS lo FROM t \
+             WHERE id <= {bound} GROUP BY grp HAVING COUNT(*) > 1 ORDER BY grp ASC"
+        ),
+        5 => format!("SELECT TOP {top} id, val FROM t WHERE grp = {grp} ORDER BY id DESC"),
+        6 => format!("SELECT DISTINCT grp, name FROM t WHERE id <= {bound} ORDER BY grp ASC, name ASC"),
+        _ => format!(
+            "SELECT id, CASE WHEN grp < {grp} THEN UPPER(name) ELSE name END AS tag \
+             FROM t WHERE id <= {bound} ORDER BY id ASC"
+        ),
+    }
+}
+
+#[test]
+fn streaming_matches_seed_across_shapes() {
+    let backend = join_db();
+    let params = Bindings::new();
+    check::run(
+        &Config::cases(40),
+        "streaming_matches_seed_across_shapes",
+        gen_shape,
+        |sql| {
+            let db = backend.db.read();
+            let (streamed, seed) = both_ways(&db, sql, &params, None);
+            assert_equivalent(sql, &streamed, &seed);
+        },
+    );
+}
+
+#[test]
+fn streaming_matches_seed_on_choose_plan_branches() {
+    // The cache database holds `t_head` with guard `id <= 1000`, so a
+    // parameterized probe optimizes to a ChoosePlan whose branches are a
+    // local view scan and a remote fallback. Both branches must agree
+    // between executors — including the remote-call count.
+    let (backend, cache) = setup();
+    for v in [500i64, 1_500i64] {
+        let db = cache.db.read();
+        let params = Connection::params(&[("v", Value::Int(v))]);
+        let remote: &dyn RemoteExecutor = &*backend;
+        let sql = "SELECT id, grp, val, name FROM t WHERE id <= @v";
+        let (streamed, seed) = both_ways(&db, sql, &params, Some(remote));
+        assert_equivalent(sql, &streamed, &seed);
+        assert_eq!(
+            streamed.metrics.remote_calls, seed.metrics.remote_calls,
+            "@v = {v}: executors disagree on routing"
+        );
+        if v <= VIEW_BOUND {
+            assert_eq!(streamed.metrics.remote_calls, 0, "@v = {v} should stay local");
+        } else {
+            assert!(streamed.metrics.remote_calls > 0, "@v = {v} must go remote");
+        }
+        assert_eq!(streamed.rows.len() as i64, v.min(N_ROWS), "@v = {v}");
+    }
 }

@@ -1,0 +1,69 @@
+//! Smoke guard for the hot-path experiment (DESIGN.md §8.4).
+//!
+//! Two layers, in the spirit of `tests/hermetic.rs`: a live mini-run of the
+//! measurement pinning the counter-level invariants (warm stream is
+//! hit-only, the plan cache speeds it up, streaming never clones more than
+//! the seed interpreter), and a validation of the committed
+//! `BENCH_hotpath.json` artifact so a stale or regressed report fails the
+//! build rather than going unnoticed.
+
+use mtc_bench::run_hotpath;
+
+#[test]
+fn hotpath_mini_run_invariants() {
+    let r = run_hotpath(900, 60);
+    assert_eq!(r.misses, 0, "warm stream must be hit-only, got {r:?}");
+    assert_eq!(r.hits, 60, "every warm statement must hit, got {r:?}");
+    assert_eq!(r.invalidations, 0, "nothing changed the catalog mid-stream");
+    assert!(
+        r.plan_cache_speedup > 1.0,
+        "plan-cache hits must beat re-optimizing every statement, got {:.2}x",
+        r.plan_cache_speedup
+    );
+    assert!(
+        r.rows_cloned_streaming <= r.rows_cloned_materialized,
+        "streaming cloned more rows than the seed interpreter ({} > {})",
+        r.rows_cloned_streaming,
+        r.rows_cloned_materialized
+    );
+    assert!(r.rows_cloned_materialized > 0, "instrumentation must observe clones");
+}
+
+/// Pulls a numeric field out of the hand-rolled JSON report.
+fn field(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("BENCH_hotpath.json missing `{key}`"));
+    let rest = &json[at + pat.len()..];
+    let end = rest
+        .find([',', '\n', '}'])
+        .unwrap_or_else(|| panic!("unterminated `{key}`"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("`{key}` is not numeric: {e}"))
+}
+
+#[test]
+fn committed_bench_report_meets_floors() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_hotpath.json");
+    let json = std::fs::read_to_string(path).expect(
+        "BENCH_hotpath.json missing — regenerate with \
+         `cargo run --release -p mtc-bench --bin exp_hotpath`",
+    );
+    assert!(json.contains("\"experiment\": \"hotpath\""));
+    assert!(
+        field(&json, "plan_cache_speedup") >= 2.0,
+        "committed report must show >= 2x warm plan-cache throughput"
+    );
+    assert!(
+        field(&json, "executor_speedup") > 1.0,
+        "committed report must show a streaming-executor speedup"
+    );
+    assert!(
+        field(&json, "rows_cloned_streaming") <= field(&json, "rows_cloned_materialized"),
+        "committed report must show the row-clone reduction"
+    );
+    assert_eq!(field(&json, "misses"), 0.0, "warm stream in the report must be hit-only");
+}

@@ -1,0 +1,259 @@
+//! Observable semantics of the parameterized plan cache.
+//!
+//! The cache must be invisible except in the counters: hits and misses are
+//! counted, parameter signatures separate plans, any catalog change (new
+//! index, new cached view, refreshed statistics) invalidates stale entries
+//! so an outdated plan is never executed, permission checks still run on
+//! every execution, and freshness-bounded statements bypass the cache
+//! entirely. A property test pins that cached-plan results are identical to
+//! freshly optimized plans across random parameters.
+
+use std::sync::Arc;
+
+use mtc_util::check::{self, Config};
+use mtc_util::rng::Rng;
+use mtc_util::sync::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
+use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::types::{Row, Value};
+
+const N_ROWS: i64 = 400;
+const VIEW_BOUND: i64 = 200;
+
+fn backend_only() -> Arc<BackendServer> {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, grp INT, val FLOAT, name VARCHAR);
+             GRANT SELECT ON t TO app;",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=N_ROWS)
+        .map(|i| format!("INSERT INTO t VALUES ({i}, {}, {}.5, 'n{}')", i % 7, i % 13, i % 5))
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    backend
+}
+
+fn backend_and_cache() -> (Arc<BackendServer>, Arc<CacheServer>) {
+    let backend = backend_only();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let cache = CacheServer::create("cache", backend.clone(), hub);
+    (backend, cache)
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn backend_counts_hits_and_misses() {
+    let backend = backend_only();
+    let conn = Connection::connect(backend.clone());
+    let sql = "SELECT id, val FROM t WHERE grp = 3";
+
+    let before = backend.plan_cache.stats();
+    let first = conn.query(sql).unwrap();
+    let mid = backend.plan_cache.stats();
+    assert_eq!(mid.misses, before.misses + 1, "first execution is a miss");
+    assert_eq!(mid.insertions, before.insertions + 1);
+    assert_eq!(mid.hits, before.hits);
+
+    let second = conn.query(sql).unwrap();
+    let after = backend.plan_cache.stats();
+    assert_eq!(after.hits, mid.hits + 1, "second execution is a hit");
+    assert_eq!(after.misses, mid.misses, "no new miss on repeat");
+    assert_eq!(first.rows, second.rows, "hit returns identical rows");
+}
+
+#[test]
+fn parameter_signatures_separate_plans() {
+    let backend = backend_only();
+    let conn = Connection::connect(backend.clone());
+    let sql = "SELECT id FROM t WHERE val <= @v";
+
+    // Same SQL text, different parameter types: distinct cache entries.
+    let int_params = Connection::params(&[("v", Value::Int(5))]);
+    let float_params = Connection::params(&[("v", Value::Float(5.0))]);
+
+    conn.query_with(sql, &int_params).unwrap();
+    let s1 = backend.plan_cache.stats();
+    conn.query_with(sql, &float_params).unwrap();
+    let s2 = backend.plan_cache.stats();
+    assert_eq!(
+        s2.misses,
+        s1.misses + 1,
+        "a float binding must not reuse the int-signature plan"
+    );
+
+    // Re-running each signature now hits its own entry.
+    conn.query_with(sql, &int_params).unwrap();
+    conn.query_with(sql, &float_params).unwrap();
+    let s3 = backend.plan_cache.stats();
+    assert_eq!(s3.hits, s2.hits + 2);
+    assert_eq!(s3.misses, s2.misses);
+}
+
+#[test]
+fn create_index_invalidates_cached_plans() {
+    let backend = backend_only();
+    let conn = Connection::connect(backend.clone());
+    let sql = "SELECT id, val FROM t WHERE grp = 2";
+
+    let cold = conn.query(sql).unwrap();
+    conn.query(sql).unwrap(); // warm: cached plan in use
+    let before = backend.plan_cache.stats();
+
+    backend.run_script("CREATE INDEX ix_t_grp ON t (grp)").unwrap();
+
+    let warm = conn.query(sql).unwrap();
+    let after = backend.plan_cache.stats();
+    assert_eq!(
+        after.invalidations,
+        before.invalidations + 1,
+        "catalog change must invalidate the stale plan"
+    );
+    assert_eq!(after.misses, before.misses + 1, "re-optimized after invalidation");
+    assert_eq!(sorted(cold.rows), sorted(warm.rows), "results unchanged");
+}
+
+#[test]
+fn stats_refresh_invalidates_cached_plans() {
+    let backend = backend_only();
+    let conn = Connection::connect(backend.clone());
+    let sql = "SELECT COUNT(*) AS n FROM t WHERE grp = 1";
+
+    conn.query(sql).unwrap();
+    let before = backend.plan_cache.stats();
+    backend.analyze(); // refreshed statistics => new catalog version
+    conn.query(sql).unwrap();
+    let after = backend.plan_cache.stats();
+    assert_eq!(after.invalidations, before.invalidations + 1);
+    assert_eq!(after.misses, before.misses + 1);
+}
+
+#[test]
+fn cached_view_creation_invalidates_and_reroutes() {
+    // The strongest form of "stale plans are never executed": a plan that
+    // was compiled to go remote must be thrown away the moment a cached
+    // view can answer it locally.
+    let (_backend, cache) = backend_and_cache();
+    let conn = Connection::connect(cache.clone());
+    let sql = &format!("SELECT id, grp, val FROM t WHERE id <= {VIEW_BOUND}");
+
+    let remote_res = conn.query(sql).unwrap();
+    assert!(
+        remote_res.metrics.remote_calls > 0,
+        "no cached view yet: the query must go remote"
+    );
+    // The remote-routed plan is now cached.
+    let before = cache.plan_cache.stats();
+    assert!(before.entries > 0);
+
+    cache
+        .create_cached_view("t_head", &format!("SELECT id, grp, val, name FROM t WHERE id <= {VIEW_BOUND}"))
+        .unwrap();
+
+    let local_res = conn.query(sql).unwrap();
+    let after = cache.plan_cache.stats();
+    assert_eq!(
+        local_res.metrics.remote_calls, 0,
+        "stale remote plan must not be executed after the view exists"
+    );
+    assert!(after.invalidations > before.invalidations);
+    assert_eq!(sorted(remote_res.rows), sorted(local_res.rows));
+}
+
+#[test]
+fn explain_reports_cold_then_cached() {
+    let backend = backend_only();
+    let conn = Connection::connect(backend.clone());
+    let sql = "SELECT id FROM t WHERE grp = 4";
+
+    let cold = conn.explain(sql).unwrap();
+    assert!(cold.contains("plan cache: cold"), "explain before execution:\n{cold}");
+
+    conn.query(sql).unwrap();
+    let warm = conn.explain(sql).unwrap();
+    assert!(warm.contains("plan cache: cached"), "explain after execution:\n{warm}");
+}
+
+#[test]
+fn permissions_are_checked_on_cache_hits() {
+    let backend = backend_only();
+    let admin = Connection::connect(backend.clone());
+    let sql = "SELECT id FROM t WHERE grp = 0";
+
+    admin.query(sql).unwrap();
+    admin.query(sql).unwrap(); // plan is hot in the cache
+    let before = backend.plan_cache.stats();
+
+    let intruder = Connection::connect_as(backend.clone(), "intruder");
+    let err = intruder.query(sql);
+    assert!(err.is_err(), "cached plan must not bypass permission checks");
+    let after = backend.plan_cache.stats();
+    assert_eq!(after.hits, before.hits, "denied statement never touches the cache");
+
+    // The grantee still rides the cached plan.
+    let app = Connection::connect_as(backend.clone(), "app");
+    app.query(sql).unwrap();
+    assert_eq!(backend.plan_cache.stats().hits, before.hits + 1);
+}
+
+#[test]
+fn freshness_bounded_statements_bypass_the_cache() {
+    let (_backend, cache) = backend_and_cache();
+    cache
+        .create_cached_view("t_head", &format!("SELECT id, grp, val, name FROM t WHERE id <= {VIEW_BOUND}"))
+        .unwrap();
+    let conn = Connection::connect(cache.clone());
+
+    let before = cache.plan_cache.len();
+    let sql = "SELECT id FROM t WHERE id <= 10 WITH FRESHNESS 5 SECONDS";
+    conn.query(sql).unwrap();
+    conn.query(sql).unwrap();
+    assert_eq!(
+        cache.plan_cache.len(),
+        before,
+        "freshness-bounded plans depend on runtime staleness and must not be cached"
+    );
+}
+
+#[test]
+fn cached_plans_agree_with_fresh_plans() {
+    let (backend, cache) = backend_and_cache();
+    cache
+        .create_cached_view("t_head", &format!("SELECT id, grp, val, name FROM t WHERE id <= {VIEW_BOUND}"))
+        .unwrap();
+    let sql = "SELECT id, grp, val FROM t WHERE id <= @v";
+
+    check::run(
+        &Config::cases(32),
+        "cached_plans_agree_with_fresh_plans",
+        |rng| rng.gen_range(0i64..(N_ROWS + 100)),
+        |&v| {
+            let params = Connection::params(&[("v", Value::Int(v))]);
+            let truth = Connection::connect(backend.clone())
+                .query_with(sql, &params)
+                .unwrap();
+            // First call per process is a miss (fresh optimization); every
+            // subsequent call is a cache hit. Both must match the backend.
+            let before = cache.plan_cache.stats();
+            let c1 = Connection::connect(cache.clone()).query_with(sql, &params).unwrap();
+            let c2 = Connection::connect(cache.clone()).query_with(sql, &params).unwrap();
+            let after = cache.plan_cache.stats();
+            assert!(after.hits > before.hits, "@v = {v}: second run must hit");
+            assert_eq!(sorted(c1.rows.clone()), sorted(truth.rows.clone()), "@v = {v}");
+            assert_eq!(sorted(c1.rows), sorted(c2.rows), "@v = {v}");
+            // The cached ChoosePlan must still route per-parameter.
+            if v <= VIEW_BOUND {
+                assert_eq!(c2.metrics.remote_calls, 0, "@v = {v} should stay local");
+            } else {
+                assert!(c2.metrics.remote_calls > 0, "@v = {v} must go remote");
+            }
+        },
+    );
+}
