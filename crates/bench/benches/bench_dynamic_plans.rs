@@ -38,6 +38,7 @@ fn bench(c: &mut Criterion) {
                 remote: Some(remote),
                 params: &params,
                 work: &options.cost,
+                parallel: None,
             };
             execute(black_box(&optimized.physical), &ctx).unwrap()
         })
@@ -58,6 +59,7 @@ fn bench(c: &mut Criterion) {
                 remote: Some(remote),
                 params: &params,
                 work: &options.cost,
+                parallel: None,
             };
             execute(black_box(&optimized.physical), &ctx).unwrap()
         })
@@ -82,6 +84,7 @@ fn bench(c: &mut Criterion) {
                 remote: Some(remote),
                 params: &params,
                 work: &options.cost,
+                parallel: None,
             };
             execute(black_box(&all_remote.physical), &ctx).unwrap()
         })

@@ -96,6 +96,6 @@ mod tests {
         let conn = d.connection();
         let r = conn.query("EXEC getBook @i_id = 5").unwrap();
         assert_eq!(r.rows.len(), 1);
-        assert!(d.backend.stats.lock().queries > 0);
+        assert!(d.backend.stats.queries.get() > 0);
     }
 }

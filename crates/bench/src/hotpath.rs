@@ -184,6 +184,7 @@ pub fn run_hotpath(rows: i64, queries: usize) -> HotpathResults {
         remote: None,
         params: &params,
         work: &options.cost,
+        parallel: None,
     };
     let plans: Vec<_> = exec_sqls
         .iter()

@@ -12,12 +12,14 @@
 //! all scale-out curves, backend loads and overheads — follows from
 //! *measured relative demands* and is a genuine prediction of the model.
 
+pub mod concurrency;
 pub mod deployment;
 pub mod experiments;
 pub mod hotpath;
 pub mod measure;
 pub mod report;
 
+pub use concurrency::{run_concurrency, ConcurrencyResults, WorkerPoint};
 pub use deployment::Deployment;
 pub use experiments::{run_all, ExperimentResults};
 pub use hotpath::{run_hotpath, HotpathResults};

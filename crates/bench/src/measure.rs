@@ -99,26 +99,22 @@ pub fn measure_demands_routed(
         .collect();
 
     // Reset counters.
-    deployment.backend.stats.lock().take();
+    deployment.backend.stats.take();
     if let Some(c) = &deployment.cache {
-        c.stats.lock().take();
+        c.stats.take();
     }
     let (reader0, apply0, log0) = {
-        let hub = deployment.hub.lock();
-        let m = hub.metrics;
+        let m = deployment.hub.lock().metrics.snapshot();
         (m.reader_work, m.apply_work, m.txns_read)
     };
-    let backend_txns0 = deployment.backend.stats.lock().dml;
+    let backend_txns0 = deployment.backend.stats.dml.get();
 
     let mut per_type_sum: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
     let mut fully_local = 0usize;
     for i in 0..n {
         let s = rng.gen_range(0..sessions.len());
         let interaction = mix.sample(&mut rng);
-        let backend_before = {
-            let st = deployment.backend.stats.lock();
-            st.local_work
-        };
+        let backend_before = deployment.backend.stats.local_work.get();
         let out = run_interaction(
             interaction,
             &conn,
@@ -127,7 +123,7 @@ pub fn measure_demands_routed(
             &mut rng,
         )
         .expect("interaction execution");
-        let backend_delta = deployment.backend.stats.lock().local_work - backend_before;
+        let backend_delta = deployment.backend.stats.local_work.get() - backend_before;
         if out.metrics.remote_calls == 0 && backend_delta == 0.0 {
             fully_local += 1;
         }
@@ -141,17 +137,16 @@ pub fn measure_demands_routed(
     }
     deployment.pump_replication(50);
 
-    let backend_stats = deployment.backend.stats.lock().take();
+    let backend_stats = deployment.backend.stats.take();
     let cache_stats = deployment
         .cache
         .as_ref()
-        .map(|c| c.stats.lock().take())
+        .map(|c| c.stats.take())
         .unwrap_or_default();
-    let hub = deployment.hub.lock();
-    let reader_work = hub.metrics.reader_work - reader0;
-    let apply_work = hub.metrics.apply_work - apply0;
-    let txns = (hub.metrics.txns_read - log0).max(backend_stats.dml - backend_txns0);
-    drop(hub);
+    let m = deployment.hub.lock().metrics.snapshot();
+    let reader_work = m.reader_work - reader0;
+    let apply_work = m.apply_work - apply0;
+    let txns = (m.txns_read - log0).max(backend_stats.dml - backend_txns0);
 
     let nf = n as f64;
     MeasuredDemands {

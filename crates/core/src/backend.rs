@@ -17,7 +17,7 @@ use mtc_types::{Column, Error, Result, Row, Schema};
 use crate::dml::{compile_dml, derive_view_changes, DML_STATEMENT_OVERHEAD, WORK_PER_CHANGE};
 use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
 use crate::procs::{bind_proc_args, parse_proc_body};
-use crate::stats::ServerStats;
+use crate::stats::SharedServerStats;
 
 /// The backend server: database of record, local execution of everything,
 /// eager materialized-view maintenance, and the replication publisher.
@@ -26,7 +26,9 @@ pub struct BackendServer {
     pub db: Arc<RwLock<Database>>,
     pub options: OptimizerOptions,
     pub clock: Arc<dyn Clock>,
-    pub stats: Mutex<ServerStats>,
+    /// Live execution counters (relaxed atomics — no lock on the hot path;
+    /// read with `stats.snapshot()`).
+    pub stats: SharedServerStats,
     /// Compiled-plan cache keyed by statement text + parameter signature,
     /// invalidated by catalog version (see [`crate::plan_cache`]).
     pub plan_cache: PlanCache,
@@ -46,7 +48,7 @@ impl BackendServer {
             db: Arc::new(RwLock::new(Database::new(name))),
             options: OptimizerOptions::default(),
             clock,
-            stats: Mutex::new(ServerStats::default()),
+            stats: SharedServerStats::default(),
             plan_cache: PlanCache::default(),
             trace: Mutex::new(None),
         })
@@ -210,6 +212,7 @@ impl BackendServer {
             remote: None,
             params,
             work: &self.options.cost,
+            parallel: None,
         };
         let result = match self.plan_cache.lookup(&key, &sig, version) {
             Some(hit) => mtc_engine::execute_compiled(&hit.compiled, &ctx)?,
@@ -229,9 +232,7 @@ impl BackendServer {
                 mtc_engine::execute_compiled(&cached.compiled, &ctx)?
             }
         };
-        self.stats
-            .lock()
-            .record_query(&result.metrics, result.rows.len());
+        self.stats.record_query(&result.metrics, result.rows.len());
         Ok(result)
     }
 
@@ -251,7 +252,7 @@ impl BackendServer {
         // + per-row write and index maintenance.
         let work =
             DML_STATEMENT_OVERHEAD + locate_work + WORK_PER_CHANGE * changes.len() as f64;
-        self.stats.lock().record_dml(work);
+        self.stats.record_dml(work);
         let mut result = QueryResult::default();
         result.metrics.local_rows = affected as u64;
         result.metrics.local_work = work;
@@ -285,7 +286,7 @@ impl BackendServer {
             .cloned()
             .ok_or_else(|| Error::catalog(format!("procedure `{proc}` not found")))?;
         let bound = bind_proc_args(&def, args, caller_params)?;
-        self.stats.lock().procs += 1;
+        self.stats.procs.inc();
         let mut last = QueryResult::default();
         let mut accumulated = mtc_engine::ExecMetrics::default();
         for stmt in &def.body {
@@ -313,6 +314,7 @@ impl BackendServer {
                 remote: None,
                 params: &Bindings::new(),
                 work: &self.options.cost,
+                parallel: None,
             };
             let result = execute(&opt.physical, &ctx)?;
             (result.schema, result.rows)
@@ -362,6 +364,7 @@ impl BackendServer {
                 remote: None,
                 params: &Bindings::new(),
                 work: &self.options.cost,
+                parallel: None,
             };
             execute(&opt.physical, &ctx)?.rows
         };

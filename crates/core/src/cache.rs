@@ -2,32 +2,37 @@
 
 use std::sync::Arc;
 
-use mtc_util::sync::{Mutex, RwLock};
+use mtc_util::sync::Mutex;
 
 use mtc_engine::eval::Bindings;
 use mtc_engine::{bind_select, execute, ExecContext, OptimizerOptions, QueryResult};
 use mtc_replication::{Article, Clock, ReplicationHub, SubscriptionId};
 use mtc_sql::{parse_statement, Select, Statement, TableRef};
-use mtc_storage::{Database, ProcedureDef, ViewMeta};
+use mtc_storage::{DbSnapshot, Lsn, ProcedureDef, SnapshotDb, ViewMeta};
 use mtc_types::{Column, Error, Result, Schema};
 
 use crate::backend::{check_select_permissions, BackendServer};
 use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
-use crate::stats::ServerStats;
+use crate::stats::SharedServerStats;
 
 /// An MTCache server: shadow database + cached views + transparent routing.
 pub struct CacheServer {
     name: String,
     /// The shadow database: backend catalog/statistics, empty shadow
-    /// tables, plus populated backing tables for cached views.
-    pub db: Arc<RwLock<Database>>,
+    /// tables, plus populated backing tables for cached views. Read state
+    /// is an epoch-published [`DbSnapshot`]: queries execute against an
+    /// immutable LSN-stamped image and never block on (or observe a torn)
+    /// replication apply.
+    pub db: Arc<SnapshotDb>,
     backend: Arc<BackendServer>,
     hub: Arc<Mutex<ReplicationHub>>,
     /// (view name, subscription) pairs owned by this cache server.
     subscriptions: Mutex<Vec<(String, SubscriptionId)>>,
     pub options: OptimizerOptions,
     pub clock: Arc<dyn Clock>,
-    pub stats: Mutex<ServerStats>,
+    /// Live execution counters (relaxed atomics — no lock on the hot path;
+    /// read with `stats.snapshot()`).
+    pub stats: SharedServerStats,
     /// Compiled-plan cache keyed by statement text + parameter signature,
     /// invalidated by the shadow catalog's version (see
     /// [`crate::plan_cache`]). Statements with currency bounds bypass it.
@@ -46,13 +51,13 @@ impl CacheServer {
         let shadow = backend.db.read().shadow_clone();
         Arc::new(CacheServer {
             name: name.to_string(),
-            db: Arc::new(RwLock::new(shadow)),
+            db: Arc::new(SnapshotDb::new(shadow)),
             clock: backend.clock.clone(),
             backend,
             hub,
             subscriptions: Mutex::new(Vec::new()),
             options: OptimizerOptions::default(),
-            stats: Mutex::new(ServerStats::default()),
+            stats: SharedServerStats::default(),
             plan_cache: PlanCache::default(),
         })
     }
@@ -179,6 +184,18 @@ impl CacheServer {
         Ok(())
     }
 
+    /// Morsel-parallel context for one query execution, pinned to the
+    /// snapshot the query scans. `None` unless `options.dop > 1`.
+    fn parallel_ctx(&self, snap: &Arc<DbSnapshot>) -> Option<mtc_engine::ParallelCtx> {
+        (self.options.dop > 1).then(|| {
+            mtc_engine::ParallelCtx::new(
+                snap.clone(),
+                mtc_util::pool::WorkerPool::global().clone(),
+                self.options.dop,
+            )
+        })
+    }
+
     /// Parses and executes one statement with full transparency: queries
     /// are optimized here and run local/remote/mixed; DML and unknown
     /// procedures are forwarded to the backend.
@@ -214,10 +231,9 @@ impl CacheServer {
                     .catalog
                     .check_permission(principal, table, perm)?;
                 let result = self.backend.execute_statement(stmt, params, principal)?;
-                let mut stats = self.stats.lock();
-                stats.dml += 1;
-                stats.remote_calls += 1;
-                stats.remote_work += result.metrics.local_work;
+                self.stats.dml.inc();
+                self.stats.remote_calls.inc();
+                self.stats.remote_work.add(result.metrics.local_work);
                 let mut out = result;
                 out.metrics.remote_work = out.metrics.local_work;
                 out.metrics.local_work = 0.0;
@@ -231,10 +247,9 @@ impl CacheServer {
                     None => {
                         let result =
                             self.backend.execute_proc(proc, args, params, principal)?;
-                        let mut stats = self.stats.lock();
-                        stats.procs += 1;
-                        stats.remote_calls += 1;
-                        stats.remote_work += result.metrics.local_work;
+                        self.stats.procs.inc();
+                        self.stats.remote_calls.inc();
+                        self.stats.remote_work.add(result.metrics.local_work);
                         let mut out = result;
                         out.metrics.remote_work += out.metrics.local_work;
                         out.metrics.local_work = 0.0;
@@ -292,11 +307,10 @@ impl CacheServer {
                     remote: Some(backend),
                     params,
                     work: &options.cost,
+                    parallel: self.parallel_ctx(&db),
                 };
                 let result = mtc_engine::execute_compiled(&hit.compiled, &ctx)?;
-                self.stats
-                    .lock()
-                    .record_query(&result.metrics, result.rows.len());
+                self.stats.record_query(&result.metrics, result.rows.len());
                 return Ok(result);
             }
         }
@@ -309,10 +323,9 @@ impl CacheServer {
             Err(e) if e.kind() == "catalog" => {
                 drop(db);
                 let result = self.backend.execute_select(sel, params, principal)?;
-                let mut stats = self.stats.lock();
-                stats.queries += 1;
-                stats.remote_calls += 1;
-                stats.remote_work += result.metrics.local_work;
+                self.stats.queries.inc();
+                self.stats.remote_calls.inc();
+                self.stats.remote_work.add(result.metrics.local_work);
                 let mut out = result;
                 out.metrics.remote_work += out.metrics.local_work;
                 out.metrics.local_work = 0.0;
@@ -329,13 +342,13 @@ impl CacheServer {
         // worst case). If any is too stale, the local plan is rejected and
         // the statement degrades gracefully to the backend — backend data
         // is always fresh. Queries without a bound are untouched.
-        if let Some(decision) = self.currency_violation(sel, &opt.physical) {
+        if let Some(decision) = self.currency_violation(&db, sel, &opt.physical) {
             let no_views = OptimizerOptions {
                 enable_view_matching: false,
                 ..options.clone()
             };
             opt = mtc_engine::optimize(plan, &db, &no_views)?;
-            self.stats.lock().freshness_fallbacks += 1;
+            self.stats.freshness_fallbacks.inc();
             let _ = decision; // the routing reason is observable via explain()
         }
         let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
@@ -344,6 +357,7 @@ impl CacheServer {
             remote: Some(backend),
             params,
             work: &options.cost,
+            parallel: self.parallel_ctx(&db),
         };
         let result = if cacheable {
             // Compile once, cache (stamped with the catalog version seen
@@ -363,9 +377,7 @@ impl CacheServer {
             // Freshness-routed plan: computed fresh, executed, never cached.
             execute(&opt.physical, &ctx)?
         };
-        self.stats
-            .lock()
-            .record_query(&result.metrics, result.rows.len());
+        self.stats.record_query(&result.metrics, result.rows.len());
         Ok(result)
     }
 
@@ -379,7 +391,7 @@ impl CacheServer {
         principal: &str,
     ) -> Result<QueryResult> {
         let bound = crate::procs::bind_proc_args(def, args, caller_params)?;
-        self.stats.lock().procs += 1;
+        self.stats.procs.inc();
         let mut last = QueryResult::default();
         let mut accumulated = mtc_engine::ExecMetrics::default();
         for stmt in &def.body {
@@ -442,7 +454,7 @@ impl CacheServer {
         // that would actually run, with the routing reason spelled out.
         let mut routing = String::new();
         if let Some(bound_s) = sel.freshness_seconds {
-            match self.currency_violation(&sel, &opt.physical) {
+            match self.currency_violation(&db, &sel, &opt.physical) {
                 Some(d) => {
                     let no_views = OptimizerOptions {
                         enable_view_matching: false,
@@ -476,25 +488,31 @@ impl CacheServer {
     }
 
     /// Checks a statement's currency bound against the cached views its
-    /// chosen plan actually reads. Returns the first violation (the reason
-    /// the local plan must be rejected), or `None` when the plan is
-    /// admissible — including for statements without a bound.
+    /// chosen plan actually reads — using the watermarks stamped on `snap`,
+    /// the snapshot the query will *actually scan*, not the live
+    /// subscription state (which may have advanced past what this snapshot
+    /// contains). Returns the first violation (the reason the local plan
+    /// must be rejected), or `None` when the plan is admissible — including
+    /// for statements without a bound.
     fn currency_violation(
         &self,
+        snap: &DbSnapshot,
         sel: &Select,
         physical: &mtc_engine::PhysicalPlan,
     ) -> Option<CurrencyDecision> {
         let bound_s = sel.freshness_seconds?;
         let bound_ms = (bound_s as i64) * 1000;
+        let now = self.clock.now_ms();
         for obj in local_objects(physical) {
-            if let Some(staleness_ms) = self.staleness_of_view(&obj) {
+            if let Some(mark) = snap.watermark(&obj) {
+                let staleness_ms = (now - mark.synced_through_ms).max(0);
                 if staleness_ms > bound_ms {
-                    let lag_txns = self.lag_of_view(&obj).unwrap_or(0);
+                    let head = self.backend.db.read().log().head();
                     return Some(CurrencyDecision {
                         view: obj,
                         staleness_ms,
                         bound_ms,
-                        lag_txns,
+                        lag_txns: head.0.saturating_sub(mark.lsn.0),
                     });
                 }
             }
@@ -502,45 +520,33 @@ impl CacheServer {
         None
     }
 
-    /// Replication staleness of one cached view, in milliseconds; `None`
-    /// if `view` is not one of this server's cached views.
+    /// Replication staleness of one cached view, in milliseconds, as
+    /// stamped on the currently published snapshot; `None` if `view` is not
+    /// one of this server's cached views.
     pub fn staleness_of_view(&self, view: &str) -> Option<i64> {
-        let view = mtc_types::normalize_ident(view);
-        let now = self.clock.now_ms();
-        let hub = self.hub.lock();
-        self.subscriptions
-            .lock()
-            .iter()
-            .find(|(v, _)| *v == view)
-            .and_then(|(_, id)| hub.staleness_ms(*id, now))
+        let mark = self.db.read().watermark(view)?;
+        Some((self.clock.now_ms() - mark.synced_through_ms).max(0))
     }
 
     /// Replication lag of one cached view in *transactions*: backend commit
-    /// LSN (log head) minus the LSN applied to this cache's subscription.
-    /// `None` if `view` is not one of this server's cached views.
+    /// LSN (log head) minus the applied LSN stamped on the currently
+    /// published snapshot. `None` if `view` is not one of this server's
+    /// cached views.
     pub fn lag_of_view(&self, view: &str) -> Option<u64> {
-        let view = mtc_types::normalize_ident(view);
-        // Read the backend head before taking the hub lock (the hub's pump
-        // path locks hub → target db; never hold both here).
+        let applied: Lsn = self.db.read().applied_lsn(view)?;
         let head = self.backend.db.read().log().head();
-        let id = self
-            .subscriptions
-            .lock()
-            .iter()
-            .find(|(v, _)| *v == view)
-            .map(|(_, id)| *id)?;
-        let applied = self.hub.lock().applied_lsn(id)?;
         Some(head.0.saturating_sub(applied.0))
     }
 
-    /// Worst-case replication staleness over this server's subscriptions.
+    /// Worst-case replication staleness over this server's cached views, as
+    /// stamped on the currently published snapshot.
     pub fn max_staleness_ms(&self) -> i64 {
         let now = self.clock.now_ms();
-        let hub = self.hub.lock();
-        self.subscriptions
-            .lock()
-            .iter()
-            .filter_map(|(_, id)| hub.staleness_ms(*id, now))
+        self.db
+            .read()
+            .watermarks()
+            .values()
+            .map(|m| (now - m.synced_through_ms).max(0))
             .max()
             .unwrap_or(0)
     }
@@ -643,7 +649,7 @@ mod tests {
     fn query_in_view_range_runs_locally() {
         let (backend, hub, _clock) = setup();
         let c = cache(&backend, &hub);
-        let before = backend.stats.lock().queries;
+        let before = backend.stats.queries.get();
         let r = c
             .execute(
                 "SELECT cname FROM customer WHERE cid = 42",
@@ -653,7 +659,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows[0][0], Value::str("c42"));
         assert_eq!(r.metrics.remote_calls, 0, "fully local");
-        assert_eq!(backend.stats.lock().queries, before, "backend untouched");
+        assert_eq!(backend.stats.queries.get(), before, "backend untouched");
     }
 
     #[test]
@@ -729,6 +735,28 @@ mod tests {
     }
 
     #[test]
+    fn cached_plan_hit_still_checks_permissions() {
+        // The plan cache stores plans, not authorization decisions: a
+        // resident, valid plan must not let an unauthorized principal
+        // through. The check runs *before* the cache shard lock is taken,
+        // so a denied probe also leaves the LRU state untouched.
+        let (backend, hub, _clock) = setup();
+        let c = cache(&backend, &hub);
+        let sql = "SELECT cname FROM customer WHERE cid = 42";
+        c.execute(sql, &Bindings::new(), "app").unwrap();
+        let hits_before = c.plan_cache.stats().hits;
+        // Same statement, unauthorized principal: denied despite the
+        // resident plan, and the denial never counted as a cache probe.
+        let err = c.execute(sql, &Bindings::new(), "nobody").unwrap_err();
+        assert_eq!(err.kind(), "permission");
+        let s = c.plan_cache.stats();
+        assert_eq!(s.hits, hits_before, "denied probe never touched the cache");
+        // The authorized principal still hits the cached plan.
+        c.execute(sql, &Bindings::new(), "app").unwrap();
+        assert_eq!(c.plan_cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
     fn procedures_local_vs_forwarded() {
         let (backend, hub, _clock) = setup();
         backend
@@ -740,15 +768,15 @@ mod tests {
             .execute("EXEC getCustomer @id = 3", &Bindings::new(), "dbo")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::str("c3"));
-        assert_eq!(c.stats.lock().remote_calls, 1);
+        assert_eq!(c.stats.remote_calls.get(), 1);
         // Copied: runs locally (and hits the cached view).
         c.copy_procedure("getCustomer").unwrap();
-        let before_remote = c.stats.lock().remote_calls;
+        let before_remote = c.stats.remote_calls.get();
         let r = c
             .execute("EXEC getCustomer @id = 3", &Bindings::new(), "dbo")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::str("c3"));
-        assert_eq!(c.stats.lock().remote_calls, before_remote, "ran locally");
+        assert_eq!(c.stats.remote_calls.get(), before_remote, "ran locally");
     }
 
     #[test]

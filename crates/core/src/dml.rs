@@ -101,6 +101,7 @@ fn compile_insert(
                 remote: None,
                 params,
                 work: &options.cost,
+                parallel: None,
             };
             let result = execute(&opt.physical, &ctx)?;
             if result.schema.len() != col_indices.len() {
@@ -155,6 +156,7 @@ fn matching_rows(
         remote: None,
         params,
         work: &options.cost,
+        parallel: None,
     };
     let result = execute(&opt.physical, &ctx)?;
     Ok((result.rows, result.metrics.local_work))

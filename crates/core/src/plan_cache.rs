@@ -22,16 +22,33 @@
 //!   invalidation, and forces re-optimization. Stale plans are therefore
 //!   never executed.
 //!
+//! # Concurrency
+//!
+//! The cache is **sharded**: keys hash to one of several independently
+//! locked shards (large caches get eight; tiny caches collapse to one so
+//! the LRU bound stays exact), and concurrent sessions probing different
+//! statements take different locks. Counters are relaxed atomics shared by
+//! all shards, so bumping a hit count never serializes two sessions. LRU
+//! eviction is per shard — each shard bounds its own slice of the
+//! capacity, which bounds the whole.
+//!
 //! Plans for statements carrying a `WITH FRESHNESS` bound are **never
 //! cached**: their routing depends on replication staleness at execution
 //! time, not just on metadata (see `CacheServer::execute_select`).
 //!
 //! Permission checks still run on every execution, cached or not — the
-//! cache stores *plans*, not authorization decisions.
+//! cache stores *plans*, not authorization decisions — and they run
+//! **before** the shard lock is taken (see `CacheServer::execute_select`
+//! and `BackendServer::execute_select`), so a slow authorization path can
+//! never stall other sessions' cache probes, and a denied principal never
+//! touches LRU state.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use mtc_util::atomic::Counter;
 use mtc_util::sync::Mutex;
 
 use mtc_engine::{Bindings, CompiledQuery};
@@ -69,18 +86,30 @@ pub struct CachedPlan {
 
 type Key = (String, String);
 
-struct Inner {
+#[derive(Default)]
+struct Shard {
     entries: HashMap<Key, Arc<CachedPlan>>,
     /// LRU order, least-recently-used first.
     order: Vec<Key>,
-    stats: CacheStats,
 }
 
-/// A bounded, versioned cache of compiled plans keyed by
+/// Shared relaxed counters — no shard lock needed to bump or read them.
+#[derive(Default)]
+struct SharedStats {
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    insertions: Counter,
+    evictions: Counter,
+}
+
+/// A bounded, versioned, sharded cache of compiled plans keyed by
 /// `(statement text, parameter signature)`.
 pub struct PlanCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    /// Capacity bound of each shard (total capacity / shard count).
+    shard_capacity: usize,
+    stats: SharedStats,
 }
 
 impl Default for PlanCache {
@@ -90,73 +119,87 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
+    /// A cache bounded to ~`capacity` resident plans. Caches big enough to
+    /// see concurrency get eight shards; tiny (test-sized) caches collapse
+    /// to one shard so the LRU bound is exact.
     pub fn new(capacity: usize) -> PlanCache {
+        let capacity = capacity.max(1);
+        let n_shards = if capacity < 64 { 1 } else { 8 };
         PlanCache {
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                order: Vec::new(),
-                stats: CacheStats::default(),
-            }),
-            capacity: capacity.max(1),
+            shards: (0..n_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: (capacity / n_shards).max(1),
+            stats: SharedStats::default(),
         }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Looks up a plan for `(sql, sig)` valid at `current_version`.
     ///
     /// A resident plan stamped with an older catalog version is discarded
     /// (counted as an invalidation *and* a miss) so a stale plan can never
-    /// be executed.
+    /// be executed. Only the key's shard is locked.
     pub fn lookup(&self, sql: &str, sig: &str, current_version: u64) -> Option<Arc<CachedPlan>> {
         let key = (sql.to_string(), sig.to_string());
-        let mut inner = self.inner.lock();
-        match inner.entries.get(&key) {
+        let mut shard = self.shard_of(&key).lock();
+        match shard.entries.get(&key) {
             Some(plan) if plan.catalog_version == current_version => {
                 let plan = plan.clone();
-                inner.stats.hits += 1;
                 // Move to the back of the LRU order.
-                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
-                    inner.order.remove(pos);
-                    inner.order.push(key);
+                if let Some(pos) = shard.order.iter().position(|k| *k == key) {
+                    shard.order.remove(pos);
+                    shard.order.push(key);
                 }
+                drop(shard);
+                self.stats.hits.inc();
                 Some(plan)
             }
             Some(_) => {
-                inner.entries.remove(&key);
-                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
-                    inner.order.remove(pos);
+                shard.entries.remove(&key);
+                if let Some(pos) = shard.order.iter().position(|k| *k == key) {
+                    shard.order.remove(pos);
                 }
-                inner.stats.invalidations += 1;
-                inner.stats.misses += 1;
-                inner.stats.entries = inner.entries.len() as u64;
+                drop(shard);
+                self.stats.invalidations.inc();
+                self.stats.misses.inc();
                 None
             }
             None => {
-                inner.stats.misses += 1;
+                drop(shard);
+                self.stats.misses.inc();
                 None
             }
         }
     }
 
     /// Inserts a freshly compiled plan, evicting the least-recently-used
-    /// entry if the cache is full.
+    /// entry of the key's shard if that shard is full.
     pub fn insert(&self, sql: &str, sig: &str, plan: CachedPlan) -> Arc<CachedPlan> {
         let key = (sql.to_string(), sig.to_string());
         let plan = Arc::new(plan);
-        let mut inner = self.inner.lock();
-        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
-            if !inner.order.is_empty() {
-                let victim = inner.order.remove(0);
-                inner.entries.remove(&victim);
-                inner.stats.evictions += 1;
+        let mut shard = self.shard_of(&key).lock();
+        let mut evicted = false;
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.shard_capacity {
+            if !shard.order.is_empty() {
+                let victim = shard.order.remove(0);
+                shard.entries.remove(&victim);
+                evicted = true;
             }
         }
-        if let Some(pos) = inner.order.iter().position(|k| *k == key) {
-            inner.order.remove(pos);
+        if let Some(pos) = shard.order.iter().position(|k| *k == key) {
+            shard.order.remove(pos);
         }
-        inner.order.push(key.clone());
-        inner.entries.insert(key, plan.clone());
-        inner.stats.insertions += 1;
-        inner.stats.entries = inner.entries.len() as u64;
+        shard.order.push(key.clone());
+        shard.entries.insert(key, plan.clone());
+        drop(shard);
+        if evicted {
+            self.stats.evictions.inc();
+        }
+        self.stats.insertions.inc();
         plan
     }
 
@@ -164,30 +207,38 @@ impl PlanCache {
     /// text resident and valid at `current_version` (regardless of which
     /// parameter signature it was compiled for)?
     pub fn contains_sql(&self, sql: &str, current_version: u64) -> bool {
-        let inner = self.inner.lock();
-        inner
-            .entries
-            .iter()
-            .any(|((s, _), p)| s == sql && p.catalog_version == current_version)
+        self.shards.iter().any(|shard| {
+            shard
+                .lock()
+                .entries
+                .iter()
+                .any(|((s, _), p)| s == sql && p.catalog_version == current_version)
+        })
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let mut inner = self.inner.lock();
-        inner.stats.entries = inner.entries.len() as u64;
-        inner.stats
+        CacheStats {
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            invalidations: self.stats.invalidations.get(),
+            insertions: self.stats.insertions.get(),
+            evictions: self.stats.evictions.get(),
+            entries: self.len() as u64,
+        }
     }
 
     /// Drops every cached plan (counters are preserved).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
-        inner.order.clear();
-        inner.stats.entries = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.entries.clear();
+            shard.order.clear();
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -308,6 +359,7 @@ mod tests {
     fn lru_eviction_respects_capacity() {
         let db = db();
         let cache = PlanCache::new(2);
+        assert_eq!(cache.shards.len(), 1, "tiny caches collapse to one shard");
         let v = db.catalog.version();
         let sql = "SELECT i_id FROM item";
         cache.insert("a", "", plan_for(&db, sql));
@@ -328,5 +380,59 @@ mod tests {
         p.insert("a".into(), Value::str("x"));
         assert_eq!(param_signature(&p), "a=str,b=int");
         assert_eq!(param_signature(&Bindings::new()), "");
+    }
+
+    #[test]
+    fn sharded_cache_bounds_and_counts() {
+        let db = db();
+        let cache = PlanCache::new(512);
+        assert_eq!(cache.shards.len(), 8);
+        let v = db.catalog.version();
+        let sql = "SELECT i_id FROM item";
+        let plan = plan_for(&db, sql);
+        for i in 0..100 {
+            cache.insert(&format!("q{i}"), "", plan_for(&db, sql));
+        }
+        drop(plan);
+        assert_eq!(cache.len(), 100, "well under capacity, nothing evicted");
+        assert_eq!(cache.stats().insertions, 100);
+        for i in 0..100 {
+            assert!(cache.lookup(&format!("q{i}"), "", v).is_some(), "q{i}");
+        }
+        assert_eq!(cache.stats().hits, 100);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 100, "clear preserves counters");
+    }
+
+    #[test]
+    fn concurrent_probes_agree_with_serial_totals() {
+        use std::sync::Arc as StdArc;
+        let db = StdArc::new(db());
+        let cache = StdArc::new(PlanCache::new(512));
+        let v = db.catalog.version();
+        let sql = "SELECT i_id FROM item";
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("t{t}-q{i}");
+                        assert!(cache.lookup(&key, "", v).is_none());
+                        cache.insert(&key, "", plan_for(&db, sql));
+                        assert!(cache.lookup(&key, "", v).is_some());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.insertions, 200);
+        assert_eq!(s.hits, 200);
+        assert_eq!(s.misses, 200);
+        assert_eq!(s.entries, 200);
     }
 }

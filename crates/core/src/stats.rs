@@ -1,6 +1,13 @@
 //! Per-server execution statistics.
+//!
+//! The live counters ([`SharedServerStats`]) are relaxed atomics so that
+//! concurrent sessions never serialize on a stats mutex: recording a query
+//! is a handful of independent `fetch_add`s. Consumers read a plain
+//! [`ServerStats`] value via [`SharedServerStats::snapshot`] (or
+//! [`SharedServerStats::take`] between experiment phases).
 
 use mtc_engine::ExecMetrics;
+use mtc_util::atomic::{Counter, FloatCounter};
 
 /// Cumulative counters for one server, used by the experiments to derive
 /// CPU loads and by operators to watch a deployment.
@@ -26,25 +33,62 @@ pub struct ServerStats {
     pub freshness_fallbacks: u64,
 }
 
-impl ServerStats {
+/// The live, lock-free form of [`ServerStats`]: every field is a relaxed
+/// atomic, so many sessions can record queries concurrently without a lock.
+#[derive(Debug, Default)]
+pub struct SharedServerStats {
+    pub queries: Counter,
+    pub dml: Counter,
+    pub procs: Counter,
+    pub rows_returned: Counter,
+    pub local_work: FloatCounter,
+    pub remote_work: FloatCounter,
+    pub remote_calls: Counter,
+    pub freshness_fallbacks: Counter,
+}
+
+impl SharedServerStats {
     /// Folds one query's metrics into the counters.
-    pub fn record_query(&mut self, m: &ExecMetrics, rows: usize) {
-        self.queries += 1;
-        self.rows_returned += rows as u64;
-        self.local_work += m.local_work;
-        self.remote_work += m.remote_work;
-        self.remote_calls += m.remote_calls;
+    pub fn record_query(&self, m: &ExecMetrics, rows: usize) {
+        self.queries.inc();
+        self.rows_returned.add(rows as u64);
+        self.local_work.add(m.local_work);
+        self.remote_work.add(m.remote_work);
+        self.remote_calls.add(m.remote_calls);
     }
 
     /// Folds a DML execution in.
-    pub fn record_dml(&mut self, work: f64) {
-        self.dml += 1;
-        self.local_work += work;
+    pub fn record_dml(&self, work: f64) {
+        self.dml.inc();
+        self.local_work.add(work);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            queries: self.queries.get(),
+            dml: self.dml.get(),
+            procs: self.procs.get(),
+            rows_returned: self.rows_returned.get(),
+            local_work: self.local_work.get(),
+            remote_work: self.remote_work.get(),
+            remote_calls: self.remote_calls.get(),
+            freshness_fallbacks: self.freshness_fallbacks.get(),
+        }
     }
 
     /// Returns and clears the counters (used between experiment phases).
-    pub fn take(&mut self) -> ServerStats {
-        std::mem::take(self)
+    pub fn take(&self) -> ServerStats {
+        ServerStats {
+            queries: self.queries.take(),
+            dml: self.dml.take(),
+            procs: self.procs.take(),
+            rows_returned: self.rows_returned.take(),
+            local_work: self.local_work.take(),
+            remote_work: self.remote_work.take(),
+            remote_calls: self.remote_calls.take(),
+            freshness_fallbacks: self.freshness_fallbacks.take(),
+        }
     }
 }
 
@@ -54,7 +98,7 @@ mod tests {
 
     #[test]
     fn record_and_take() {
-        let mut s = ServerStats::default();
+        let s = SharedServerStats::default();
         let m = ExecMetrics {
             local_work: 10.0,
             remote_work: 5.0,
@@ -63,12 +107,39 @@ mod tests {
         };
         s.record_query(&m, 3);
         s.record_dml(2.0);
-        assert_eq!(s.queries, 1);
-        assert_eq!(s.dml, 1);
-        assert_eq!(s.rows_returned, 3);
-        assert_eq!(s.local_work, 12.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.dml, 1);
+        assert_eq!(snap.rows_returned, 3);
+        assert_eq!(snap.local_work, 12.0);
         let taken = s.take();
         assert_eq!(taken.queries, 1);
-        assert_eq!(s, ServerStats::default());
+        assert_eq!(s.snapshot(), ServerStats::default());
+    }
+
+    #[test]
+    fn concurrent_recording_drops_nothing() {
+        let s = std::sync::Arc::new(SharedServerStats::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let m = ExecMetrics {
+                        local_work: 1.0,
+                        ..Default::default()
+                    };
+                    for _ in 0..5_000 {
+                        s.record_query(&m, 2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 20_000);
+        assert_eq!(snap.rows_returned, 40_000);
+        assert_eq!(snap.local_work, 20_000.0);
     }
 }

@@ -58,6 +58,11 @@ pub struct ExecMetrics {
     /// Batches exchanged between operators (streaming) or operator
     /// invocations (materialized).
     pub batches: u64,
+    /// The slice of `local_work` that was executed inside parallel morsels
+    /// (see [`crate::parallel`]): with `dop` workers it overlaps, so the
+    /// query's critical path shrinks by `parallel_work * (1 - 1/dop)`.
+    /// Always `<= local_work`; zero for serial execution.
+    pub parallel_work: f64,
 }
 
 impl ExecMetrics {
@@ -71,6 +76,19 @@ impl ExecMetrics {
         self.remote_work += other.remote_work;
         self.rows_cloned += other.rows_cloned;
         self.batches += other.batches;
+        self.parallel_work += other.parallel_work;
+    }
+
+    /// Local work units on the query's critical path when its parallel
+    /// slice overlaps across `dop` workers: the serial remainder runs at
+    /// full length, the parallel slice shrinks `dop`-fold. This is the
+    /// machine-independent quantity the concurrency experiment scales by —
+    /// wall-clock speedups on a box with fewer cores than `dop` would
+    /// understate (and on this repo's work-unit simulator, misstate) the
+    /// achievable overlap.
+    pub fn critical_path_work(&self, dop: usize) -> f64 {
+        let dop = dop.max(1) as f64;
+        (self.local_work - self.parallel_work).max(0.0) + self.parallel_work / dop
     }
 }
 
@@ -98,6 +116,10 @@ pub struct ExecContext<'a> {
     pub params: &'a Bindings,
     /// Work-unit accounting model (should match the optimizer's).
     pub work: &'a CostModel,
+    /// Morsel-parallel execution context; `None` (or `dop == 1`) keeps
+    /// every operator on its serial path. When set, `parallel.snapshot`
+    /// must be the same image `db` points at.
+    pub parallel: Option<crate::parallel::ParallelCtx>,
 }
 
 /// Marker type re-exported for the public API: local table data access is
@@ -853,6 +875,7 @@ mod tests {
             remote: None,
             params,
             work: &cm,
+            parallel: None,
         };
         execute(&opt.physical, &ctx).unwrap()
     }
@@ -1011,6 +1034,7 @@ mod tests {
             remote: None,
             params: &params,
             work: &cm,
+            parallel: None,
         };
         let err = execute(&opt.physical, &ctx).unwrap_err();
         assert_eq!(err.kind(), "execution");

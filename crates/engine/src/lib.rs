@@ -25,6 +25,7 @@ pub mod eval;
 pub mod exec;
 pub mod logical;
 pub mod optimizer;
+pub mod parallel;
 pub mod physical;
 pub mod sqlgen;
 pub mod stream;
@@ -37,5 +38,6 @@ pub use exec::{
     QueryResult, RemoteExecutor,
 };
 pub use logical::{AggCall, AggFunc, DataLocation, LogicalPlan};
+pub use parallel::{ParallelCtx, PARALLEL_THRESHOLD};
 pub use optimizer::{optimize, CostModel, Optimized, OptimizerOptions};
 pub use physical::PhysicalPlan;

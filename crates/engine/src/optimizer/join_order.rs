@@ -295,6 +295,7 @@ mod tests {
                 remote: None,
                 params: &params,
                 work: &cm,
+                parallel: None,
             };
             let mut rows = execute(&phys, &ctx).unwrap().rows;
             rows.sort();

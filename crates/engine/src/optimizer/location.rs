@@ -1252,6 +1252,7 @@ mod tests {
             remote: None,
             params: &params,
             work: &cm,
+            parallel: None,
         };
         let r = crate::exec::execute(&phys, &ctx).unwrap();
         assert_eq!(r.rows.len(), 3);
@@ -1295,6 +1296,7 @@ mod tests {
             remote: None,
             params: &params,
             work: &cm,
+            parallel: None,
         };
         let mut rows = crate::exec::execute(&phys, &ctx).unwrap().rows;
         rows.sort();

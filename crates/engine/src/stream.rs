@@ -38,6 +38,10 @@ use crate::compile::{
 use crate::eval::Bindings;
 use crate::exec::{null_extend, AggState, ExecContext, ExecMetrics, QueryResult, RemoteExecutor};
 use crate::optimizer::cost::CostModel;
+use crate::parallel::{
+    parallel_build_hash_table, parallel_hash_aggregate, parallel_index_seek, parallel_scan,
+    ParallelCtx,
+};
 
 /// Rows per batch. Large enough to amortize per-batch dispatch to nothing,
 /// small enough that a pipeline's working set stays cache-resident
@@ -53,6 +57,8 @@ pub(crate) struct StreamCtx<'e> {
     pub work: &'e CostModel,
     /// Resolved parameter slots for compiled-expression evaluation.
     pub env: EvalEnv<'e>,
+    /// Morsel-parallel context; `None` keeps every operator serial.
+    pub parallel: Option<&'e ParallelCtx>,
 }
 
 /// A pull-based operator: yields `Some(batch)` until exhausted.
@@ -76,6 +82,7 @@ pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<
         params: ctx.params,
         work: ctx.work,
         env,
+        parallel: ctx.parallel.as_ref().filter(|p| p.dop > 1),
     };
     let mut metrics = ExecMetrics::default();
     let mut root = build(&query.root, &cx, &mut metrics)?;
@@ -108,6 +115,11 @@ fn build<'e>(
                     "attempted local scan of shadow table `{object}`"
                 )));
             }
+            if let Some(p) = cx.parallel.filter(|p| p.eligible(table.row_count())) {
+                let (rows, touched) =
+                    parallel_scan(p, object, None, None, predicate.as_ref(), cx.env, table.row_count())?;
+                return Ok(prefetched(rows, touched, cx, m));
+            }
             Box::new(ScanStream {
                 iter: Box::new(table.scan()),
                 predicate: predicate.as_ref(),
@@ -130,6 +142,21 @@ fn build<'e>(
             let high_key = bound_row(high, cx.env)?;
             // One B-tree descent; the linear part is charged per row.
             m.local_work += cx.work.seek_cost;
+            // Worth going parallel only when the *matching range* is big;
+            // counting it is a pointer walk, attempted only on big tables.
+            let par = cx.parallel.filter(|p| p.eligible(table.row_count())).and_then(|p| {
+                let n = table.scan_range(low_key.as_ref(), high_key.as_ref()).count();
+                if p.eligible(n) {
+                    Some((p, n))
+                } else {
+                    None
+                }
+            });
+            if let Some((p, n)) = par {
+                let (rows, touched) =
+                    parallel_scan(p, object, low_key, high_key, predicate.as_ref(), cx.env, n)?;
+                return Ok(prefetched(rows, touched, cx, m));
+            }
             Box::new(ScanStream {
                 iter: Box::new(table.scan_range(low_key.as_ref(), high_key.as_ref())),
                 predicate: predicate.as_ref(),
@@ -157,6 +184,27 @@ fn build<'e>(
                 None => Bound::Unbounded,
             };
             m.local_work += cx.work.seek_cost;
+            let par = cx.parallel.filter(|p| p.eligible(table.row_count())).and_then(|p| {
+                let n = ix.range(lo.clone(), hi.clone()).count();
+                if p.eligible(n) {
+                    Some((p, n))
+                } else {
+                    None
+                }
+            });
+            if let Some((p, n)) = par {
+                let (rows, touched) = parallel_index_seek(
+                    p,
+                    object,
+                    index,
+                    lo,
+                    hi,
+                    predicate.as_ref(),
+                    cx.env,
+                    n,
+                )?;
+                return Ok(prefetched(rows, touched, cx, m));
+            }
             Box::new(IndexSeekStream {
                 table,
                 // Stream the borrowed PK range — no `Vec<Row>` of cloned
@@ -322,6 +370,46 @@ fn build<'e>(
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
+
+/// Wraps the merged output of a parallel leaf as a stream, charging the
+/// same work units the serial leaf would have charged for `touched` rows —
+/// and mirroring them into `parallel_work`, since they overlapped across
+/// the pool's workers.
+fn prefetched<'e>(
+    rows: Vec<Row>,
+    touched: usize,
+    cx: &StreamCtx<'e>,
+    m: &mut ExecMetrics,
+) -> BoxStream<'e> {
+    let w = cx.work.cpu_per_row * touched as f64;
+    m.local_work += w;
+    m.parallel_work += w;
+    m.rows_cloned += rows.len() as u64;
+    m.local_rows += rows.len() as u64;
+    Box::new(PrefetchedStream {
+        rows: rows.into_iter(),
+    })
+}
+
+/// Emits already-computed rows in [`BATCH_SIZE`] chunks.
+struct PrefetchedStream {
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl<'e> BatchStream<'e> for PrefetchedStream {
+    fn next_batch(
+        &mut self,
+        _cx: &StreamCtx<'e>,
+        m: &mut ExecMetrics,
+    ) -> Result<Option<Vec<Row>>> {
+        let batch: Vec<Row> = self.rows.by_ref().take(BATCH_SIZE).collect();
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        m.batches += 1;
+        Ok(Some(batch))
+    }
+}
 
 fn passes(
     predicate: Option<&CompiledExpr>,
@@ -782,7 +870,9 @@ struct HashJoinStream<'e> {
     left_width: usize,
     right_width: usize,
     /// Build side: (right rows, key → row indices), filled on first pull.
-    built: Option<(Vec<Row>, HashMap<Vec<Value>, Vec<usize>>)>,
+    /// The rows sit behind an `Arc` so a parallel build can share them
+    /// with the worker pool without cloning.
+    built: Option<(std::sync::Arc<Vec<Row>>, HashMap<Vec<Value>, Vec<usize>>)>,
     right_matched: Vec<bool>,
     done: bool,
 }
@@ -801,14 +891,27 @@ impl<'e> BatchStream<'e> for HashJoinStream<'e> {
             while let Some(b) = self.right.next_batch(cx, m)? {
                 rrows.extend(b);
             }
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (i, r) in rrows.iter().enumerate() {
-                if let Some(key) = hash_key(self.right_keys, r, cx.env)? {
-                    table.entry(key).or_default().push(i);
-                }
-            }
-            m.local_work += cx.work.hash_per_row * rrows.len() as f64;
+            let w = cx.work.hash_per_row * rrows.len() as f64;
+            m.local_work += w;
             self.right_matched = vec![false; rrows.len()];
+            let rrows = std::sync::Arc::new(rrows);
+            let table = match cx.parallel.filter(|p| p.eligible(rrows.len())) {
+                Some(p) => {
+                    // Morselized key evaluation; the table is assembled in
+                    // row order, so probe output is byte-identical.
+                    m.parallel_work += w;
+                    parallel_build_hash_table(p, &rrows, self.right_keys, cx.env)?
+                }
+                None => {
+                    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                    for (i, r) in rrows.iter().enumerate() {
+                        if let Some(key) = hash_key(self.right_keys, r, cx.env)? {
+                            table.entry(key).or_default().push(i);
+                        }
+                    }
+                    table
+                }
+            };
             self.built = Some((rrows, table));
         }
         if let Some(lbatch) = self.left.next_batch(cx, m)? {
@@ -941,6 +1044,85 @@ impl<'e> BatchStream<'e> for IndexNlJoinStream<'e> {
 // Blocking streams (aggregate, sort)
 // ---------------------------------------------------------------------------
 
+/// Incremental group-by state shared by the serial aggregation paths.
+struct GroupBuild<'e> {
+    group_by: &'e [CompiledExpr],
+    aggs: &'e [CompiledAgg],
+    /// key → (insertion index, aggregate states).
+    groups: HashMap<Vec<Value>, (usize, Vec<AggState>)>,
+    n_in: u64,
+}
+
+impl<'e> GroupBuild<'e> {
+    fn new(group_by: &'e [CompiledExpr], aggs: &'e [CompiledAgg]) -> GroupBuild<'e> {
+        GroupBuild {
+            group_by,
+            aggs,
+            groups: HashMap::new(),
+            n_in: 0,
+        }
+    }
+
+    fn absorb(&mut self, row: &Row, env: EvalEnv<'_>) -> Result<()> {
+        self.n_in += 1;
+        let mut key = Vec::with_capacity(self.group_by.len());
+        for g in self.group_by {
+            key.push(g.eval(row, env)?);
+        }
+        let states = match self.groups.get_mut(&key) {
+            Some((_, s)) => s,
+            None => {
+                let idx = self.groups.len();
+                let states = self
+                    .aggs
+                    .iter()
+                    .map(|a| AggState::from_parts(a.func, a.distinct))
+                    .collect();
+                &mut self.groups.entry(key).or_insert((idx, states)).1
+            }
+        };
+        for (state, call) in states.iter_mut().zip(self.aggs) {
+            let v = match &call.arg {
+                Some(e) => Some(e.eval(row, env)?),
+                None => None,
+            };
+            state.update(v);
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, cx: &StreamCtx<'_>, m: &mut ExecMetrics) -> Vec<Row> {
+        // Global aggregate over an empty input still yields one row.
+        if self.groups.is_empty() && self.group_by.is_empty() {
+            let states = self
+                .aggs
+                .iter()
+                .map(|a| AggState::from_parts(a.func, a.distinct))
+                .collect();
+            self.groups.insert(vec![], (0, states));
+        }
+        // Recover first-seen order by draining and sorting on the
+        // insertion index.
+        let mut entries: Vec<(Vec<Value>, usize, Vec<AggState>)> = self
+            .groups
+            .into_iter()
+            .map(|(key, (idx, states))| (key, idx, states))
+            .collect();
+        entries.sort_by_key(|(_, idx, _)| *idx);
+        let mut rows = Vec::with_capacity(entries.len());
+        for (key, _, states) in entries {
+            let mut vals = key;
+            for s in &states {
+                vals.push(s.finish());
+            }
+            rows.push(Row::new(vals));
+        }
+        m.local_work += cx.work.aggregate(self.n_in as f64, rows.len() as f64);
+        m.local_rows += rows.len() as u64;
+        rows
+    }
+}
+
 struct HashAggStream<'e> {
     input: BoxStream<'e>,
     group_by: &'e [CompiledExpr],
@@ -955,66 +1137,45 @@ impl<'e> BatchStream<'e> for HashAggStream<'e> {
         m: &mut ExecMetrics,
     ) -> Result<Option<Vec<Row>>> {
         if self.output.is_none() {
-            // Build: consume the whole input (aggregation is blocking), but
-            // keep each key exactly once — it is moved into the group map
-            // and recovered by draining, not cloned per group.
-            let mut groups: HashMap<Vec<Value>, (usize, Vec<AggState>)> = HashMap::new();
-            let mut n_in = 0u64;
-            while let Some(batch) = self.input.next_batch(cx, m)? {
-                n_in += batch.len() as u64;
-                for row in &batch {
-                    let mut key = Vec::with_capacity(self.group_by.len());
-                    for g in self.group_by {
-                        key.push(g.eval(row, cx.env)?);
+            if let Some(p) = cx.parallel {
+                // Parallel path: drain the (blocking) input, then hash-
+                // partition the groups across the pool — each group is
+                // aggregated to completion by exactly one worker, and the
+                // output comes back in the serial first-seen order (see
+                // [`crate::parallel::parallel_hash_aggregate`]).
+                let mut rows = Vec::new();
+                while let Some(batch) = self.input.next_batch(cx, m)? {
+                    rows.extend(batch);
+                }
+                if p.eligible(rows.len()) {
+                    let n_in = rows.len() as u64;
+                    let out =
+                        parallel_hash_aggregate(p, rows, self.group_by, self.aggs, cx.env)?;
+                    let w = cx.work.aggregate(n_in as f64, out.len() as f64);
+                    m.local_work += w;
+                    m.parallel_work += w;
+                    m.local_rows += out.len() as u64;
+                    self.output = Some(out.into_iter());
+                } else {
+                    let mut gb = GroupBuild::new(self.group_by, self.aggs);
+                    for row in &rows {
+                        gb.absorb(row, cx.env)?;
                     }
-                    let states = match groups.get_mut(&key) {
-                        Some((_, s)) => s,
-                        None => {
-                            let idx = groups.len();
-                            let states = self
-                                .aggs
-                                .iter()
-                                .map(|a| AggState::from_parts(a.func, a.distinct))
-                                .collect();
-                            &mut groups.entry(key).or_insert((idx, states)).1
-                        }
-                    };
-                    for (state, call) in states.iter_mut().zip(self.aggs) {
-                        let v = match &call.arg {
-                            Some(e) => Some(e.eval(row, cx.env)?),
-                            None => None,
-                        };
-                        state.update(v);
+                    self.output = Some(gb.finish(cx, m).into_iter());
+                }
+            } else {
+                // Serial path: consume the whole input (aggregation is
+                // blocking) without materializing it; each key is kept
+                // exactly once — moved into the group map and recovered by
+                // draining, not cloned per group.
+                let mut gb = GroupBuild::new(self.group_by, self.aggs);
+                while let Some(batch) = self.input.next_batch(cx, m)? {
+                    for row in &batch {
+                        gb.absorb(row, cx.env)?;
                     }
                 }
+                self.output = Some(gb.finish(cx, m).into_iter());
             }
-            // Global aggregate over an empty input still yields one row.
-            if groups.is_empty() && self.group_by.is_empty() {
-                let states = self
-                    .aggs
-                    .iter()
-                    .map(|a| AggState::from_parts(a.func, a.distinct))
-                    .collect();
-                groups.insert(vec![], (0, states));
-            }
-            // Recover first-seen order by draining and sorting on the
-            // insertion index.
-            let mut entries: Vec<(Vec<Value>, usize, Vec<AggState>)> = groups
-                .into_iter()
-                .map(|(key, (idx, states))| (key, idx, states))
-                .collect();
-            entries.sort_by_key(|(_, idx, _)| *idx);
-            let mut rows = Vec::with_capacity(entries.len());
-            for (key, _, states) in entries {
-                let mut vals = key;
-                for s in &states {
-                    vals.push(s.finish());
-                }
-                rows.push(Row::new(vals));
-            }
-            m.local_work += cx.work.aggregate(n_in as f64, rows.len() as f64);
-            m.local_rows += rows.len() as u64;
-            self.output = Some(rows.into_iter());
         }
         let output = self.output.as_mut().expect("aggregate output built");
         let batch: Vec<Row> = output.by_ref().take(BATCH_SIZE).collect();

@@ -61,6 +61,7 @@ fn run(db: &Database, sql: &str) -> QueryResult {
         remote: None,
         params: &params,
         work: &cm,
+        parallel: None,
     };
     execute(&opt.physical, &ctx).unwrap()
 }
@@ -161,6 +162,7 @@ fn remote_node_accounts_transfer_metrics() {
         remote: Some(&remote),
         params: &params,
         work: &cm,
+        parallel: None,
     };
     let r = execute(&plan, &ctx).unwrap();
     assert_eq!(r.rows.len(), 3);
@@ -193,6 +195,7 @@ fn remote_arity_mismatch_is_detected() {
         remote: Some(&remote),
         params: &params,
         work: &cm,
+        parallel: None,
     };
     let err = execute(&plan, &ctx).unwrap_err();
     assert_eq!(err.kind(), "execution");
@@ -237,6 +240,7 @@ fn startup_predicates_skip_remote_branches_entirely() {
         remote: Some(&Panicky),
         params: &params,
         work: &cm,
+        parallel: None,
     };
     let r = execute(&plan, &ctx).unwrap();
     assert_eq!(r.rows.len(), 4, "local branch only");

@@ -220,7 +220,7 @@ mod tests {
     use crate::article::Article;
     use crate::clock::{ManualClock, WallClock};
     use mtc_sql::{parse_statement, Statement};
-    use mtc_storage::{Database, RowChange};
+    use mtc_storage::{Database, RowChange, SnapshotDb};
     use mtc_types::{row, Column, DataType, Schema};
     use mtc_util::fault::{FaultPlan, FaultSpec};
     use mtc_util::sync::RwLock;
@@ -235,7 +235,7 @@ mod tests {
     #[allow(clippy::type_complexity)]
     fn setup() -> (
         Arc<RwLock<Database>>,
-        Arc<RwLock<Database>>,
+        Arc<SnapshotDb>,
         Arc<Mutex<ReplicationHub>>,
     ) {
         let mut backend = Database::new("b");
@@ -244,7 +244,7 @@ mod tests {
 
         let mut cache = Database::new("c");
         cache.create_table("t_cache", schema(), &["id".into()]).unwrap();
-        let cache = Arc::new(RwLock::new(cache));
+        let cache = Arc::new(SnapshotDb::new(cache));
 
         let mut hub = ReplicationHub::new(backend.clone());
         let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
@@ -357,7 +357,7 @@ mod tests {
         let report = agent.stop();
         assert!(!report.drained);
         assert_eq!(report.pending_txns, 1);
-        assert!(hub.lock().metrics.deliveries_dropped >= 1);
+        assert!(hub.lock().metrics.deliveries_dropped.get() >= 1);
     }
 
     #[test]
@@ -407,9 +407,10 @@ mod tests {
         let report = agent.stop();
         assert!(report.drained);
         let hub = hub.lock();
-        assert!(hub.metrics.crashes_injected >= 1, "cadence fired");
+        assert!(hub.metrics.crashes_injected.get() >= 1, "cadence fired");
         assert_eq!(
-            hub.metrics.redeliveries, hub.metrics.crashes_injected,
+            hub.metrics.redeliveries.get(),
+            hub.metrics.crashes_injected.get(),
             "every crash replayed exactly once (idempotently)"
         );
     }

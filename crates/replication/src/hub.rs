@@ -18,11 +18,11 @@ use std::sync::Arc;
 use mtc_util::fault::{FaultDecision, FaultPlan};
 use mtc_util::sync::RwLock;
 
-use mtc_storage::{CommittedTransaction, Database, Lsn, RowChange};
+use mtc_storage::{CommittedTransaction, Database, Lsn, RowChange, SnapshotDb, Watermark};
 use mtc_types::{Error, Result, Row, Schema};
 
 use crate::article::Article;
-use crate::metrics::{LatencyStats, ReplicationMetrics};
+use crate::metrics::{LatencyStats, SharedReplicationMetrics};
 
 /// Work-unit cost knobs for the pipeline (used by Experiment 2).
 #[derive(Debug, Clone, Copy)]
@@ -72,7 +72,10 @@ pub struct SubscriptionInfo {
 struct Subscription {
     article: Article,
     source_schema: Schema,
-    target: Arc<RwLock<Database>>,
+    /// Snapshot-published target: deliveries mutate its master copy and
+    /// each delivery publishes a fresh immutable snapshot on guard drop, so
+    /// concurrent readers never block on (or observe a torn) apply.
+    target: Arc<SnapshotDb>,
     target_table: String,
     next_lsn: Lsn,
     synced_through_ms: i64,
@@ -81,6 +84,9 @@ struct Subscription {
     delayed_until_ms: i64,
     /// Failed attempts for the transaction at `next_lsn`; reset on success.
     attempts_at_next: u32,
+    /// The watermark last stamped onto the target's snapshots; used to skip
+    /// a no-op publication when nothing advanced this pass.
+    stamped: Watermark,
 }
 
 /// One transaction queued in the distribution database.
@@ -99,7 +105,10 @@ pub struct ReplicationHub {
     pub log_reader_enabled: bool,
     subscriptions: Vec<Subscription>,
     pub costs: ReplicationCosts,
-    pub metrics: ReplicationMetrics,
+    /// Live pipeline counters (relaxed atomics). Shared as an `Arc`: clone
+    /// it out of the hub once and observe replication progress without
+    /// taking the hub lock — readers never queue behind an in-flight apply.
+    pub metrics: Arc<SharedReplicationMetrics>,
     pub latency: LatencyStats,
     /// Seeded fault oracle consulted on every delivery attempt; `None`
     /// delivers everything perfectly (the pre-fault-injection behaviour).
@@ -119,7 +128,7 @@ impl ReplicationHub {
             log_reader_enabled: true,
             subscriptions: Vec::new(),
             costs: ReplicationCosts::default(),
-            metrics: ReplicationMetrics::default(),
+            metrics: Arc::new(SharedReplicationMetrics::default()),
             latency: LatencyStats::default(),
             fault_plan: None,
         }
@@ -152,7 +161,7 @@ impl ReplicationHub {
     pub fn subscribe(
         &mut self,
         article: Article,
-        target: Arc<RwLock<Database>>,
+        target: Arc<SnapshotDb>,
         target_table: &str,
         now_ms: i64,
     ) -> Result<SubscriptionId> {
@@ -188,7 +197,14 @@ impl ReplicationHub {
             .collect::<Result<_>>()?;
         drop(pub_db);
 
+        let mark = Watermark {
+            lsn: snapshot_lsn,
+            synced_through_ms: now_ms,
+        };
         {
+            // One write batch = one atomic publication: a concurrent reader
+            // sees either no view rows or the complete initial snapshot,
+            // already stamped with its watermark.
             let mut tdb = target.write();
             {
                 let t = tdb.table_mut(target_table)?;
@@ -201,9 +217,10 @@ impl ReplicationHub {
                     row,
                 })
                 .collect();
-            self.metrics.changes_applied += changes.len() as u64;
-            self.metrics.apply_work += self.costs.apply_per_change * changes.len() as f64;
+            self.metrics.changes_applied.add(changes.len() as u64);
+            self.metrics.apply_work.add(self.costs.apply_per_change * changes.len() as f64);
             tdb.apply_unlogged(&changes)?;
+            tdb.set_watermark(target_table, mark);
         }
 
         let id = SubscriptionId(self.subscriptions.len());
@@ -216,6 +233,7 @@ impl ReplicationHub {
             synced_through_ms: now_ms,
             delayed_until_ms: i64::MIN,
             attempts_at_next: 0,
+            stamped: mark,
         });
         Ok(id)
     }
@@ -233,10 +251,12 @@ impl ReplicationHub {
         drop(pub_db);
         for txn in new {
             self.last_read = txn.lsn.next();
-            self.metrics.txns_read += 1;
-            self.metrics.changes_read += txn.changes.len() as u64;
-            self.metrics.reader_work += self.costs.reader_per_txn
-                + self.costs.reader_per_change * txn.changes.len() as f64;
+            self.metrics.txns_read.inc();
+            self.metrics.changes_read.add(txn.changes.len() as u64);
+            self.metrics.reader_work.add(
+                self.costs.reader_per_txn
+                    + self.costs.reader_per_change * txn.changes.len() as f64,
+            );
             self.distribution.push(Pending { txn });
         }
     }
@@ -255,9 +275,7 @@ impl ReplicationHub {
             // Lag gauge: transactions read by the log reader but not yet
             // applied to this subscription.
             let lag = last_read.0.saturating_sub(sub.next_lsn.0);
-            if lag > self.metrics.max_lag_txns {
-                self.metrics.max_lag_txns = lag;
-            }
+            self.metrics.max_lag_txns.raise_to(lag);
             // A fault-injected delay holds the whole subscription.
             if now_ms < sub.delayed_until_ms {
                 continue;
@@ -281,7 +299,7 @@ impl ReplicationHub {
                     continue;
                 }
                 if sub.attempts_at_next > 0 {
-                    self.metrics.retries += 1;
+                    self.metrics.retries.inc();
                 }
                 let decision = match self.fault_plan.as_mut() {
                     Some(plan) => plan.next_decision(),
@@ -300,12 +318,12 @@ impl ReplicationHub {
                     FaultDecision::Drop => {
                         // Lost in flight: the subscription blocks here until
                         // a later pass redelivers.
-                        self.metrics.deliveries_dropped += 1;
+                        self.metrics.deliveries_dropped.inc();
                         sub.attempts_at_next += 1;
                         break;
                     }
                     FaultDecision::Delay { ms } => {
-                        self.metrics.deliveries_delayed += 1;
+                        self.metrics.deliveries_delayed.inc();
                         sub.attempts_at_next += 1;
                         sub.delayed_until_ms = now_ms + ms;
                         break;
@@ -316,7 +334,7 @@ impl ReplicationHub {
                         // caller (agent retry loop) and the transaction stays
                         // queued for redelivery.
                         let mut frame = crate::wire::encode_frame(&framed);
-                        self.metrics.wire_bytes += frame.len() as u64;
+                        self.metrics.wire_bytes.add(frame.len() as u64);
                         if let Some(plan) = self.fault_plan.as_mut() {
                             plan.corrupt_frame(&mut frame);
                         }
@@ -324,31 +342,44 @@ impl ReplicationHub {
                             Err(e) => e,
                             Ok(_) => Error::encoding("corrupted frame unexpectedly decoded"),
                         };
-                        self.metrics.corrupt_frames += 1;
+                        self.metrics.corrupt_frames.inc();
                         sub.attempts_at_next += 1;
                         return Err(err);
                     }
                     FaultDecision::Deliver | FaultDecision::Duplicate | FaultDecision::Crash => {
                         let frame = crate::wire::encode_frame(&framed);
-                        self.metrics.wire_bytes += frame.len() as u64;
+                        self.metrics.wire_bytes.add(frame.len() as u64);
                         let delivered = crate::wire::decode_frame(&frame)?;
+                        // The whole delivered transaction lands in the
+                        // target's master copy and is published as ONE new
+                        // snapshot (stamped with its watermark) when the
+                        // guard drops — concurrent readers keep executing
+                        // against the previous snapshot throughout and can
+                        // never observe a torn apply.
+                        let mark = Watermark {
+                            lsn: txn.lsn.next(),
+                            synced_through_ms: txn.commit_ts_ms.max(sub.synced_through_ms),
+                        };
                         {
                             let mut tdb = sub.target.write();
                             let effective = apply_idempotent(&mut tdb, &delivered.changes)?;
-                            self.metrics.changes_applied += effective;
-                            self.metrics.apply_work +=
-                                self.costs.apply_per_change * delivered.changes.len() as f64;
+                            tdb.set_watermark(&sub.target_table, mark);
+                            self.metrics.changes_applied.add(effective);
+                            self.metrics.apply_work.add(
+                                self.costs.apply_per_change * delivered.changes.len() as f64,
+                            );
                         }
-                        self.metrics.txns_applied += 1;
+                        sub.stamped = mark;
+                        self.metrics.txns_applied.inc();
                         if matches!(decision, FaultDecision::Duplicate) {
                             // Redundant second delivery of the same frame;
                             // idempotent apply makes its net effect zero.
                             let dup = crate::wire::decode_frame(&frame)?;
-                            self.metrics.wire_bytes += frame.len() as u64;
+                            self.metrics.wire_bytes.add(frame.len() as u64);
                             let mut tdb = sub.target.write();
                             let extra = apply_idempotent(&mut tdb, &dup.changes)?;
-                            self.metrics.changes_applied += extra;
-                            self.metrics.duplicates_delivered += 1;
+                            self.metrics.changes_applied.add(extra);
+                            self.metrics.duplicates_delivered.inc();
                         }
                         self.latency.record(now_ms - framed.commit_ts_ms);
                         if matches!(decision, FaultDecision::Crash) {
@@ -357,14 +388,14 @@ impl ReplicationHub {
                             // stays put and the restarted agent re-applies
                             // this transaction (idempotently) from the
                             // distribution database.
-                            self.metrics.crashes_injected += 1;
+                            self.metrics.crashes_injected.inc();
                             sub.attempts_at_next += 1;
                             return Err(Error::replication(
                                 "injected agent crash: delivery applied but progress record lost",
                             ));
                         }
                         if sub.attempts_at_next > 0 {
-                            self.metrics.redeliveries += 1;
+                            self.metrics.redeliveries.inc();
                             sub.attempts_at_next = 0;
                         }
                         sub.next_lsn = txn.lsn.next();
@@ -376,6 +407,22 @@ impl ReplicationHub {
             // everything the reader has seen.
             if self.distribution.is_empty() {
                 sub.synced_through_ms = sub.synced_through_ms.max(now_ms);
+            }
+            // Skipped transactions (nothing for this article) and idle-sync
+            // advances move `next_lsn`/`synced_through_ms` without touching
+            // the target; restamp so queries routing off the snapshot they
+            // scanned see the true currency. Monotone: never regresses a
+            // stamp already published (e.g. after an injected crash, where
+            // data applied but the hub's progress record was lost).
+            let advanced = Watermark {
+                lsn: sub.next_lsn.max(sub.stamped.lsn),
+                synced_through_ms: sub.synced_through_ms.max(sub.stamped.synced_through_ms),
+            };
+            if advanced != sub.stamped {
+                let mut tdb = sub.target.write();
+                tdb.set_watermark(&sub.target_table, advanced);
+                drop(tdb);
+                sub.stamped = advanced;
             }
         }
         // Truncate the distribution database past the slowest subscriber.
@@ -612,7 +659,7 @@ mod tests {
         ])
     }
 
-    fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
+    fn setup() -> (Arc<RwLock<Database>>, Arc<SnapshotDb>, ReplicationHub) {
         let mut backend = Database::new("backend");
         backend
             .create_table("customer", customer_schema(), &["cid".into()])
@@ -638,7 +685,7 @@ mod tests {
             .unwrap();
 
         let backend = Arc::new(RwLock::new(backend));
-        let cache = Arc::new(RwLock::new(cache));
+        let cache = Arc::new(SnapshotDb::new(cache));
         let hub = ReplicationHub::new(backend.clone());
         (backend, cache, hub)
     }
@@ -700,9 +747,9 @@ mod tests {
         let t = db.table_ref("cust50").unwrap();
         assert_eq!(t.row_count(), 50);
         assert_eq!(t.get(&row![7]).unwrap()[1], Value::str("c7-renamed"));
-        assert_eq!(hub.metrics.txns_read, 2);
+        assert_eq!(hub.metrics.txns_read.get(), 2);
         // Only the second transaction touched the article.
-        assert_eq!(hub.metrics.txns_applied, 1);
+        assert_eq!(hub.metrics.txns_applied.get(), 1);
         assert_eq!(hub.latency.count, 1);
         assert_eq!(hub.latency.max_ms, 500);
     }
@@ -780,7 +827,7 @@ mod tests {
             50,
             "no propagation with reader off"
         );
-        assert_eq!(hub.metrics.reader_work, 0.0);
+        assert_eq!(hub.metrics.reader_work.get(), 0.0);
         // Re-enable: change flows.
         hub.log_reader_enabled = true;
         hub.pump(300).unwrap();
@@ -813,7 +860,7 @@ mod tests {
     fn delivery_goes_through_wire_frames() {
         let (backend, cache, mut hub) = setup();
         hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
-        assert_eq!(hub.metrics.wire_bytes, 0, "snapshot is not framed");
+        assert_eq!(hub.metrics.wire_bytes.get(), 0, "snapshot is not framed");
         backend
             .write()
             .apply(
@@ -829,9 +876,9 @@ mod tests {
         // Frame = magic + version + lsn + ts + count + one Update change
         // with projected before/after images; must be non-trivial.
         assert!(
-            hub.metrics.wire_bytes > 10,
+            hub.metrics.wire_bytes.get() > 10,
             "wire bytes: {}",
-            hub.metrics.wire_bytes
+            hub.metrics.wire_bytes.get()
         );
         let db = cache.read();
         assert_eq!(
@@ -899,9 +946,9 @@ mod tests {
         let t = db.table_ref("cust50").unwrap();
         assert_eq!(t.row_count(), 50, "no double-apply");
         assert_eq!(t.get(&row![7]).unwrap()[1], Value::str("c7-dup"));
-        assert_eq!(hub.metrics.duplicates_delivered, 1);
+        assert_eq!(hub.metrics.duplicates_delivered.get(), 1);
         // The second delivery resolved to zero effective changes.
-        assert_eq!(hub.metrics.txns_applied, 1);
+        assert_eq!(hub.metrics.txns_applied.get(), 1);
     }
 
     #[test]
@@ -923,15 +970,15 @@ mod tests {
         hub.pump(20).unwrap();
         // Dropped in flight: nothing applied, LSN did not advance.
         assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
-        assert_eq!(hub.metrics.deliveries_dropped, 1);
+        assert_eq!(hub.metrics.deliveries_dropped.get(), 1);
         assert_eq!(hub.lag_txns(id), Some(1));
         assert!(!hub.drained());
         // Heal the link: redelivery applies and counters record the retry.
         hub.clear_fault_plan();
         hub.pump(30).unwrap();
         assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
-        assert_eq!(hub.metrics.retries, 1);
-        assert_eq!(hub.metrics.redeliveries, 1);
+        assert_eq!(hub.metrics.retries.get(), 1);
+        assert_eq!(hub.metrics.redeliveries.get(), 1);
         assert_eq!(hub.lag_txns(id), Some(0));
         assert!(hub.drained());
     }
@@ -954,13 +1001,13 @@ mod tests {
             .unwrap();
         let err = hub.pump(20).unwrap_err();
         assert_eq!(err.kind(), "encoding", "strict decode rejects: {err}");
-        assert_eq!(hub.metrics.corrupt_frames, 1);
+        assert_eq!(hub.metrics.corrupt_frames.get(), 1);
         assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
         // Clean link: the queued transaction redelivers.
         hub.clear_fault_plan();
         hub.pump(30).unwrap();
         assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 49);
-        assert_eq!(hub.metrics.redeliveries, 1);
+        assert_eq!(hub.metrics.redeliveries.get(), 1);
     }
 
     #[test]
@@ -990,7 +1037,7 @@ mod tests {
             Value::str("c2-crash")
         );
         assert_eq!(hub.applied_lsn(id), Some(before_lsn), "LSN not advanced");
-        assert_eq!(hub.metrics.crashes_injected, 1);
+        assert_eq!(hub.metrics.crashes_injected.get(), 1);
         // Restarted agent replays from the last applied LSN; idempotent
         // apply makes the replay a no-op and progress advances.
         hub.clear_fault_plan();
@@ -999,7 +1046,7 @@ mod tests {
             cache.read().table_ref("cust50").unwrap().get(&row![2]).unwrap()[1],
             Value::str("c2-crash")
         );
-        assert_eq!(hub.metrics.redeliveries, 1);
+        assert_eq!(hub.metrics.redeliveries.get(), 1);
         assert!(hub.drained());
     }
 
@@ -1020,7 +1067,7 @@ mod tests {
             )
             .unwrap();
         hub.pump(100).unwrap();
-        assert_eq!(hub.metrics.deliveries_delayed, 1);
+        assert_eq!(hub.metrics.deliveries_delayed.get(), 1);
         assert_eq!(cache.read().table_ref("cust50").unwrap().row_count(), 50);
         // Still inside the hold window: nothing moves (and no new decision
         // is drawn because the subscription is skipped entirely).
@@ -1094,7 +1141,7 @@ mod tests {
                 &["cid".into()],
             )
             .unwrap();
-        let cache2 = Arc::new(RwLock::new(cache2db));
+        let cache2 = Arc::new(SnapshotDb::new(cache2db));
         hub.subscribe(article(), cache1.clone(), "cust50", 0).unwrap();
         hub.subscribe(article(), cache2.clone(), "cust50", 0).unwrap();
         backend

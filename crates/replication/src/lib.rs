@@ -31,6 +31,6 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use hub::{
     apply_idempotent, resolve_idempotent, ReplicationHub, SubscriptionId, SubscriptionInfo,
 };
-pub use metrics::{LatencyStats, ReplicationMetrics};
+pub use metrics::{LatencyStats, ReplicationMetrics, SharedReplicationMetrics};
 pub use mtc_util::fault::{FaultCounts, FaultDecision, FaultKind, FaultPlan, FaultSpec, RetryPolicy};
 pub use wire::{decode_frame, encode_frame};

@@ -1,4 +1,13 @@
 //! Replication metrics: work accounting and propagation latency.
+//!
+//! The live counters ([`SharedReplicationMetrics`]) are relaxed atomics in
+//! an `Arc` handed out by the hub, so query sessions and experiment drivers
+//! can observe replication progress **without taking the hub mutex** — the
+//! apply path may hold that mutex for a whole delivery, and a reader poking
+//! at counters must never queue behind it. [`ReplicationMetrics`] is the
+//! plain point-in-time snapshot form.
+
+use mtc_util::atomic::{Counter, FloatCounter};
 
 /// Cumulative work/volume counters for the replication pipeline.
 ///
@@ -44,6 +53,52 @@ pub struct ReplicationMetrics {
     /// Worst read-but-unapplied transaction backlog observed for any
     /// subscription (a lag gauge, in transactions).
     pub max_lag_txns: u64,
+}
+
+/// The live, lock-free form of [`ReplicationMetrics`]: every field is a
+/// relaxed atomic, so readers never contend with the apply path. The hub
+/// hands this out as an `Arc` — clone it once and read counters without
+/// ever locking the hub.
+#[derive(Debug, Default)]
+pub struct SharedReplicationMetrics {
+    pub txns_read: Counter,
+    pub changes_read: Counter,
+    pub txns_applied: Counter,
+    pub changes_applied: Counter,
+    pub reader_work: FloatCounter,
+    pub apply_work: FloatCounter,
+    pub wire_bytes: Counter,
+    pub deliveries_dropped: Counter,
+    pub deliveries_delayed: Counter,
+    pub duplicates_delivered: Counter,
+    pub corrupt_frames: Counter,
+    pub crashes_injected: Counter,
+    pub retries: Counter,
+    pub redeliveries: Counter,
+    pub max_lag_txns: Counter,
+}
+
+impl SharedReplicationMetrics {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ReplicationMetrics {
+        ReplicationMetrics {
+            txns_read: self.txns_read.get(),
+            changes_read: self.changes_read.get(),
+            txns_applied: self.txns_applied.get(),
+            changes_applied: self.changes_applied.get(),
+            reader_work: self.reader_work.get(),
+            apply_work: self.apply_work.get(),
+            wire_bytes: self.wire_bytes.get(),
+            deliveries_dropped: self.deliveries_dropped.get(),
+            deliveries_delayed: self.deliveries_delayed.get(),
+            duplicates_delivered: self.duplicates_delivered.get(),
+            corrupt_frames: self.corrupt_frames.get(),
+            crashes_injected: self.crashes_injected.get(),
+            retries: self.retries.get(),
+            redeliveries: self.redeliveries.get(),
+            max_lag_txns: self.max_lag_txns.get(),
+        }
+    }
 }
 
 /// Commit-to-apply latency distribution (Experiment 3's metric: time from

@@ -8,7 +8,7 @@ use mtc_util::sync::RwLock;
 
 use mtc_replication::{Article, ReplicationHub};
 use mtc_sql::{parse_statement, Statement};
-use mtc_storage::{Database, RowChange};
+use mtc_storage::{Database, RowChange, SnapshotDb};
 use mtc_types::{row, Column, DataType, Schema, Value};
 
 fn schema() -> Schema {
@@ -18,7 +18,7 @@ fn schema() -> Schema {
     ])
 }
 
-fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
+fn setup() -> (Arc<RwLock<Database>>, Arc<SnapshotDb>, ReplicationHub) {
     let mut publisher = Database::new("pub");
     publisher.create_table("t", schema(), &["id".into()]).unwrap();
     publisher
@@ -36,7 +36,7 @@ fn setup() -> (Arc<RwLock<Database>>, Arc<RwLock<Database>>, ReplicationHub) {
     subscriber.create_table("t_cache", schema(), &["id".into()]).unwrap();
 
     let publisher = Arc::new(RwLock::new(publisher));
-    let subscriber = Arc::new(RwLock::new(subscriber));
+    let subscriber = Arc::new(SnapshotDb::new(subscriber));
     let mut hub = ReplicationHub::new(publisher.clone());
     let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
         unreachable!()
@@ -130,8 +130,8 @@ fn crash_restart_resumes_from_last_applied_lsn() {
     }
     assert!(hub.drained(), "pipeline drained despite crashes");
     assert!(crashes >= 3, "crash cadence hit repeatedly: {crashes}");
-    assert_eq!(hub.metrics.crashes_injected, crashes);
-    assert_eq!(hub.metrics.redeliveries, crashes, "every crash forced a replay");
+    assert_eq!(hub.metrics.crashes_injected.get(), crashes);
+    assert_eq!(hub.metrics.redeliveries.get(), crashes, "every crash forced a replay");
     let sub = subscriber.read();
     let t = sub.table_ref("t_cache").unwrap();
     assert_eq!(t.row_count(), 20, "no duplicates from replays");
@@ -157,7 +157,7 @@ fn repeated_pump_is_idempotent() {
         hub.pump(ts).unwrap();
     }
     assert_eq!(subscriber.read().table_ref("t_cache").unwrap().row_count(), 21);
-    assert_eq!(hub.metrics.txns_applied, 1, "no double-apply");
+    assert_eq!(hub.metrics.txns_applied.get(), 1, "no double-apply");
 }
 
 #[test]
@@ -196,7 +196,7 @@ fn subscription_snapshot_is_consistent_under_concurrent_log_position() {
     // New subscriber arrives late.
     let mut sub2 = Database::new("sub2");
     sub2.create_table("t_cache", schema(), &["id".into()]).unwrap();
-    let sub2 = Arc::new(RwLock::new(sub2));
+    let sub2 = Arc::new(SnapshotDb::new(sub2));
     let Statement::Select(def) = parse_statement("SELECT id, v FROM t").unwrap() else {
         unreachable!()
     };

@@ -26,7 +26,7 @@ pub enum WriteOp {
 /// transaction's [`RowChange`] list atomically (all-or-nothing, with undo on
 /// failure), maintains secondary indexes, and appends the transaction to the
 /// commit log for replication to sniff.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     name: String,
     tables: BTreeMap<String, Table>,

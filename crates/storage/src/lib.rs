@@ -15,6 +15,7 @@ pub mod catalog;
 pub mod database;
 pub mod index;
 pub mod log;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
@@ -22,5 +23,6 @@ pub use catalog::{Catalog, IndexMeta, ProcedureDef, TableMeta, ViewMeta};
 pub use database::{Database, WriteOp};
 pub use index::Index;
 pub use log::{CommitLog, CommittedTransaction, Lsn, RowChange};
+pub use snapshot::{DbSnapshot, SnapshotDb, SnapshotWriteGuard, Watermark};
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::Table;

@@ -175,7 +175,7 @@ impl BinCodec for CommittedTransaction {
 }
 
 /// Append-only transaction log.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CommitLog {
     entries: Vec<CommittedTransaction>,
     /// LSNs below this have been truncated (already distributed).

@@ -1,0 +1,158 @@
+//! Relaxed atomic counters for hot-path statistics.
+//!
+//! Server and replication counters are bumped on every query; guarding them
+//! with a `Mutex` serializes otherwise-independent sessions on a cache line
+//! that exists only for observability. These counters use
+//! `Ordering::Relaxed` throughout: each counter is an independent
+//! monotonically-increasing tally, no reader derives cross-counter
+//! invariants from a single load, and torn *sets* of counters (a snapshot
+//! taken mid-update) were always possible under the old per-field reads
+//! anyway.
+//!
+//! [`Counter`] wraps `AtomicU64`; [`FloatCounter`] stores an `f64` as its
+//! bit pattern in an `AtomicU64` and adds with a CAS loop (uncontended in
+//! practice — the loop exists for correctness, not because contention is
+//! expected on a stats line).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed monotonically-adjusted `u64` tally.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new(v: u64) -> Counter {
+        Counter(AtomicU64::new(v))
+    }
+
+    /// Adds `n` (relaxed).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one (relaxed).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Raises the stored value to `v` if larger (relaxed `fetch_max`).
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (relaxed).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Returns the value and resets it to zero.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.get().fmt(f)
+    }
+}
+
+/// A relaxed `f64` accumulator stored as bits in an `AtomicU64`.
+#[derive(Default)]
+pub struct FloatCounter(AtomicU64);
+
+impl FloatCounter {
+    pub fn new(v: f64) -> FloatCounter {
+        FloatCounter(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Adds `v` with a compare-and-swap loop (relaxed).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value (relaxed).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Overwrites the value (relaxed).
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Returns the value and resets it to zero.
+    pub fn take(&self) -> f64 {
+        f64::from_bits(self.0.swap(0f64.to_bits(), Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for FloatCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.get().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.raise_to(3);
+        assert_eq!(c.get(), 5, "raise_to never lowers");
+        c.raise_to(9);
+        assert_eq!(c.get(), 9);
+        assert_eq!(c.take(), 9);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let c = FloatCounter::default();
+        c.add(1.5);
+        c.add(2.25);
+        assert_eq!(c.get(), 3.75);
+        assert_eq!(c.take(), 3.75);
+        assert_eq!(c.get(), 0.0);
+    }
+
+    #[test]
+    fn float_counter_concurrent_adds_lose_nothing() {
+        let c = Arc::new(FloatCounter::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4.0 * 10_000.0 * 0.5);
+    }
+}

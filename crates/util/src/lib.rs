@@ -23,8 +23,10 @@
 //! fails if any `Cargo.toml` in the workspace declares a non-`path`
 //! dependency.
 
+pub mod atomic;
 pub mod bench;
 pub mod check;
 pub mod fault;
+pub mod pool;
 pub mod rng;
 pub mod sync;

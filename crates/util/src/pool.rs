@@ -1,0 +1,357 @@
+//! A spawn-once worker pool with a shared morsel queue.
+//!
+//! Morsel-driven execution (Leis et al., and the executor in
+//! `mtc-engine`) wants a fixed set of long-lived workers pulling small,
+//! self-contained work items ("morsels") off a queue — never a thread
+//! spawn per query. This module provides exactly that and nothing more:
+//!
+//! * [`WorkerPool::new`] spawns `threads` workers once; they park on a
+//!   condvar until work arrives and live until the pool is dropped.
+//! * [`WorkerPool::run`] scatters an ordered list of morsels across the
+//!   pool, blocks until all complete, and gathers the results **in input
+//!   order** — the deterministic-merge contract parallel operators rely
+//!   on to preserve scan order (and therefore `ORDER BY`/`TOP`
+//!   semantics) regardless of which worker finished first.
+//! * The submitting thread does not idle while it waits: it pops morsels
+//!   off the same queue and executes them inline. This keeps the pool
+//!   correct (and useful) even with zero spare cores — on a single-CPU
+//!   host `run` degrades to serial execution with identical results.
+//! * A panic inside a morsel is caught on the worker, carried back, and
+//!   re-raised on the submitting thread, so `dop > 1` keeps the same
+//!   panic observability as the serial path.
+//!
+//! Everything here is safe code over `std::sync` primitives; the hermetic
+//! guard (`tests/hermetic.rs`) keeps it dependency-free.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue + parking shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Shared {
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut state = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .pop_front()
+    }
+
+    fn push(&self, job: Job) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .push_back(job);
+        self.work_ready.notify_one();
+    }
+}
+
+/// Tracks one `run` call: slots for results, a completion count, and a
+/// condvar the submitter parks on when the queue runs dry.
+struct Batch<O> {
+    slots: Mutex<BatchState<O>>,
+    done: Condvar,
+    remaining: AtomicUsize,
+}
+
+struct BatchState<O> {
+    results: Vec<Option<O>>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<O> Batch<O> {
+    fn new(n: usize) -> Batch<O> {
+        Batch {
+            slots: Mutex::new(BatchState {
+                results: (0..n).map(|_| None).collect(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    fn complete(&self, index: usize, outcome: Result<O, Box<dyn std::any::Any + Send>>) {
+        {
+            let mut state = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            match outcome {
+                Ok(v) => state.results[index] = Some(v),
+                Err(p) => {
+                    state.panic.get_or_insert(p);
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last morsel: wake the submitter if it is parked.
+            let _guard = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+/// A fixed pool of worker threads executing queued morsels.
+///
+/// See the module docs for the execution contract. Dropping the pool
+/// signals shutdown and joins every worker.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("mtc-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.pop_blocking() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads (not counting submitters helping inline).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The process-wide pool, spawned on first use. Sized from
+    /// `MTC_POOL_THREADS` when set, otherwise from the host's available
+    /// parallelism (capped at 8 — the widest `dop` the benches exercise).
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("MTC_POOL_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(8)
+                });
+            Arc::new(WorkerPool::new(threads))
+        })
+    }
+
+    /// Runs `f` over every morsel in `morsels`, in parallel, and returns
+    /// the outputs **in morsel order**.
+    ///
+    /// The calling thread participates: after enqueueing it drains the
+    /// same queue until its batch completes, so throughput never depends
+    /// on the pool having idle workers. If any morsel panics, the panic
+    /// is re-raised here after the batch drains.
+    pub fn run<I, O, F>(&self, morsels: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        let n = morsels.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // One morsel: run inline, skip the queue round-trip.
+            let mut morsels = morsels;
+            return vec![f(0, morsels.pop().expect("one morsel"))];
+        }
+        let f = Arc::new(f);
+        let batch = Arc::new(Batch::new(n));
+        for (i, morsel) in morsels.into_iter().enumerate() {
+            let f = f.clone();
+            let batch = batch.clone();
+            self.shared.push(Box::new(move || {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(i, morsel)));
+                batch.complete(i, outcome);
+            }));
+        }
+        // Help drain the queue; park only when it is empty and our batch
+        // is still in flight on other workers.
+        while !batch.is_done() {
+            if let Some(job) = self.shared.try_pop() {
+                job();
+                continue;
+            }
+            let state = batch.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            if batch.is_done() {
+                break;
+            }
+            // Re-check the queue under no lock after a bounded wait so a
+            // job enqueued between try_pop and wait cannot strand us.
+            let _ = batch
+                .done
+                .wait_timeout(state, std::time::Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let mut state = batch.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = state.panic.take() {
+            panic::resume_unwind(p);
+        }
+        state
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("completed batch has every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_morsel_order() {
+        let pool = WorkerPool::new(4);
+        let morsels: Vec<u64> = (0..64).collect();
+        let out = pool.run(morsels, |i, m| {
+            // Uneven work so completion order scrambles.
+            let mut acc = m;
+            for _ in 0..((i * 37) % 211) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, m, acc)
+        });
+        for (i, (idx, m, _)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*m, i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_morsel_batches() {
+        let pool = WorkerPool::new(2);
+        let none: Vec<u32> = pool.run(Vec::<u32>::new(), |_, m| m);
+        assert!(none.is_empty());
+        assert_eq!(pool.run(vec![7u32], |_, m| m * 3), vec![21]);
+    }
+
+    #[test]
+    fn submitter_helps_on_starved_pool() {
+        // One worker, but it is busy with an unrelated long batch; the
+        // submitter must still finish its own batch by helping.
+        let pool = Arc::new(WorkerPool::new(1));
+        let out = pool.run((0..32u64).collect(), |_, m| m + 1);
+        assert_eq!(out.iter().sum::<u64>(), (1..=32).sum());
+    }
+
+    #[test]
+    fn concurrent_batches_do_not_interleave_results() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let pool = pool.clone();
+                thread::spawn(move || {
+                    let out = pool.run((0..50u64).collect(), move |_, m| m * 10 + t);
+                    out.iter().enumerate().all(|(i, &v)| v == i as u64 * 10 + t)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+
+    #[test]
+    fn morsel_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let res = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..8u32).collect(), |_, m| {
+                assert!(m != 5, "boom on morsel 5");
+                m
+            })
+        }));
+        assert!(res.is_err(), "panic must cross the pool boundary");
+        // Pool remains usable afterwards.
+        assert_eq!(pool.run(vec![1u32, 2], |_, m| m).len(), 2);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const _;
+        let b = WorkerPool::global() as *const _;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().threads() >= 1);
+    }
+}

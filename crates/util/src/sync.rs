@@ -1,4 +1,5 @@
-//! Poison-free `Mutex` / `RwLock` wrappers over `std::sync`.
+//! Poison-free `Mutex` / `RwLock` wrappers over `std::sync`, plus the
+//! [`ArcSwap`] publication cell the snapshot-read path is built on.
 //!
 //! These expose the `parking_lot` call shape — `.lock()`, `.read()` and
 //! `.write()` return guards directly, no `Result` — so the rest of the
@@ -9,7 +10,7 @@
 //! express them in the data structure, not the lock.
 
 use std::fmt;
-use std::sync::{self, PoisonError};
+use std::sync::{self, Arc, PoisonError};
 
 /// Guard types are re-used from `std`; only the acquisition API differs.
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
@@ -155,10 +156,69 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// An atomically swappable `Arc<T>` — the publication cell behind the
+/// snapshot read path.
+///
+/// Writers prepare a fresh immutable value off to the side and [`store`]
+/// it in one step; readers [`load`] whatever value is currently published
+/// and keep it alive through their own `Arc` clone, entirely decoupled
+/// from any writer that publishes after them. Neither side ever waits on
+/// the other for longer than the nanoseconds it takes to clone or replace
+/// a pointer.
+///
+/// The implementation is deliberately unsafe-free: a `RwLock<Arc<T>>`
+/// whose critical sections contain exactly one `Arc::clone` (load) or one
+/// pointer replacement (store/swap). That is not a lock-free `ArcSwap`,
+/// but the lock is never held across user code, so readers cannot observe
+/// a torn value and writers cannot be blocked by a slow reader — the two
+/// properties the snapshot design actually needs.
+///
+/// [`store`]: ArcSwap::store
+/// [`load`]: ArcSwap::load
+pub struct ArcSwap<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell publishing `value`.
+    pub fn new(value: Arc<T>) -> ArcSwap<T> {
+        ArcSwap {
+            slot: RwLock::new(value),
+        }
+    }
+
+    /// Creates a cell publishing `value`, wrapping it on the way in.
+    pub fn from_value(value: T) -> ArcSwap<T> {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Returns the currently published value. The returned `Arc` stays
+    /// valid (and unchanged) for as long as the caller holds it, no matter
+    /// how many times writers publish afterwards.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.read().clone()
+    }
+
+    /// Publishes `value`, dropping the previous one.
+    pub fn store(&self, value: Arc<T>) {
+        *self.slot.write() = value;
+    }
+
+    /// Publishes `value` and returns what was published before.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.slot.write(), value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn mutex_basic() {
@@ -212,5 +272,55 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn arcswap_load_store_swap() {
+        let cell = ArcSwap::from_value(1);
+        let before = cell.load();
+        cell.store(Arc::new(2));
+        assert_eq!(*before, 1, "held loads are immune to later stores");
+        assert_eq!(*cell.load(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn arcswap_readers_never_see_torn_values() {
+        // Writers publish (n, n) pairs; readers must only ever observe
+        // matching halves, because publication replaces the whole Arc.
+        let cell = Arc::new(ArcSwap::from_value((0u64, 0u64)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = cell.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    // Check the stop flag *after* each load so every reader
+                    // observes at least one value even if the writer loop
+                    // finishes before this thread is first scheduled (which
+                    // routinely happens on a single-CPU host).
+                    loop {
+                        let v = cell.load();
+                        assert_eq!(v.0, v.1, "torn publication observed");
+                        seen += 1;
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for n in 1..=2000u64 {
+            cell.store(Arc::new((n, n)));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(*cell.load(), (2000, 2000));
     }
 }

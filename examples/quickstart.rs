@@ -71,6 +71,6 @@ fn main() {
     let (name, remote) = app(&conn, 42);
     println!("after update + sync    : cid=42 -> {name}   (remote calls: {remote})");
 
-    println!("\ncache stats: {:?}", cache.stats.lock());
-    println!("backend stats: {:?}", backend.stats.lock());
+    println!("\ncache stats: {:?}", cache.stats.snapshot());
+    println!("backend stats: {:?}", backend.stats.snapshot());
 }

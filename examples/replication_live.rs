@@ -59,8 +59,8 @@ fn main() {
     agent.stop();
 
     let hub = hub.lock();
-    println!("transactions replicated : {}", hub.metrics.txns_applied);
-    println!("row changes applied     : {}", hub.metrics.changes_applied);
+    println!("transactions replicated : {}", hub.metrics.txns_applied.get());
+    println!("row changes applied     : {}", hub.metrics.changes_applied.get());
     println!(
         "commit→apply latency    : avg {:.1} ms, max {} ms over {} txns",
         hub.latency.avg_ms(),

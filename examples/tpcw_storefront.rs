@@ -41,8 +41,8 @@ fn main() {
             rng.gen_range(1..=scale.customers() as i64),
             ids,
         );
-        deployment.backend.stats.lock().take();
-        deployment.cache.as_ref().unwrap().stats.lock().take();
+        deployment.backend.stats.take();
+        deployment.cache.as_ref().unwrap().stats.take();
         let mix = workload.mix();
         for i in 0..300 {
             let interaction = mix.sample(&mut rng);
@@ -52,8 +52,8 @@ fn main() {
                 deployment.pump_replication(50);
             }
         }
-        let backend_work = deployment.backend.stats.lock().local_work;
-        let cache_work = deployment.cache.as_ref().unwrap().stats.lock().local_work;
+        let backend_work = deployment.backend.stats.local_work.get();
+        let cache_work = deployment.cache.as_ref().unwrap().stats.local_work.get();
         let offloaded = cache_work / (cache_work + backend_work) * 100.0;
         println!(
             "{:<10} {:>14.0} {:>14.0} {:>11.1}%",

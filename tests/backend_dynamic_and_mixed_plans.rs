@@ -124,6 +124,7 @@ fn mixed_result_plans_work_on_fresh_views() {
             remote: None,
             params: &params,
             work: &options.cost,
+            parallel: None,
         };
         let got = execute(&physical, &ctx).unwrap();
         // No duplicates between the view part and the remainder.

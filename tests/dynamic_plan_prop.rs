@@ -110,6 +110,7 @@ fn pullup_preserves_join_results() {
                     remote: Some(remote),
                     params: &params,
                     work: &options.cost,
+                    parallel: None,
                 };
                 rows_by_mode.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
             }
@@ -153,6 +154,7 @@ fn view_matching_is_sound() {
                     remote: Some(remote),
                     params: &params,
                     work: &options.cost,
+                    parallel: None,
                 };
                 results.push(sorted(execute(&optimized.physical, &ctx).unwrap().rows));
             }

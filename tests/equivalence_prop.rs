@@ -12,17 +12,18 @@
 use std::sync::Arc;
 
 use mtc_util::check::{self, Config};
+use mtc_util::pool::WorkerPool;
 use mtc_util::rng::{Rng, StdRng};
 use mtc_util::sync::Mutex;
 
 use mtcache_repro::cache::{BackendServer, CacheServer, Connection};
 use mtcache_repro::engine::{
     bind_select, execute, execute_materialized, optimize, Bindings, ExecContext,
-    OptimizerOptions, QueryResult, RemoteExecutor,
+    OptimizerOptions, ParallelCtx, QueryResult, RemoteExecutor,
 };
 use mtcache_repro::replication::ReplicationHub;
 use mtcache_repro::sql::{parse_statement, Statement};
-use mtcache_repro::storage::Database;
+use mtcache_repro::storage::{Database, DbSnapshot, SnapshotDb};
 use mtcache_repro::types::{Row, Value};
 
 const N_ROWS: i64 = 3000;
@@ -217,6 +218,7 @@ fn both_ways(
         remote,
         params,
         work: &options.cost,
+        parallel: None,
     };
     let streamed = execute(&opt.physical, &ctx).unwrap();
     let seed = execute_materialized(&opt.physical, &ctx).unwrap();
@@ -285,6 +287,101 @@ fn streaming_matches_seed_across_shapes() {
             assert_equivalent(sql, &streamed, &seed);
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Morsel parallelism: dop > 1 must be invisible in the results.
+//
+// The parallel executor re-partitions scans, seeks, hash-aggregate builds and
+// hash-join builds across a worker pool; determinism demands the merged
+// output is byte-identical to the serial (dop = 1) run for every shape.
+// ---------------------------------------------------------------------------
+
+/// Runs `sql` against `snap` serially and with a `dop`-way [`ParallelCtx`]
+/// (min_rows forced to 1 so even small fixtures go parallel), returning both
+/// results for comparison.
+fn serial_vs_parallel(
+    snap: &Arc<DbSnapshot>,
+    sql: &str,
+    params: &Bindings,
+    remote: Option<&dyn RemoteExecutor>,
+    dop: usize,
+) -> (QueryResult, QueryResult) {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        panic!("not a SELECT: {sql}");
+    };
+    let options = OptimizerOptions::default();
+    let plan = bind_select(&sel, snap).unwrap();
+    let opt = optimize(plan, snap, &options).unwrap();
+    let serial_ctx = ExecContext {
+        db: snap,
+        remote,
+        params,
+        work: &options.cost,
+        parallel: None,
+    };
+    let serial = execute(&opt.physical, &serial_ctx).unwrap();
+    let mut pctx = ParallelCtx::new(snap.clone(), WorkerPool::global().clone(), dop);
+    pctx.min_rows = 1;
+    let parallel_ctx = ExecContext {
+        db: snap,
+        remote,
+        params,
+        work: &options.cost,
+        parallel: Some(pctx),
+    };
+    let parallel = execute(&opt.physical, &parallel_ctx).unwrap();
+    (serial, parallel)
+}
+
+#[test]
+fn parallel_matches_serial_across_shapes() {
+    let backend = join_db();
+    let snap = Arc::new(SnapshotDb::new(backend.db.read().clone())).read();
+    let params = Bindings::new();
+    check::run(
+        &Config::cases(40),
+        "parallel_matches_serial_across_shapes",
+        |rng| (gen_shape(rng), *rng.choose(&[2usize, 4, 8]).unwrap()),
+        |(sql, dop)| {
+            let (serial, parallel) = serial_vs_parallel(&snap, sql, &params, None, *dop);
+            assert_eq!(serial.schema, parallel.schema, "schema differs: {sql}");
+            assert_eq!(
+                serial.rows, parallel.rows,
+                "dop={dop} changed the answer: {sql}"
+            );
+            assert!(
+                parallel.metrics.parallel_work > 0.0,
+                "dop={dop} did no parallel work: {sql}"
+            );
+            assert!(
+                parallel.metrics.parallel_work <= parallel.metrics.local_work + 1e-9,
+                "parallel_work exceeds local_work: {sql}"
+            );
+        },
+    );
+}
+
+#[test]
+fn parallel_matches_serial_on_choose_plan_branches() {
+    // ChoosePlan branches must also be dop-invariant: the local branch scans
+    // the cached view in morsels, the remote branch must still ship exactly
+    // one remote call.
+    let (backend, cache) = setup();
+    for v in [500i64, 1_500i64] {
+        for dop in [2usize, 4] {
+            let snap = cache.db.read();
+            let params = Connection::params(&[("v", Value::Int(v))]);
+            let remote: &dyn RemoteExecutor = &*backend;
+            let sql = "SELECT id, grp, val, name FROM t WHERE id <= @v";
+            let (serial, parallel) = serial_vs_parallel(&snap, sql, &params, Some(remote), dop);
+            assert_eq!(serial.rows, parallel.rows, "@v = {v}, dop = {dop}");
+            assert_eq!(
+                serial.metrics.remote_calls, parallel.metrics.remote_calls,
+                "@v = {v}, dop = {dop}: routing changed under parallelism"
+            );
+        }
+    }
 }
 
 #[test]

@@ -114,5 +114,5 @@ fn three_cache_servers_one_distributor() {
     }
     // Distribution database truncated once every subscriber is served.
     assert_eq!(hub.lock().distribution_depth(), 0);
-    assert_eq!(hub.lock().metrics.txns_applied, 3, "one apply per subscriber");
+    assert_eq!(hub.lock().metrics.txns_applied.get(), 3, "one apply per subscriber");
 }

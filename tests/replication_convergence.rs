@@ -165,9 +165,9 @@ fn duplicate_deliveries_do_not_double_apply() {
                 "duplicated deliveries double-applied"
             );
             let h = hub.lock();
-            if h.metrics.txns_applied > 0 {
+            if h.metrics.txns_applied.get() > 0 {
                 assert!(
-                    h.metrics.duplicates_delivered > 0,
+                    h.metrics.duplicates_delivered.get() > 0,
                     "dup_p = 1.0 but no duplicates recorded: {:?}",
                     h.metrics
                 );
@@ -208,8 +208,8 @@ fn corrupt_frame_surfaces_decode_error_then_recovers() {
         .collect();
     assert_eq!(sorted(expected.rows), sorted(actual));
     let h = hub.lock();
-    assert!(h.metrics.corrupt_frames >= 1, "{:?}", h.metrics);
-    assert!(h.metrics.redeliveries >= 1, "{:?}", h.metrics);
+    assert!(h.metrics.corrupt_frames.get() >= 1, "{:?}", h.metrics);
+    assert!(h.metrics.redeliveries.get() >= 1, "{:?}", h.metrics);
     assert!(h.drained());
 }
 

@@ -176,21 +176,21 @@ fn faulted_pipeline_converges_with_exact_once_effect() {
             let counts = h.fault_counts().expect("plan installed");
             let blocked = counts.drops + counts.corruptions + counts.crashes + counts.delays;
             assert!(
-                h.metrics.retries >= h.metrics.redeliveries,
+                h.metrics.retries.get() >= h.metrics.redeliveries.get(),
                 "retries {} < redeliveries {}",
-                h.metrics.retries,
-                h.metrics.redeliveries
+                h.metrics.retries.get(),
+                h.metrics.redeliveries.get()
             );
             if blocked > 0 {
                 assert!(
-                    h.metrics.retries > 0,
+                    h.metrics.retries.get() > 0,
                     "faults blocked deliveries but no retries recorded: {counts:?}"
                 );
             }
-            assert_eq!(h.metrics.duplicates_delivered, counts.duplicates);
-            assert_eq!(h.metrics.crashes_injected, counts.crashes);
-            assert_eq!(h.metrics.deliveries_dropped, counts.drops);
-            assert_eq!(h.metrics.corrupt_frames, counts.corruptions);
+            assert_eq!(h.metrics.duplicates_delivered.get(), counts.duplicates);
+            assert_eq!(h.metrics.crashes_injected.get(), counts.crashes);
+            assert_eq!(h.metrics.deliveries_dropped.get(), counts.drops);
+            assert_eq!(h.metrics.corrupt_frames.get(), counts.corruptions);
         },
     );
 }
@@ -226,7 +226,7 @@ fn acceptance_drop10_dup5_crash200_is_deterministic_per_seed() {
         drain(&hub, &clock);
         assert_converged(&backend, &cache);
         let h = hub.lock();
-        (h.metrics, h.fault_counts().unwrap())
+        (h.metrics.snapshot(), h.fault_counts().unwrap())
     };
 
     let (m1, c1) = run(0xFA_17);

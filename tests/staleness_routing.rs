@@ -59,16 +59,16 @@ fn currency_bound_falls_back_while_paused_and_returns_after_catchup() {
     let r = cache.execute(UNBOUNDED, &Default::default(), "dbo").unwrap();
     assert_eq!(r.rows[0][0], Value::str("c10"), "stale but allowed");
     assert_eq!(r.metrics.remote_calls, 0, "unbounded stays local");
-    assert_eq!(cache.stats.lock().freshness_fallbacks, 0);
+    assert_eq!(cache.stats.freshness_fallbacks.get(), 0);
 
     // 2. Bounded query: observably degrades to the backend.
-    let backend_queries_before = backend.stats.lock().queries;
+    let backend_queries_before = backend.stats.queries.get();
     let r = cache.execute(BOUNDED, &Default::default(), "dbo").unwrap();
     assert_eq!(r.rows[0][0], Value::str("renamed"), "fresh answer");
     assert!(r.metrics.remote_calls >= 1, "went remote");
-    assert_eq!(cache.stats.lock().freshness_fallbacks, 1);
+    assert_eq!(cache.stats.freshness_fallbacks.get(), 1);
     assert!(
-        backend.stats.lock().queries > backend_queries_before,
+        backend.stats.queries.get() > backend_queries_before,
         "backend served the fallback"
     );
 
@@ -103,7 +103,7 @@ fn currency_bound_falls_back_while_paused_and_returns_after_catchup() {
     assert_eq!(r.rows[0][0], Value::str("renamed"));
     assert_eq!(r.metrics.remote_calls, 0, "back on the cache");
     assert_eq!(
-        cache.stats.lock().freshness_fallbacks,
+        cache.stats.freshness_fallbacks.get(),
         1,
         "no new fallback after catch-up"
     );
