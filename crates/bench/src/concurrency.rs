@@ -223,6 +223,11 @@ fn run_point(n: usize, seed: u64, workers: usize) -> WorkerPoint {
         .lock()
         .set_fault_plan(FaultPlan::new(seed, FAULTS));
     let cache = deployment.cache.clone().expect("cached deployment");
+    // This experiment isolates the morsel-parallel/concurrency speedup: the
+    // result cache would otherwise collapse repeated remote interactions
+    // into memory hits, shifting the per-interaction demand distribution
+    // between worker counts. It gets its own experiment (`exp_resultcache`).
+    cache.result_cache.set_enabled(false);
     let stop = Arc::new(AtomicBool::new(false));
 
     // Replication applies continuously while the sessions run; pump errors

@@ -9,7 +9,7 @@ use mtc_tpcw::datagen::{generate, Scale};
 use mtc_tpcw::deploy::configure_cache;
 use mtc_tpcw::procs::register_all;
 use mtc_tpcw::session::IdAllocator;
-use mtcache::{BackendServer, CacheServer, Connection};
+use mtcache::{BackendServer, CacheServer, Connection, ResultCache, ResultCacheConfig};
 
 /// A complete test deployment.
 pub struct Deployment {
@@ -29,13 +29,32 @@ impl Deployment {
     /// with `cached`, also one fully configured cache server (§6.1.2
     /// cached views, indexes and copied procedures).
     pub fn new(scale: Scale, cached: bool) -> Deployment {
+        Deployment::build(scale, cached, None)
+    }
+
+    /// Like [`Deployment::new`] with `cached = true`, but the cache server's
+    /// mid-tier result cache is built with an explicit byte budget
+    /// (`exp_resultcache`'s budget sweep).
+    pub fn new_with_result_cache_budget(scale: Scale, budget_bytes: usize) -> Deployment {
+        Deployment::build(scale, true, Some(budget_bytes))
+    }
+
+    fn build(scale: Scale, cached: bool, result_cache_budget: Option<usize>) -> Deployment {
         let clock = ManualClock::new(0);
         let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
         generate(&backend, scale).expect("TPC-W data generation");
         register_all(&backend).expect("procedure registration");
         let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
         let cache = if cached {
-            let cache = CacheServer::create("cache1", backend.clone(), hub.clone());
+            let cache = match result_cache_budget {
+                Some(budget) => CacheServer::create_with_result_cache(
+                    "cache1",
+                    backend.clone(),
+                    hub.clone(),
+                    ResultCache::new(ResultCacheConfig::with_budget(budget as u64)),
+                ),
+                None => CacheServer::create("cache1", backend.clone(), hub.clone()),
+            };
             configure_cache(&cache).expect("cache configuration");
             Some(cache)
         } else {

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod hotpath;
 pub mod measure;
 pub mod report;
+pub mod resultcache;
 
 pub use concurrency::{run_concurrency, ConcurrencyResults, WorkerPoint};
 pub use deployment::Deployment;
@@ -25,6 +26,7 @@ pub use experiments::{run_all, ExperimentResults};
 pub use hotpath::{run_hotpath, HotpathResults};
 pub use measure::{measure_demands, MeasuredDemands};
 pub use report::render_experiments;
+pub use resultcache::{run_resultcache, ResultCacheResults, WorkloadPoint};
 
 /// Paper values used for side-by-side comparison in the reports.
 pub mod paper {

@@ -1,0 +1,537 @@
+//! Result-cache + round-trip-coalescing experiment (DESIGN.md §10).
+//!
+//! The mid-tier result cache exists to convert backend round trips into
+//! memory lookups; this experiment measures exactly that conversion under
+//! the repo's standard adversarial conditions. For each TPC-W workload it
+//! runs the *same seeded interaction stream* twice through a cached
+//! deployment whose replication hub carries the standard fault plan
+//! (10% dropped deliveries, 5% duplicates, a distributor crash every 200):
+//! once with the result cache disabled (baseline) and once enabled. The two
+//! streams are bit-identical — the cache returns the same rows a fetch
+//! would, so the seeded RNG consumes the same values — which makes every
+//! per-phase delta attributable to the cache alone.
+//!
+//! Reported per workload:
+//!
+//! * **remote round trips eliminated** — `1 - rtts(cached)/rtts(baseline)`,
+//!   the headline number (the ISSUE targets ≥60% on Browsing);
+//! * **warm hit rate** — result-cache hits over probes in the second half
+//!   of the stream, after the working set is resident;
+//! * **modeled p50/p95 interaction latency** — CPU work at
+//!   [`WORK_RATE`](crate::concurrency::WORK_RATE) work units/s plus the
+//!   [`RttModel`] wire charge (round trips × per-RTT latency + payload ÷
+//!   bandwidth), so saved round trips show up in milliseconds;
+//! * **equivalence** — after the replication queue fully drains, a probe
+//!   suite runs each query cache-on and cache-off and compares rows
+//!   bit-for-bit (the ISSUE demands zero failures).
+//!
+//! A budget sweep then re-runs the Browsing stream at several cache byte
+//! budgets to show the hit-rate / memory trade-off the cost-aware admission
+//! policy navigates.
+
+use mtc_replication::{Clock, FaultPlan};
+use mtc_sim::RttModel;
+use mtc_tpcw::datagen::Scale;
+use mtc_tpcw::interactions::run_interaction;
+use mtc_tpcw::mix::Workload;
+use mtc_tpcw::session::Session;
+use mtc_util::rng::{Rng, SeedableRng, StdRng};
+
+use crate::concurrency::{FAULTS, SESSIONS, WORK_RATE};
+use crate::deployment::Deployment;
+
+/// Modeled result-row width on the wire, bytes. `ExecMetrics` counts rows
+/// shipped from the backend; the payload term of the [`RttModel`] charge
+/// needs bytes. TPC-W rows here are a handful of ints/floats plus short
+/// strings — ~128 bytes is the right order of magnitude, and the constant
+/// cancels out of every baseline-vs-cached comparison.
+pub const REMOTE_ROW_BYTES: u64 = 128;
+
+/// One phase (baseline or cached) of one workload's stream.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Interactions that completed.
+    pub interactions: usize,
+    /// Interactions that returned an error (counted, not retried).
+    pub errors: usize,
+    /// Logical remote statements the plans consumed.
+    pub remote_calls: u64,
+    /// Wire round trips actually paid to the backend.
+    pub remote_rtts: u64,
+    /// Rows shipped back from the backend.
+    pub remote_rows: u64,
+    /// Remote statements that rode along on another statement's round trip.
+    pub coalesced_calls: u64,
+    /// Total CPU work, work units (local + backend).
+    pub total_work: f64,
+    /// Modeled per-interaction latency percentiles, milliseconds
+    /// (CPU service + wire charge).
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+}
+
+/// Baseline-vs-cached comparison for one workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadPoint {
+    pub workload: &'static str,
+    pub baseline: PhaseStats,
+    pub cached: PhaseStats,
+    /// Result-cache hit rate over the whole cached stream.
+    pub hit_rate: f64,
+    /// Hit rate over the second half of the stream (working set resident).
+    pub warm_hit_rate: f64,
+    /// `1 - rtts(cached)/rtts(baseline)`.
+    pub rtt_reduction: f64,
+    /// Result-cache counters at the end of the cached stream.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_entries: u64,
+    pub cache_bytes: u64,
+    pub cache_invalidations: u64,
+    pub cache_currency_rejects: u64,
+    pub cache_evictions: u64,
+    /// Post-drain equivalence probes: queries run cache-on vs cache-off.
+    pub equivalence_checked: usize,
+    pub equivalence_failures: usize,
+}
+
+/// One point of the Browsing budget sweep.
+#[derive(Debug, Clone)]
+pub struct BudgetPoint {
+    pub budget_bytes: usize,
+    pub hit_rate: f64,
+    pub rtt_reduction: f64,
+    pub remote_rtts: u64,
+    pub entries: u64,
+    pub bytes: u64,
+    pub evictions: u64,
+    pub admission_rejects: u64,
+}
+
+/// Everything `exp_resultcache` reports.
+#[derive(Debug, Clone)]
+pub struct ResultCacheResults {
+    pub interactions: usize,
+    pub seed: u64,
+    pub rtt: RttModel,
+    pub workloads: Vec<WorkloadPoint>,
+    pub budget_sweep: Vec<BudgetPoint>,
+}
+
+impl ResultCacheResults {
+    /// The point measured for `workload` ("Browsing" / "Shopping").
+    pub fn workload(&self, name: &str) -> Option<&WorkloadPoint> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+
+    /// Renders the results as a JSON object (hand-rolled: the build is
+    /// hermetic, there is no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"experiment\": \"resultcache\",\n");
+        s.push_str(&format!(
+            "  \"interactions_per_phase\": {},\n",
+            self.interactions
+        ));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"fault_plan\": {{ \"drop_p\": {:.2}, \"duplicate_p\": {:.2}, \"crash_every\": {} }},\n",
+            FAULTS.drop_p, FAULTS.duplicate_p, FAULTS.crash_every
+        ));
+        s.push_str(&format!(
+            "  \"rtt_model\": {{ \"rtt_ms\": {:.3}, \"per_kib_ms\": {:.3}, \"row_bytes\": {} }},\n",
+            self.rtt.rtt_ms, self.rtt.per_kib_ms, REMOTE_ROW_BYTES
+        ));
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"hit_rate\": {:.4}, \"warm_hit_rate\": {:.4}, \
+\"rtt_reduction\": {:.4},\n",
+                w.workload, w.hit_rate, w.warm_hit_rate, w.rtt_reduction
+            ));
+            for (label, p) in [("baseline", &w.baseline), ("cached", &w.cached)] {
+                s.push_str(&format!(
+                    "      \"{}\": {{ \"interactions\": {}, \"errors\": {}, \"remote_calls\": {}, \
+\"remote_rtts\": {}, \"remote_rows\": {}, \"coalesced_calls\": {}, \
+\"total_work_units\": {:.0}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3} }},\n",
+                    label,
+                    p.interactions,
+                    p.errors,
+                    p.remote_calls,
+                    p.remote_rtts,
+                    p.remote_rows,
+                    p.coalesced_calls,
+                    p.total_work,
+                    p.p50_ms,
+                    p.p95_ms,
+                ));
+            }
+            s.push_str(&format!(
+                "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"bytes\": {}, \
+\"invalidations\": {}, \"currency_rejects\": {}, \"evictions\": {} }},\n",
+                w.cache_hits,
+                w.cache_misses,
+                w.cache_entries,
+                w.cache_bytes,
+                w.cache_invalidations,
+                w.cache_currency_rejects,
+                w.cache_evictions,
+            ));
+            s.push_str(&format!(
+                "      \"equivalence\": {{ \"checked\": {}, \"failures\": {} }} }}{}\n",
+                w.equivalence_checked,
+                w.equivalence_failures,
+                if i + 1 == self.workloads.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n  \"budget_sweep\": [\n");
+        for (i, b) in self.budget_sweep.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"budget_bytes\": {}, \"hit_rate\": {:.4}, \"rtt_reduction\": {:.4}, \
+\"remote_rtts\": {}, \"entries\": {}, \"bytes\": {}, \"evictions\": {}, \
+\"admission_rejects\": {} }}{}\n",
+                b.budget_bytes,
+                b.hit_rate,
+                b.rtt_reduction,
+                b.remote_rtts,
+                b.entries,
+                b.bytes,
+                b.evictions,
+                b.admission_rejects,
+                if i + 1 == self.budget_sweep.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one seeded stream of `n` interactions against `deployment`'s cache
+/// server: [`SESSIONS`] closed-loop sessions round-robin, replication
+/// pumped (with whatever fault plan is installed) every 8 interactions.
+/// Returns the phase stats; the stream is a pure function of `(workload,
+/// n, seed)` plus the rows the server returns, so an equivalent server
+/// yields an identical stream.
+fn run_stream(
+    deployment: &Deployment,
+    workload: Workload,
+    n: usize,
+    seed: u64,
+    rtt: &RttModel,
+) -> PhaseStats {
+    run_stream_partial(deployment, workload, n, seed, rtt, usize::MAX).0
+}
+
+/// Pumps the hub until every subscription has drained (faulted deliveries
+/// retry until applied).
+fn drain(deployment: &Deployment) {
+    for _ in 0..100_000 {
+        deployment.clock.advance(50);
+        let mut h = deployment.hub.lock();
+        let _ = h.pump(deployment.clock.now_ms());
+        if h.drained() {
+            break;
+        }
+    }
+}
+
+/// Read-only probe statements spanning remote-only tables (customer,
+/// address, country, cc_xacts — not covered by any cached view, so they
+/// exercise the result cache) and locally answerable ones (item, orders).
+fn equivalence_probes(scale: &Scale) -> Vec<String> {
+    let mut probes = Vec::new();
+    for k in 1..=8i64 {
+        let c = (k * 7) % scale.customers() as i64 + 1;
+        probes.push(format!(
+            "SELECT c_id, c_uname, c_fname, c_lname, c_balance FROM customer WHERE c_id = {c}"
+        ));
+        let a = (k * 5) % scale.addresses() as i64 + 1;
+        probes.push(format!(
+            "SELECT addr_id, addr_street1, addr_city, addr_co_id FROM address WHERE addr_id = {a}"
+        ));
+        let co = (k * 3) % scale.countries() as i64 + 1;
+        probes.push(format!(
+            "SELECT co_id, co_name, co_exchange FROM country WHERE co_id = {co}"
+        ));
+        let o = (k * 11) % scale.orders() as i64 + 1;
+        probes.push(format!(
+            "SELECT cx_o_id, cx_type, cx_xact_amt FROM cc_xacts WHERE cx_o_id = {o}"
+        ));
+        let i = (k * 13) % scale.items as i64 + 1;
+        probes.push(format!(
+            "SELECT i_id, i_title, i_srp, i_stock FROM item WHERE i_id = {i}"
+        ));
+        probes.push(format!(
+            "SELECT o_id, o_c_id, o_total, o_status FROM orders WHERE o_id = {o}"
+        ));
+    }
+    probes
+}
+
+/// After the replication queue drains, every probe is answered twice —
+/// cache enabled (warming it first, so the second read is a genuine cache
+/// serve when the statement is remote) and cache disabled — and the row
+/// sets must match bit-for-bit. Returns `(checked, failures)`.
+fn check_equivalence(deployment: &Deployment) -> (usize, usize) {
+    let cache = deployment.cache.clone().expect("cached deployment");
+    let conn = deployment.connection();
+    let probes = equivalence_probes(&deployment.scale);
+    let mut failures = 0usize;
+    for sql in &probes {
+        cache.result_cache.set_enabled(true);
+        let _warm = conn.query(sql);
+        let served = conn.query(sql);
+        cache.result_cache.set_enabled(false);
+        let fresh = conn.query(sql);
+        cache.result_cache.set_enabled(true);
+        let ok = match (&served, &fresh) {
+            (Ok(a), Ok(b)) => a.rows == b.rows && a.schema == b.schema,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !ok {
+            failures += 1;
+        }
+    }
+    (probes.len(), failures)
+}
+
+/// Builds a cached deployment under the standard fault plan. `budget`
+/// selects an explicit result-cache byte budget (the sweep); `None` keeps
+/// the default configuration.
+fn build(seed: u64, budget: Option<usize>) -> Deployment {
+    let deployment = match budget {
+        Some(b) => Deployment::new_with_result_cache_budget(Scale::tiny(), b),
+        None => Deployment::new(Scale::tiny(), true),
+    };
+    deployment
+        .hub
+        .lock()
+        .set_fault_plan(FaultPlan::new(seed, FAULTS));
+    deployment
+}
+
+/// Runs baseline (cache off) and cached phases of one workload and the
+/// post-drain equivalence suite.
+fn run_workload(workload: Workload, n: usize, seed: u64, rtt: &RttModel) -> WorkloadPoint {
+    // Baseline: identical deployment, result cache disabled.
+    let base_dep = build(seed, None);
+    let base_cache = base_dep.cache.clone().expect("cached deployment");
+    base_cache.result_cache.set_enabled(false);
+    let baseline = run_stream(&base_dep, workload, n, seed, rtt);
+
+    // Cached: same seeds, same fault plan, cache on. A mid-stream snapshot
+    // separates cold-start misses from the warm regime.
+    let dep = build(seed, None);
+    let cache = dep.cache.clone().expect("cached deployment");
+    let (cached, mid_stats) = run_stream_partial(&dep, workload, n, seed, rtt, n / 2);
+    let end_stats = cache.result_cache.stats();
+    let lookups = |h: u64, m: u64| (h + m).max(1) as f64;
+    let hit_rate = end_stats.hits as f64 / lookups(end_stats.hits, end_stats.misses);
+    let warm_hits = end_stats.hits - mid_stats.hits;
+    let warm_misses = end_stats.misses - mid_stats.misses;
+    let warm_hit_rate = warm_hits as f64 / lookups(warm_hits, warm_misses);
+
+    drain(&dep);
+    let (equivalence_checked, equivalence_failures) = check_equivalence(&dep);
+
+    let rtt_reduction = if baseline.remote_rtts > 0 {
+        1.0 - cached.remote_rtts as f64 / baseline.remote_rtts as f64
+    } else {
+        0.0
+    };
+    WorkloadPoint {
+        workload: workload.name(),
+        baseline,
+        cached,
+        hit_rate,
+        warm_hit_rate,
+        rtt_reduction,
+        cache_hits: end_stats.hits,
+        cache_misses: end_stats.misses,
+        cache_entries: end_stats.entries,
+        cache_bytes: end_stats.bytes,
+        cache_invalidations: end_stats.invalidations,
+        cache_currency_rejects: end_stats.currency_rejects,
+        cache_evictions: end_stats.evictions,
+        equivalence_checked,
+        equivalence_failures,
+    }
+}
+
+/// [`run_stream`] with a result-cache stats snapshot taken after
+/// `snapshot_at` interactions (the warm-rate split). Returns the full
+/// stream's phase stats plus the mid-stream cache counters.
+fn run_stream_partial(
+    deployment: &Deployment,
+    workload: Workload,
+    n: usize,
+    seed: u64,
+    rtt: &RttModel,
+    snapshot_at: usize,
+) -> (PhaseStats, mtcache::ResultCacheStats) {
+    let conn = deployment.connection();
+    let scale = deployment.scale;
+    let cache = deployment.cache.clone().expect("cached deployment");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mix = workload.mix();
+    let mut sessions: Vec<Session> = (0..SESSIONS)
+        .map(|_| {
+            Session::new(
+                rng.gen_range(1..=scale.customers() as i64 / 2).max(1),
+                deployment.ids.clone(),
+            )
+        })
+        .collect();
+
+    let mut stats = PhaseStats::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut mid = mtcache::ResultCacheStats::default();
+    for i in 0..n {
+        if i == snapshot_at {
+            mid = cache.result_cache.stats();
+        }
+        let interaction = mix.sample(&mut rng);
+        let session = &mut sessions[i % SESSIONS];
+        match run_interaction(interaction, &conn, session, &scale, &mut rng) {
+            Ok(out) => {
+                let m = &out.metrics;
+                stats.interactions += 1;
+                stats.remote_calls += m.remote_calls;
+                stats.remote_rtts += m.remote_rtts;
+                stats.remote_rows += m.remote_rows;
+                stats.coalesced_calls += m.coalesced_calls;
+                let work = m.local_work + m.remote_work;
+                stats.total_work += work;
+                let wire =
+                    rtt.latency_ms(m.remote_rtts, m.remote_rows * REMOTE_ROW_BYTES);
+                latencies.push(work / WORK_RATE * 1e3 + wire);
+            }
+            Err(_) => stats.errors += 1,
+        }
+        if i % 8 == 7 {
+            deployment.pump_replication(5);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    stats.p50_ms = percentile(&latencies, 50.0);
+    stats.p95_ms = percentile(&latencies, 95.0);
+    (stats, mid)
+}
+
+/// Byte budgets the Browsing sweep visits, smallest to largest.
+pub const BUDGET_SWEEP: [usize; 5] = [
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+];
+
+/// Runs the full experiment: Browsing and Shopping baseline-vs-cached
+/// comparisons plus the Browsing budget sweep.
+pub fn run_resultcache(n: usize, seed: u64) -> ResultCacheResults {
+    let rtt = RttModel::default();
+    let workloads: Vec<WorkloadPoint> = [Workload::Browsing, Workload::Shopping]
+        .into_iter()
+        .map(|w| run_workload(w, n, seed, &rtt))
+        .collect();
+
+    let baseline_rtts = workloads
+        .iter()
+        .find(|w| w.workload == "Browsing")
+        .map(|w| w.baseline.remote_rtts)
+        .unwrap_or(0);
+    let budget_sweep: Vec<BudgetPoint> = BUDGET_SWEEP
+        .iter()
+        .map(|&budget| {
+            let dep = build(seed, Some(budget));
+            let phase = run_stream(&dep, Workload::Browsing, n, seed, &rtt);
+            let cache = dep.cache.clone().expect("cached deployment");
+            let s = cache.result_cache.stats();
+            let hit_rate = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+            let rtt_reduction = if baseline_rtts > 0 {
+                1.0 - phase.remote_rtts as f64 / baseline_rtts as f64
+            } else {
+                0.0
+            };
+            BudgetPoint {
+                budget_bytes: budget,
+                hit_rate,
+                rtt_reduction,
+                remote_rtts: phase.remote_rtts,
+                entries: s.entries,
+                bytes: s.bytes,
+                evictions: s.evictions,
+                admission_rejects: s.admission_rejects,
+            }
+        })
+        .collect();
+
+    ResultCacheResults {
+        interactions: n,
+        seed,
+        rtt: RttModel::default(),
+        workloads,
+        budget_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resultcache_experiment_smoke() {
+        let r = run_resultcache(240, 7);
+        assert_eq!(r.workloads.len(), 2);
+        let b = r.workload("Browsing").expect("browsing point");
+        assert_eq!(b.baseline.errors, 0, "baseline stream must run clean");
+        assert_eq!(b.cached.errors, 0, "cached stream must run clean");
+        assert_eq!(
+            b.baseline.interactions, b.cached.interactions,
+            "identical seeded streams"
+        );
+        assert_eq!(
+            b.baseline.remote_calls, b.cached.remote_calls,
+            "the cache changes where answers come from, not how many remote \
+             statements the plans consume"
+        );
+        assert!(
+            b.cached.remote_rtts < b.baseline.remote_rtts,
+            "the cache must eliminate round trips: {} vs {}",
+            b.cached.remote_rtts,
+            b.baseline.remote_rtts
+        );
+        assert!(b.rtt_reduction > 0.0);
+        assert_eq!(b.equivalence_failures, 0, "cache-on == cache-off rows");
+        assert!(b.cached.p50_ms <= b.baseline.p50_ms + 1e-9);
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"resultcache\""));
+        assert!(json.contains("\"rtt_reduction\""));
+        assert!(json.contains("\"budget_sweep\""));
+    }
+
+    #[test]
+    fn budget_sweep_is_monotone_enough() {
+        // A bigger budget never hurts the hit rate by more than noise.
+        let r = run_resultcache(160, 13);
+        assert_eq!(r.budget_sweep.len(), BUDGET_SWEEP.len());
+        let first = r.budget_sweep.first().unwrap();
+        let last = r.budget_sweep.last().unwrap();
+        assert!(
+            last.hit_rate + 1e-9 >= first.hit_rate,
+            "largest budget should match or beat smallest: {:.3} vs {:.3}",
+            last.hit_rate,
+            first.hit_rate
+        );
+    }
+}

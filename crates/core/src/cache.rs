@@ -13,6 +13,7 @@ use mtc_types::{Column, Error, Result, Schema};
 
 use crate::backend::{check_select_permissions, BackendServer};
 use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
+use crate::result_cache::{RemoteGateway, ResultCache};
 use crate::stats::SharedServerStats;
 
 /// An MTCache server: shadow database + cached views + transparent routing.
@@ -37,6 +38,13 @@ pub struct CacheServer {
     /// invalidated by the shadow catalog's version (see
     /// [`crate::plan_cache`]). Statements with currency bounds bypass it.
     pub plan_cache: PlanCache,
+    /// Currency-aware remote **result** cache (see
+    /// [`crate::result_cache`]): materialized answers of shipped remote
+    /// subqueries, keyed by SQL text + bound parameter values, invalidated
+    /// through the replication stream and by locally forwarded DML.
+    /// Shared (`Arc`) because the replication hub holds it as an
+    /// [`mtc_replication::InvalidationSink`].
+    pub result_cache: Arc<ResultCache>,
 }
 
 impl CacheServer {
@@ -48,10 +56,28 @@ impl CacheServer {
         backend: Arc<BackendServer>,
         hub: Arc<Mutex<ReplicationHub>>,
     ) -> Arc<CacheServer> {
+        Self::create_with_result_cache(name, backend, hub, ResultCache::default())
+    }
+
+    /// Like [`create`](CacheServer::create), but with an explicitly
+    /// configured result cache (budget sweeps, tests).
+    pub fn create_with_result_cache(
+        name: &str,
+        backend: Arc<BackendServer>,
+        hub: Arc<Mutex<ReplicationHub>>,
+        result_cache: ResultCache,
+    ) -> Arc<CacheServer> {
+        let result_cache = Arc::new(result_cache);
         let shadow = backend.db.read().shadow_clone();
+        let db = Arc::new(SnapshotDb::new(shadow));
+        // The replication stream doubles as the invalidation stream: every
+        // replicated transaction that reaches this server's database also
+        // flushes dependent cached results (see `crate::result_cache`).
+        hub.lock()
+            .register_invalidation_sink(&db, result_cache.clone());
         Arc::new(CacheServer {
             name: name.to_string(),
-            db: Arc::new(SnapshotDb::new(shadow)),
+            db,
             clock: backend.clock.clone(),
             backend,
             hub,
@@ -59,6 +85,7 @@ impl CacheServer {
             options: OptimizerOptions::default(),
             stats: SharedServerStats::default(),
             plan_cache: PlanCache::default(),
+            result_cache,
         })
     }
 
@@ -231,6 +258,12 @@ impl CacheServer {
                     .catalog
                     .check_permission(principal, table, perm)?;
                 let result = self.backend.execute_statement(stmt, params, principal)?;
+                // Our own forwarded write is visible on the backend *now*;
+                // don't wait for the replication stream to tell us about it.
+                // Entries over `table` must be at least as new as the head
+                // AFTER this write to be served again.
+                self.result_cache
+                    .note_write(table, self.backend.commit_lsn().0);
                 self.stats.dml.inc();
                 self.stats.remote_calls.inc();
                 self.stats.remote_work.add(result.metrics.local_work);
@@ -247,6 +280,20 @@ impl CacheServer {
                     None => {
                         let result =
                             self.backend.execute_proc(proc, args, params, principal)?;
+                        // A forwarded procedure may have written on the
+                        // backend: invalidate cached results over every
+                        // table its body's DML touches.
+                        if let Some(def) = self.backend.db.read().catalog.procedure(proc) {
+                            let head = self.backend.commit_lsn().0;
+                            for stmt in &def.body {
+                                if let Statement::Insert { table, .. }
+                                | Statement::Update { table, .. }
+                                | Statement::Delete { table, .. } = stmt
+                                {
+                                    self.result_cache.note_write(table, head);
+                                }
+                            }
+                        }
                         self.stats.procs.inc();
                         self.stats.remote_calls.inc();
                         self.stats.remote_work.add(result.metrics.local_work);
@@ -296,15 +343,24 @@ impl CacheServer {
         let key = sel.to_string();
         let sig = param_signature(params);
         let version = db.catalog.version();
+        // The statement's currency bound travels with the remote gateway:
+        // a cached remote result is only served if its age satisfies it.
+        let bound_ms = sel.freshness_seconds.map(|s| s as i64 * 1000);
+        let gateway = RemoteGateway::new(
+            &self.result_cache,
+            &self.backend,
+            version,
+            bound_ms,
+            self.clock.now_ms(),
+        );
 
         // Permission checks run on every execution, cached plan or not.
         let perm = check_select_permissions(&db, sel, principal);
         if cacheable && perm.is_ok() {
             if let Some(hit) = self.plan_cache.lookup(&key, &sig, version) {
-                let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
                 let ctx = ExecContext {
                     db: &db,
-                    remote: Some(backend),
+                    remote: Some(&gateway),
                     params,
                     work: &options.cost,
                     parallel: self.parallel_ctx(&db),
@@ -351,10 +407,9 @@ impl CacheServer {
             self.stats.freshness_fallbacks.inc();
             let _ = decision; // the routing reason is observable via explain()
         }
-        let backend: &dyn mtc_engine::RemoteExecutor = &*self.backend;
         let ctx = ExecContext {
             db: &db,
-            remote: Some(backend),
+            remote: Some(&gateway),
             params,
             work: &options.cost,
             parallel: self.parallel_ctx(&db),
@@ -471,18 +526,39 @@ impl CacheServer {
                 }
             }
         }
-        let cached = self
-            .plan_cache
-            .contains_sql(&sel.to_string(), db.catalog.version());
+        let version = db.catalog.version();
+        let cached = self.plan_cache.contains_sql(&sel.to_string(), version);
         let cs = self.plan_cache.stats();
+        // Result-cache visibility, mirroring the plan-cache line: per
+        // remote subexpression, would the shipped SQL (probed with no bound
+        // parameters, as EXPLAIN has none) be answered from the result
+        // cache right now — and under this statement's currency bound?
+        let bound_ms = sel.freshness_seconds.map(|s| s as i64 * 1000);
+        let now = self.clock.now_ms();
+        for sql in remote_sqls(&opt.physical) {
+            let served = self
+                .result_cache
+                .would_hit(&sql, "", version, bound_ms, now);
+            routing.push_str(&format!(
+                "routing: {}: {sql}\n",
+                if served { "remote(cached)" } else { "remote(fetched)" }
+            ));
+        }
+        let rs = self.result_cache.stats();
         Ok(format!(
-            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\n{routing}{}",
+            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\nresult cache: {} entries, {} bytes (hits {}, misses {}, currency rejects {}, invalidations {})\n{routing}{}",
             opt.est_cost,
             opt.est_rows,
             if cached { "cached" } else { "cold" },
             cs.hits,
             cs.misses,
             cs.invalidations,
+            rs.entries,
+            rs.bytes,
+            rs.hits,
+            rs.misses,
+            rs.currency_rejects,
+            rs.invalidations,
             opt.physical.explain()
         ))
     }
@@ -575,6 +651,21 @@ pub struct CurrencyDecision {
     /// Backend-commit-LSN vs. applied-LSN backlog behind the violation, in
     /// transactions.
     pub lag_txns: u64,
+}
+
+/// The shipped SQL of every Remote node in a physical plan, in plan order.
+fn remote_sqls(plan: &mtc_engine::PhysicalPlan) -> Vec<String> {
+    fn walk(p: &mtc_engine::PhysicalPlan, out: &mut Vec<String>) {
+        if let mtc_engine::PhysicalPlan::Remote { sql, .. } = p {
+            out.push(sql.clone());
+        }
+        for c in p.children() {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 /// Local data objects a physical plan reads (cached views and their

@@ -59,6 +59,7 @@ pub mod connection;
 pub mod dml;
 pub mod plan_cache;
 pub mod procs;
+pub mod result_cache;
 pub mod scripting;
 pub mod stats;
 
@@ -66,6 +67,9 @@ pub use backend::BackendServer;
 pub use cache::{CacheServer, CurrencyDecision};
 pub use connection::{Connection, ServerHandle};
 pub use plan_cache::{param_signature, CachedPlan, CacheStats, PlanCache};
+pub use result_cache::{
+    param_values_signature, RemoteGateway, ResultCache, ResultCacheConfig, ResultCacheStats,
+};
 pub use scripting::script_shadow_database;
 pub use stats::ServerStats;
 

@@ -26,8 +26,20 @@ pub struct ServerStats {
     /// Work units spent on the backend on behalf of this server (only
     /// nonzero on cache servers).
     pub remote_work: f64,
-    /// Remote round trips issued by this server.
+    /// Remote statements this server consumed (shipped subqueries,
+    /// forwarded DML/procedures) — counted whether the answer came over the
+    /// wire or out of the result cache.
     pub remote_calls: u64,
+    /// Network round trips actually *paid* to the backend — below
+    /// `remote_calls` when the result cache answers from memory and when
+    /// round-trip coalescing batches several remote subexpressions into one
+    /// wire exchange.
+    pub remote_rtts: u64,
+    /// Rows shipped back from the backend.
+    pub remote_rows: u64,
+    /// Remote statements that rode along on another statement's round trip
+    /// (batched siblings, single-flight followers) instead of paying one.
+    pub coalesced_calls: u64,
     /// Queries whose local plan was rejected because a cached view violated
     /// the statement's currency bound (graceful degradation to the backend).
     pub freshness_fallbacks: u64,
@@ -44,6 +56,9 @@ pub struct SharedServerStats {
     pub local_work: FloatCounter,
     pub remote_work: FloatCounter,
     pub remote_calls: Counter,
+    pub remote_rtts: Counter,
+    pub remote_rows: Counter,
+    pub coalesced_calls: Counter,
     pub freshness_fallbacks: Counter,
 }
 
@@ -55,6 +70,9 @@ impl SharedServerStats {
         self.local_work.add(m.local_work);
         self.remote_work.add(m.remote_work);
         self.remote_calls.add(m.remote_calls);
+        self.remote_rtts.add(m.remote_rtts);
+        self.remote_rows.add(m.remote_rows);
+        self.coalesced_calls.add(m.coalesced_calls);
     }
 
     /// Folds a DML execution in.
@@ -73,6 +91,9 @@ impl SharedServerStats {
             local_work: self.local_work.get(),
             remote_work: self.remote_work.get(),
             remote_calls: self.remote_calls.get(),
+            remote_rtts: self.remote_rtts.get(),
+            remote_rows: self.remote_rows.get(),
+            coalesced_calls: self.coalesced_calls.get(),
             freshness_fallbacks: self.freshness_fallbacks.get(),
         }
     }
@@ -87,6 +108,9 @@ impl SharedServerStats {
             local_work: self.local_work.take(),
             remote_work: self.remote_work.take(),
             remote_calls: self.remote_calls.take(),
+            remote_rtts: self.remote_rtts.take(),
+            remote_rows: self.remote_rows.take(),
+            coalesced_calls: self.coalesced_calls.take(),
             freshness_fallbacks: self.freshness_fallbacks.take(),
         }
     }
@@ -102,7 +126,10 @@ mod tests {
         let m = ExecMetrics {
             local_work: 10.0,
             remote_work: 5.0,
-            remote_calls: 1,
+            remote_calls: 2,
+            remote_rtts: 1,
+            remote_rows: 7,
+            coalesced_calls: 1,
             ..Default::default()
         };
         s.record_query(&m, 3);
@@ -112,6 +139,10 @@ mod tests {
         assert_eq!(snap.dml, 1);
         assert_eq!(snap.rows_returned, 3);
         assert_eq!(snap.local_work, 12.0);
+        assert_eq!(snap.remote_calls, 2);
+        assert_eq!(snap.remote_rtts, 1, "one paid round trip");
+        assert_eq!(snap.remote_rows, 7);
+        assert_eq!(snap.coalesced_calls, 1);
         let taken = s.take();
         assert_eq!(taken.queries, 1);
         assert_eq!(s.snapshot(), ServerStats::default());

@@ -45,7 +45,10 @@ pub struct ExecMetrics {
     pub remote_rows: u64,
     /// Estimated bytes received through DataTransfer boundaries.
     pub bytes_transferred: u64,
-    /// Number of remote round trips (shipped SQL statements).
+    /// Remote statements the plan consumed (shipped SQL subexpressions) —
+    /// counted whether the rows came from a backend round trip, a mid-tier
+    /// result-cache hit, or a shared in-flight fetch. The *paid* wire
+    /// exchanges are `remote_rtts`.
     pub remote_calls: u64,
     /// Work units spent on this server.
     pub local_work: f64,
@@ -63,6 +66,15 @@ pub struct ExecMetrics {
     /// query's critical path shrinks by `parallel_work * (1 - 1/dop)`.
     /// Always `<= local_work`; zero for serial execution.
     pub parallel_work: f64,
+    /// Network round trips actually paid to the backend. Differs from
+    /// `remote_calls` when statements are pipelined into one round trip
+    /// (batching) or served without any backend contact (result-cache hits,
+    /// single-flight sharing): `remote_rtts <= remote_calls`.
+    pub remote_rtts: u64,
+    /// Remote statements that rode along on someone else's round trip —
+    /// batched siblings and single-flight followers. Each coalesced call is
+    /// a round trip the network never saw.
+    pub coalesced_calls: u64,
 }
 
 impl ExecMetrics {
@@ -77,6 +89,8 @@ impl ExecMetrics {
         self.rows_cloned += other.rows_cloned;
         self.batches += other.batches;
         self.parallel_work += other.parallel_work;
+        self.remote_rtts += other.remote_rtts;
+        self.coalesced_calls += other.coalesced_calls;
     }
 
     /// Local work units on the query's critical path when its parallel
@@ -100,6 +114,41 @@ pub struct QueryResult {
     pub metrics: ExecMetrics,
 }
 
+/// One remote fetch with its round-trip accounting attached. Produced by
+/// [`RemoteExecutor::execute_remote_outcome`] so the executor can charge
+/// `remote_calls` / `remote_rtts` / `coalesced_calls` from where the rows
+/// actually came from instead of assuming every fetch paid a round trip.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    pub result: QueryResult,
+    /// Remote statements consumed by this fetch — 1 however the rows were
+    /// satisfied (backend execution, result-cache hit, shared in-flight
+    /// fetch). `rtts` says what the network actually saw.
+    pub calls: u64,
+    /// Network round trips actually paid (0 on a cache hit or when riding
+    /// along on another statement's pipelined round trip).
+    pub rtts: u64,
+    /// Fetches folded into someone else's round trip: batched siblings and
+    /// single-flight followers.
+    pub coalesced: u64,
+    /// True when the rows came out of a mid-tier result cache.
+    pub cached: bool,
+}
+
+impl RemoteOutcome {
+    /// The plain outcome of an uncached, unpipelined fetch: one statement,
+    /// one round trip.
+    pub fn fetched(result: QueryResult) -> RemoteOutcome {
+        RemoteOutcome {
+            result,
+            calls: 1,
+            rtts: 1,
+            coalesced: 0,
+            cached: false,
+        }
+    }
+}
+
 /// Executes SQL shipped through a DataTransfer boundary. On a cache server
 /// this is implemented by a connection to the backend; the backend itself
 /// runs with `remote: None`.
@@ -107,6 +156,24 @@ pub trait RemoteExecutor {
     /// Parses, optimizes and executes `sql` (with `params` bound) on the
     /// remote server, returning rows plus the work the remote spent.
     fn execute_remote(&self, sql: &str, params: &Bindings) -> Result<QueryResult>;
+
+    /// Like [`execute_remote`](Self::execute_remote), but reports where the
+    /// rows came from so the caller can charge round trips honestly. The
+    /// default wraps `execute_remote`: every fetch is one statement and one
+    /// round trip. Caching/coalescing gateways override this.
+    fn execute_remote_outcome(&self, sql: &str, params: &Bindings) -> Result<RemoteOutcome> {
+        Ok(RemoteOutcome::fetched(self.execute_remote(sql, params)?))
+    }
+
+    /// Ships several statements toward the backend at once. Implementations
+    /// that can pipeline charge one round trip for the whole batch; the
+    /// default degrades to sequential fetches (one round trip each), so
+    /// plain executors keep their semantics without opting in.
+    fn execute_remote_batch(&self, sqls: &[&str], params: &Bindings) -> Result<Vec<RemoteOutcome>> {
+        sqls.iter()
+            .map(|sql| self.execute_remote_outcome(sql, params))
+            .collect()
+    }
 }
 
 /// Everything an execution needs.
@@ -630,7 +697,8 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             let remote = ctx.remote.ok_or_else(|| {
                 Error::execution("plan requires a backend connection but none is configured")
             })?;
-            let result = remote.execute_remote(sql, ctx.params)?;
+            let outcome = remote.execute_remote_outcome(sql, ctx.params)?;
+            let result = outcome.result;
             // Positional contract: the shipped SELECT list matches our
             // schema column-for-column.
             if let Some(bad) = result.rows.iter().find(|r| r.len() != schema.len()) {
@@ -640,7 +708,9 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
                     bad.len(),
                 )));
             }
-            m.remote_calls += 1;
+            m.remote_calls += outcome.calls;
+            m.remote_rtts += outcome.rtts;
+            m.coalesced_calls += outcome.coalesced;
             m.remote_rows += result.rows.len() as u64;
             m.bytes_transferred += result
                 .rows

@@ -35,7 +35,7 @@ pub use compile::{compile, CompiledExpr, CompiledPlan, CompiledQuery, EvalEnv, P
 pub use eval::{eval, eval_predicate, Bindings};
 pub use exec::{
     execute, execute_compiled, execute_materialized, ExecContext, ExecMetrics, LocalData,
-    QueryResult, RemoteExecutor,
+    QueryResult, RemoteExecutor, RemoteOutcome,
 };
 pub use logical::{AggCall, AggFunc, DataLocation, LogicalPlan};
 pub use parallel::{ParallelCtx, PARALLEL_THRESHOLD};

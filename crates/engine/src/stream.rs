@@ -59,6 +59,12 @@ pub(crate) struct StreamCtx<'e> {
     pub env: EvalEnv<'e>,
     /// Morsel-parallel context; `None` keeps every operator serial.
     pub parallel: Option<&'e ParallelCtx>,
+    /// Remote results prefetched in one pipelined round trip before the
+    /// root was pulled (see [`execute_compiled`]). Keyed by shipped SQL;
+    /// each [`RemoteStream`] consumes its entry instead of paying its own
+    /// round trip. `RefCell` is fine: streams run on the driving thread —
+    /// morsel parallelism happens *inside* local operators, never here.
+    pub prefetched: std::cell::RefCell<HashMap<&'e str, std::collections::VecDeque<QueryResult>>>,
 }
 
 /// A pull-based operator: yields `Some(batch)` until exhausted.
@@ -70,6 +76,13 @@ pub(crate) trait BatchStream<'e> {
 type BoxStream<'e> = Box<dyn BatchStream<'e> + 'e>;
 
 /// Executes a compiled query by streaming batches from the root.
+///
+/// Before the root is pulled, the plan is walked for [`CompiledPlan::Remote`]
+/// nodes that are certain to execute (closed UnionAll guards are skipped,
+/// nothing below a `Top` counts — early termination may never open it). When
+/// two or more are found they are shipped in **one pipelined round trip**
+/// via [`RemoteExecutor::execute_remote_batch`]; each `RemoteStream` then
+/// consumes its prefetched result instead of paying its own round trip.
 pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<QueryResult> {
     let resolved = query.slots.resolve(ctx.params);
     let env = EvalEnv {
@@ -83,8 +96,35 @@ pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<
         work: ctx.work,
         env,
         parallel: ctx.parallel.as_ref().filter(|p| p.dop > 1),
+        prefetched: std::cell::RefCell::new(HashMap::new()),
     };
     let mut metrics = ExecMetrics::default();
+    if let Some(remote) = cx.remote {
+        let mut sqls: Vec<&str> = Vec::new();
+        collect_certain_remotes(&query.root, cx.env, &mut sqls)?;
+        if sqls.len() >= 2 {
+            let outcomes = remote.execute_remote_batch(&sqls, cx.params)?;
+            let mut map = cx.prefetched.borrow_mut();
+            for (sql, outcome) in sqls.iter().zip(outcomes) {
+                // Remote-side charging happens here, where the round trip
+                // was paid; the consuming stream charges only the local
+                // transfer cost.
+                metrics.remote_calls += outcome.calls;
+                metrics.remote_rtts += outcome.rtts;
+                metrics.coalesced_calls += outcome.coalesced;
+                metrics.remote_rows += outcome.result.rows.len() as u64;
+                metrics.bytes_transferred += outcome
+                    .result
+                    .rows
+                    .iter()
+                    .map(Row::estimated_width)
+                    .sum::<u64>();
+                metrics.remote_work +=
+                    outcome.result.metrics.local_work + outcome.result.metrics.remote_work;
+                map.entry(sql).or_default().push_back(outcome.result);
+            }
+        }
+    }
     let mut root = build(&query.root, &cx, &mut metrics)?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut metrics)? {
@@ -95,6 +135,54 @@ pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<
         rows,
         metrics,
     })
+}
+
+/// Collects the shipped SQL of every [`CompiledPlan::Remote`] node that is
+/// *certain* to execute under the resolved parameter environment:
+///
+/// * UnionAll branches behind a closed startup guard are skipped — exactly
+///   the branches the executor never opens (§5.1), so prefetching them
+///   would execute backend work the serial path provably avoids.
+/// * Nothing below a `Top` is collected: `TOP n` may stop pulling before a
+///   later sibling branch opens, so remotes beneath it are only *probably*
+///   needed. They fall back to their own round trip on demand.
+fn collect_certain_remotes<'p>(
+    plan: &'p CompiledPlan,
+    env: EvalEnv<'_>,
+    out: &mut Vec<&'p str>,
+) -> Result<()> {
+    match plan {
+        CompiledPlan::Remote { sql, .. } => out.push(sql),
+        CompiledPlan::UnionAll { inputs, guards } => {
+            for (input, guard) in inputs.iter().zip(guards) {
+                let open = match guard {
+                    Some(g) => g.eval_predicate(&Row::new(vec![]), env)? == Some(true),
+                    None => true,
+                };
+                if open {
+                    collect_certain_remotes(input, env, out)?;
+                }
+            }
+        }
+        CompiledPlan::Top { .. } => {}
+        CompiledPlan::Filter { input, .. }
+        | CompiledPlan::Project { input, .. }
+        | CompiledPlan::HashAggregate { input, .. }
+        | CompiledPlan::Sort { input, .. }
+        | CompiledPlan::Distinct { input } => collect_certain_remotes(input, env, out)?,
+        CompiledPlan::NestedLoopJoin { left, right, .. }
+        | CompiledPlan::HashJoin { left, right, .. } => {
+            collect_certain_remotes(left, env, out)?;
+            collect_certain_remotes(right, env, out)?;
+        }
+        CompiledPlan::IndexNlJoin { outer, .. } => collect_certain_remotes(outer, env, out)?,
+        CompiledPlan::Nothing
+        | CompiledPlan::SeqScan { .. }
+        | CompiledPlan::ClusteredSeek { .. }
+        | CompiledPlan::IndexSeek { .. }
+        | CompiledPlan::ExtremeSeek { .. } => {}
+    }
+    Ok(())
 }
 
 /// Builds the operator tree for `plan`. Table/index resolution (and the
@@ -591,10 +679,36 @@ impl<'e> BatchStream<'e> for RemoteStream<'e> {
             return Ok(None);
         }
         self.done = true;
-        let remote = cx.remote.ok_or_else(|| {
-            Error::execution("plan requires a backend connection but none is configured")
-        })?;
-        let result = remote.execute_remote(self.sql, cx.params)?;
+        // A prefetched batch result already charged its remote-side metrics
+        // in `execute_compiled`; only the local receive cost is paid here.
+        let prefetched = cx
+            .prefetched
+            .borrow_mut()
+            .get_mut(self.sql)
+            .and_then(|q| q.pop_front());
+        let result = match prefetched {
+            Some(result) => result,
+            None => {
+                let remote = cx.remote.ok_or_else(|| {
+                    Error::execution("plan requires a backend connection but none is configured")
+                })?;
+                let outcome = remote.execute_remote_outcome(self.sql, cx.params)?;
+                m.remote_calls += outcome.calls;
+                m.remote_rtts += outcome.rtts;
+                m.coalesced_calls += outcome.coalesced;
+                m.remote_rows += outcome.result.rows.len() as u64;
+                m.bytes_transferred += outcome
+                    .result
+                    .rows
+                    .iter()
+                    .map(Row::estimated_width)
+                    .sum::<u64>();
+                // Work the backend spent executing the shipped statement.
+                m.remote_work +=
+                    outcome.result.metrics.local_work + outcome.result.metrics.remote_work;
+                outcome.result
+            }
+        };
         // Positional contract: the shipped SELECT list matches our schema
         // column-for-column.
         if let Some(bad) = result.rows.iter().find(|r| r.len() != self.arity) {
@@ -604,11 +718,6 @@ impl<'e> BatchStream<'e> for RemoteStream<'e> {
                 bad.len(),
             )));
         }
-        m.remote_calls += 1;
-        m.remote_rows += result.rows.len() as u64;
-        m.bytes_transferred += result.rows.iter().map(Row::estimated_width).sum::<u64>();
-        // Work the backend spent executing the shipped statement.
-        m.remote_work += result.metrics.local_work + result.metrics.remote_work;
         // Local cost of receiving the transfer.
         m.local_work += cx.work.transfer(result.rows.len() as f64, self.row_width) * 0.01;
         m.batches += 1;

@@ -50,6 +50,22 @@ impl Default for ReplicationCosts {
     }
 }
 
+/// Receives per-table invalidation notifications as replicated transactions
+/// reach a subscription's target.
+///
+/// The hub calls [`note_applied`](InvalidationSink::note_applied) whenever a
+/// subscription targeting the registered database advances past a committed
+/// transaction — whether the delivery applied rows, was filtered to nothing
+/// by the article (the write still happened on the publisher), or applied
+/// but then lost its progress record to an injected crash (the data *is* on
+/// the target, so dependent cached results are stale either way). `tables`
+/// are the *publisher-side* tables the transaction wrote; `lsn` is its
+/// commit LSN. Notifications may repeat (duplicate delivery, crash replay):
+/// implementations must be idempotent.
+pub trait InvalidationSink: Send + Sync {
+    fn note_applied(&self, tables: &[String], lsn: Lsn);
+}
+
 /// Identifies a subscription within a hub.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId(pub usize);
@@ -113,6 +129,9 @@ pub struct ReplicationHub {
     /// Seeded fault oracle consulted on every delivery attempt; `None`
     /// delivers everything perfectly (the pre-fault-injection behaviour).
     fault_plan: Option<FaultPlan>,
+    /// Result-cache (or other) invalidation listeners, matched to
+    /// subscriptions by target database identity (`Arc::ptr_eq`).
+    invalidation_sinks: Vec<(Arc<SnapshotDb>, Arc<dyn InvalidationSink>)>,
 }
 
 impl ReplicationHub {
@@ -131,7 +150,19 @@ impl ReplicationHub {
             metrics: Arc::new(SharedReplicationMetrics::default()),
             latency: LatencyStats::default(),
             fault_plan: None,
+            invalidation_sinks: Vec::new(),
         }
+    }
+
+    /// Registers an [`InvalidationSink`] to be notified whenever any
+    /// subscription targeting `target` advances past a committed publisher
+    /// transaction.
+    pub fn register_invalidation_sink(
+        &mut self,
+        target: &Arc<SnapshotDb>,
+        sink: Arc<dyn InvalidationSink>,
+    ) {
+        self.invalidation_sinks.push((target.clone(), sink));
     }
 
     pub fn publisher(&self) -> &Arc<RwLock<Database>> {
@@ -293,9 +324,12 @@ impl ReplicationHub {
                 )?;
                 if changes.is_empty() {
                     // Nothing for this article: advance past it fault-free
-                    // (there is no delivery to fault).
+                    // (there is no delivery to fault). The publisher write
+                    // still happened, so invalidation listeners hear about
+                    // it even though no rows land here.
                     sub.next_lsn = txn.lsn.next();
                     sub.synced_through_ms = txn.commit_ts_ms.max(sub.synced_through_ms);
+                    notify_sinks(&self.invalidation_sinks, &sub.target, txn);
                     continue;
                 }
                 if sub.attempts_at_next > 0 {
@@ -370,6 +404,11 @@ impl ReplicationHub {
                             );
                         }
                         sub.stamped = mark;
+                        // Data is on the target: invalidate *before* the
+                        // crash-injection branch below can abort the pass,
+                        // so even applied-but-progress-lost deliveries
+                        // flush dependent cached results.
+                        notify_sinks(&self.invalidation_sinks, &sub.target, txn);
                         self.metrics.txns_applied.inc();
                         if matches!(decision, FaultDecision::Duplicate) {
                             // Redundant second delivery of the same frame;
@@ -493,6 +532,28 @@ impl ReplicationHub {
     /// Pending (read-but-undistributed) transactions.
     pub fn distribution_depth(&self) -> usize {
         self.distribution.len()
+    }
+}
+
+/// Notifies every sink registered for `target` about the publisher-side
+/// tables `txn` wrote. Tables are deduplicated; sink implementations are
+/// idempotent, so repeat notification (duplicate delivery, crash replay,
+/// several subscriptions on the same target) is harmless.
+fn notify_sinks(
+    sinks: &[(Arc<SnapshotDb>, Arc<dyn InvalidationSink>)],
+    target: &Arc<SnapshotDb>,
+    txn: &CommittedTransaction,
+) {
+    if sinks.is_empty() {
+        return;
+    }
+    let mut tables: Vec<String> = txn.changes.iter().map(|c| c.table().to_string()).collect();
+    tables.sort();
+    tables.dedup();
+    for (t, sink) in sinks {
+        if Arc::ptr_eq(t, target) {
+            sink.note_applied(&tables, txn.lsn);
+        }
     }
 }
 

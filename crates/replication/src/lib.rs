@@ -29,7 +29,8 @@ pub use agent::{spawn_agent, spawn_agent_with, AgentHandle, AgentOptions, StopRe
 pub use article::Article;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use hub::{
-    apply_idempotent, resolve_idempotent, ReplicationHub, SubscriptionId, SubscriptionInfo,
+    apply_idempotent, resolve_idempotent, InvalidationSink, ReplicationHub, SubscriptionId,
+    SubscriptionInfo,
 };
 pub use metrics::{LatencyStats, ReplicationMetrics, SharedReplicationMetrics};
 pub use mtc_util::fault::{FaultCounts, FaultDecision, FaultKind, FaultPlan, FaultSpec, RetryPolicy};

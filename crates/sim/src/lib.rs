@@ -20,8 +20,10 @@
 
 pub mod capacity;
 pub mod mva;
+pub mod net;
 pub mod repl_latency;
 
 pub use capacity::{CapacityModel, CapacityReport, TierDemands};
 pub use mva::{ClosedNetwork, MvaResult};
+pub use net::RttModel;
 pub use repl_latency::{simulate_replication_latency, ReplLatencyConfig};

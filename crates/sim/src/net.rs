@@ -1,0 +1,58 @@
+//! Mid-tier ↔ backend network latency model.
+//!
+//! The capacity model charges CPU work; this module charges the *wire*. A
+//! query's modeled network cost is round trips × per-RTT latency plus
+//! payload ÷ bandwidth — the quantity the result cache and round-trip
+//! coalescing exist to shrink. Defaults approximate the paper's testbed
+//! (switched 100 Mbit Ethernet between the web/cache machines and the
+//! backend): ~0.8 ms per application-level round trip (TCP + ODBC framing
+//! on 500 MHz-era hosts), ~0.08 ms per KiB of result payload
+//! (100 Mbit/s ≈ 12.2 KiB/ms).
+
+/// Latency model for one cache-server → backend link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttModel {
+    /// Fixed cost per application round trip, milliseconds.
+    pub rtt_ms: f64,
+    /// Transfer cost per KiB of payload, milliseconds.
+    pub per_kib_ms: f64,
+}
+
+impl Default for RttModel {
+    fn default() -> RttModel {
+        RttModel {
+            rtt_ms: 0.8,
+            per_kib_ms: 0.08,
+        }
+    }
+}
+
+impl RttModel {
+    /// Modeled network latency of an execution that paid `rtts` round trips
+    /// and shipped `bytes` of results.
+    pub fn latency_ms(&self, rtts: u64, bytes: u64) -> f64 {
+        rtts as f64 * self.rtt_ms + (bytes as f64 / 1024.0) * self.per_kib_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_round_trips_cost_nothing() {
+        let m = RttModel::default();
+        assert_eq!(m.latency_ms(0, 0), 0.0);
+    }
+
+    #[test]
+    fn coalescing_saves_the_fixed_cost_not_the_payload() {
+        let m = RttModel::default();
+        // Two statements, two round trips vs the same payload pipelined
+        // into one: the payload term is identical, one rtt_ms is saved.
+        let separate = m.latency_ms(2, 8192);
+        let batched = m.latency_ms(1, 8192);
+        assert!((separate - batched - m.rtt_ms).abs() < 1e-12);
+        assert!(batched > m.latency_ms(1, 0), "payload still costs");
+    }
+}

@@ -35,6 +35,12 @@ impl Counter {
         self.add(1);
     }
 
+    /// Subtracts `n` (relaxed, wrapping). Used by gauges (e.g. resident
+    /// cache bytes) that go down as well as up.
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
     /// Raises the stored value to `v` if larger (relaxed `fetch_max`).
     pub fn raise_to(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
@@ -119,6 +125,9 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+        c.sub(2);
+        assert_eq!(c.get(), 3);
+        c.add(2);
         c.raise_to(3);
         assert_eq!(c.get(), 5, "raise_to never lowers");
         c.raise_to(9);

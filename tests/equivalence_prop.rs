@@ -363,6 +363,46 @@ fn parallel_matches_serial_across_shapes() {
 }
 
 #[test]
+fn result_cache_and_dop_are_invisible_across_shapes() {
+    // The mid-tier result cache and morsel parallelism are pure
+    // optimizations: for every query shape, the cache server must return
+    // bit-identical rows with the cache off, with it cold, and with it
+    // warm (served from memory), at dop 1 and dop 4 alike — all equal to
+    // the backend's own answer.
+    let backend = join_db();
+    let make_cache = |dop: usize| {
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        let mut cache = CacheServer::create("cache-eq", backend.clone(), hub);
+        Arc::get_mut(&mut cache).expect("freshly created server").options.dop = dop;
+        cache
+    };
+    check::run(
+        &Config::cases(16),
+        "result_cache_and_dop_are_invisible_across_shapes",
+        gen_shape,
+        |sql| {
+            let reference = Connection::connect(backend.clone()).query(sql).unwrap();
+            for dop in [1usize, 4] {
+                let cache = make_cache(dop);
+                let conn = Connection::connect(cache.clone());
+                cache.result_cache.set_enabled(false);
+                let off = conn.query(sql).unwrap();
+                assert_eq!(off.rows, reference.rows, "cache off, dop={dop}: {sql}");
+                cache.result_cache.set_enabled(true);
+                let cold = conn.query(sql).unwrap();
+                assert_eq!(cold.rows, reference.rows, "cache cold, dop={dop}: {sql}");
+                let warm = conn.query(sql).unwrap();
+                assert_eq!(warm.schema, cold.schema, "warm schema, dop={dop}: {sql}");
+                assert_eq!(
+                    warm.rows, reference.rows,
+                    "a warm result-cache serve changed the answer, dop={dop}: {sql}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
 fn parallel_matches_serial_on_choose_plan_branches() {
     // ChoosePlan branches must also be dop-invariant: the local branch scans
     // the cached view in morsels, the remote branch must still ship exactly
