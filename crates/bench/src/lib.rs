@@ -15,6 +15,7 @@
 pub mod concurrency;
 pub mod deployment;
 pub mod experiments;
+pub mod fleet;
 pub mod hotpath;
 pub mod measure;
 pub mod report;
@@ -23,6 +24,7 @@ pub mod resultcache;
 pub use concurrency::{run_concurrency, ConcurrencyResults, WorkerPoint};
 pub use deployment::Deployment;
 pub use experiments::{run_all, ExperimentResults};
+pub use fleet::{run_fleet, FleetDeployment, FleetResults, FleetWorkloadPoint};
 pub use hotpath::{run_hotpath, HotpathResults};
 pub use measure::{measure_demands, MeasuredDemands};
 pub use report::render_experiments;

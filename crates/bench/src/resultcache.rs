@@ -246,7 +246,8 @@ fn drain(deployment: &Deployment) {
 /// Read-only probe statements spanning remote-only tables (customer,
 /// address, country, cc_xacts — not covered by any cached view, so they
 /// exercise the result cache) and locally answerable ones (item, orders).
-fn equivalence_probes(scale: &Scale) -> Vec<String> {
+/// Shared with the fleet experiment, which runs them per node.
+pub(crate) fn equivalence_probes(scale: &Scale) -> Vec<String> {
     let mut probes = Vec::new();
     for k in 1..=8i64 {
         let c = (k * 7) % scale.customers() as i64 + 1;

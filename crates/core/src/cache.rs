@@ -45,6 +45,15 @@ pub struct CacheServer {
     /// Shared (`Arc`) because the replication hub holds it as an
     /// [`mtc_replication::InvalidationSink`].
     pub result_cache: Arc<ResultCache>,
+    /// Fleet wiring: the peer-shared L2 result-cache tier, probed on L1
+    /// misses and written through on backend fetches. `None` outside a
+    /// fleet (single-node behaviour unchanged).
+    l2: Mutex<Option<Arc<ResultCache>>>,
+    /// Fleet wiring: peer nodes' L1 result caches. A write forwarded
+    /// through THIS node invalidates them synchronously — before the DML
+    /// statement returns — so no peer can serve a pre-write result to a
+    /// reader that has already seen the write's LSN.
+    peer_caches: Mutex<Vec<Arc<ResultCache>>>,
 }
 
 impl CacheServer {
@@ -86,7 +95,39 @@ impl CacheServer {
             stats: SharedServerStats::default(),
             plan_cache: PlanCache::default(),
             result_cache,
+            l2: Mutex::new(None),
+            peer_caches: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Attaches (or clears) the fleet's shared L2 result-cache tier.
+    pub fn set_l2(&self, l2: Option<Arc<ResultCache>>) {
+        *self.l2.lock() = l2;
+    }
+
+    /// The attached L2 tier, if any.
+    pub fn l2(&self) -> Option<Arc<ResultCache>> {
+        self.l2.lock().clone()
+    }
+
+    /// Replaces the set of peer L1 caches this node synchronously
+    /// invalidates on forwarded writes (fleet membership changes reset it).
+    pub fn set_peer_caches(&self, peers: Vec<Arc<ResultCache>>) {
+        *self.peer_caches.lock() = peers;
+    }
+
+    /// Raises the invalidation watermark for `table` on this node's L1,
+    /// every registered peer L1, and the shared L2 — synchronously, so by
+    /// the time the forwarded write returns, no tier in the fleet can serve
+    /// a result missing it to a reader at `required` or beyond.
+    fn invalidate_write(&self, table: &str, required: u64) {
+        self.result_cache.note_write(table, required);
+        for peer in self.peer_caches.lock().iter() {
+            peer.note_write(table, required);
+        }
+        if let Some(l2) = self.l2.lock().as_ref() {
+            l2.note_write(table, required);
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -261,9 +302,9 @@ impl CacheServer {
                 // Our own forwarded write is visible on the backend *now*;
                 // don't wait for the replication stream to tell us about it.
                 // Entries over `table` must be at least as new as the head
-                // AFTER this write to be served again.
-                self.result_cache
-                    .note_write(table, self.backend.commit_lsn().0);
+                // AFTER this write to be served again — on this node, on
+                // every fleet peer, and in the shared L2.
+                self.invalidate_write(table, self.backend.commit_lsn().0);
                 self.stats.dml.inc();
                 self.stats.remote_calls.inc();
                 self.stats.remote_work.add(result.metrics.local_work);
@@ -290,7 +331,7 @@ impl CacheServer {
                                 | Statement::Update { table, .. }
                                 | Statement::Delete { table, .. } = stmt
                                 {
-                                    self.result_cache.note_write(table, head);
+                                    self.invalidate_write(table, head);
                                 }
                             }
                         }
@@ -346,13 +387,17 @@ impl CacheServer {
         // The statement's currency bound travels with the remote gateway:
         // a cached remote result is only served if its age satisfies it.
         let bound_ms = sel.freshness_seconds.map(|s| s as i64 * 1000);
-        let gateway = RemoteGateway::new(
+        let l2 = self.l2.lock().clone();
+        let mut gateway = RemoteGateway::new(
             &self.result_cache,
             &self.backend,
             version,
             bound_ms,
             self.clock.now_ms(),
         );
+        if let Some(l2) = l2.as_deref() {
+            gateway = gateway.with_l2(l2);
+        }
 
         // Permission checks run on every execution, cached plan or not.
         let perm = check_select_permissions(&db, sel, principal);

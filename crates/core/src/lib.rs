@@ -57,6 +57,7 @@ pub mod backend;
 pub mod cache;
 pub mod connection;
 pub mod dml;
+pub mod fleet;
 pub mod plan_cache;
 pub mod procs;
 pub mod result_cache;
@@ -66,9 +67,11 @@ pub mod stats;
 pub use backend::BackendServer;
 pub use cache::{CacheServer, CurrencyDecision};
 pub use connection::{Connection, ServerHandle};
+pub use fleet::{fnv1a64, Fleet, FleetConfig, Router};
 pub use plan_cache::{param_signature, CachedPlan, CacheStats, PlanCache};
 pub use result_cache::{
-    param_values_signature, RemoteGateway, ResultCache, ResultCacheConfig, ResultCacheStats,
+    param_values_signature, PromotableResult, RemoteGateway, ResultCache, ResultCacheConfig,
+    ResultCacheStats,
 };
 pub use scripting::script_shadow_database;
 pub use stats::ServerStats;

@@ -83,6 +83,9 @@ pub struct SubscriptionInfo {
     /// Delivery attempts spent on the transaction currently at `next_lsn`
     /// (0 when the head of the queue has not been attempted yet).
     pub attempts_at_next: u32,
+    /// True once the subscription has been detached (its node crashed or was
+    /// decommissioned); detached subscriptions receive no further deliveries.
+    pub detached: bool,
 }
 
 struct Subscription {
@@ -103,6 +106,11 @@ struct Subscription {
     /// The watermark last stamped onto the target's snapshots; used to skip
     /// a no-op publication when nothing advanced this pass.
     stamped: Watermark,
+    /// Tombstone: the subscription's node crashed or was decommissioned.
+    /// Detached subscriptions are skipped by distribution, ignored by the
+    /// truncation minimum and by [`ReplicationHub::drained`], but stay in
+    /// the vector so existing [`SubscriptionId`]s remain stable.
+    detached: bool,
 }
 
 /// One transaction queued in the distribution database.
@@ -265,8 +273,54 @@ impl ReplicationHub {
             delayed_until_ms: i64::MIN,
             attempts_at_next: 0,
             stamped: mark,
+            detached: false,
         });
         Ok(id)
+    }
+
+    /// Detaches every subscription (and invalidation sink) whose target is
+    /// `target` — the hub-side half of a node crash or decommission. The
+    /// subscriptions are tombstoned, not removed, so other nodes'
+    /// [`SubscriptionId`]s stay valid; a detached subscription receives no
+    /// further deliveries, no longer holds back distribution truncation,
+    /// and is ignored by [`drained`](ReplicationHub::drained). Returns the
+    /// number of subscriptions detached. A node that rejoins does so *cold*:
+    /// fresh target database, fresh `subscribe` calls, fresh snapshots.
+    pub fn detach_target(&mut self, target: &Arc<SnapshotDb>) -> usize {
+        let mut detached = 0;
+        for sub in &mut self.subscriptions {
+            if !sub.detached && Arc::ptr_eq(&sub.target, target) {
+                sub.detached = true;
+                detached += 1;
+            }
+        }
+        self.invalidation_sinks.retain(|(t, _)| !Arc::ptr_eq(t, target));
+        detached
+    }
+
+    /// The LSN *past* the last transaction applied to every live
+    /// subscription targeting `target` — i.e. the node's applied LSN: all
+    /// publisher transactions below it are fully reflected on that node.
+    /// `None` when the target has no live subscriptions.
+    pub fn applied_lsn_for_target(&self, target: &Arc<SnapshotDb>) -> Option<Lsn> {
+        self.subscriptions
+            .iter()
+            .filter(|s| !s.detached && Arc::ptr_eq(&s.target, target))
+            .map(|s| s.next_lsn)
+            .min()
+    }
+
+    /// Read-but-unapplied backlog for the slowest live subscription
+    /// targeting `target`, in transactions. `None` when the target has no
+    /// live subscriptions.
+    pub fn lag_txns_for_target(&self, target: &Arc<SnapshotDb>) -> Option<u64> {
+        self.applied_lsn_for_target(target)
+            .map(|next| self.last_read.0.saturating_sub(next.0))
+    }
+
+    /// Live (non-detached) subscriptions.
+    pub fn live_subscription_count(&self) -> usize {
+        self.subscriptions.iter().filter(|s| !s.detached).count()
     }
 
     /// Log-reader pass: collects newly committed transactions from the
@@ -303,6 +357,11 @@ impl ReplicationHub {
     pub fn run_distribution(&mut self, now_ms: i64) -> Result<()> {
         let last_read = self.last_read;
         for sub in &mut self.subscriptions {
+            // Tombstoned by a node crash/decommission: no deliveries, no
+            // lag accounting, no watermark stamps.
+            if sub.detached {
+                continue;
+            }
             // Lag gauge: transactions read by the log reader but not yet
             // applied to this subscription.
             let lag = last_read.0.saturating_sub(sub.next_lsn.0);
@@ -464,8 +523,16 @@ impl ReplicationHub {
                 sub.stamped = advanced;
             }
         }
-        // Truncate the distribution database past the slowest subscriber.
-        if let Some(min_next) = self.subscriptions.iter().map(|s| s.next_lsn).min() {
+        // Truncate the distribution database past the slowest *live*
+        // subscriber — a detached (crashed) node must not pin the queue
+        // forever.
+        if let Some(min_next) = self
+            .subscriptions
+            .iter()
+            .filter(|s| !s.detached)
+            .map(|s| s.next_lsn)
+            .min()
+        {
             self.distribution.retain(|p| p.txn.lsn >= min_next);
         } else {
             self.distribution.clear();
@@ -511,6 +578,7 @@ impl ReplicationHub {
             && self
                 .subscriptions
                 .iter()
+                .filter(|s| !s.detached)
                 .all(|s| s.next_lsn >= self.last_read)
     }
 
@@ -525,6 +593,7 @@ impl ReplicationHub {
                 next_lsn: s.next_lsn,
                 synced_through_ms: s.synced_through_ms,
                 attempts_at_next: s.attempts_at_next,
+                detached: s.detached,
             })
             .collect()
     }
@@ -1218,5 +1287,72 @@ mod tests {
         hub.pump(20).unwrap();
         assert_eq!(cache1.read().table_ref("cust50").unwrap().row_count(), 49);
         assert_eq!(cache2.read().table_ref("cust50").unwrap().row_count(), 49);
+    }
+
+    #[test]
+    fn detached_target_stops_receiving_and_unblocks_truncation() {
+        let (backend, cache1, mut hub) = setup();
+        let mut cache2db = Database::new("cache2");
+        cache2db
+            .create_table(
+                "cust50",
+                Schema::new(vec![
+                    Column::not_null("cid", DataType::Int),
+                    Column::new("cname", DataType::Str),
+                ]),
+                &["cid".into()],
+            )
+            .unwrap();
+        let cache2 = Arc::new(SnapshotDb::new(cache2db));
+        hub.subscribe(article(), cache1.clone(), "cust50", 0).unwrap();
+        hub.subscribe(article(), cache2.clone(), "cust50", 0).unwrap();
+
+        assert_eq!(hub.detach_target(&cache2), 1);
+        assert_eq!(hub.live_subscription_count(), 1);
+        assert!(hub.applied_lsn_for_target(&cache2).is_none());
+
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Delete {
+                    table: "customer".into(),
+                    row: row![3, "c3", 0.0],
+                }],
+            )
+            .unwrap();
+        hub.pump(20).unwrap();
+        // Live node applied; detached node is frozen at its old state.
+        assert_eq!(cache1.read().table_ref("cust50").unwrap().row_count(), 49);
+        assert_eq!(cache2.read().table_ref("cust50").unwrap().row_count(), 50);
+        // The dead node does not pin the distribution queue or drained().
+        assert_eq!(hub.distribution_depth(), 0);
+        assert!(hub.drained());
+        let infos = hub.subscriptions();
+        assert!(!infos[0].detached && infos[1].detached);
+        // Detaching twice is a no-op.
+        assert_eq!(hub.detach_target(&cache2), 0);
+    }
+
+    #[test]
+    fn applied_lsn_for_target_is_min_over_that_targets_subscriptions() {
+        let (backend, cache, mut hub) = setup();
+        hub.subscribe(article(), cache.clone(), "cust50", 0).unwrap();
+        backend
+            .write()
+            .apply(
+                10,
+                vec![RowChange::Insert {
+                    table: "customer".into(),
+                    row: row![7_000, "new", 0.0],
+                }],
+            )
+            .unwrap();
+        let head = backend.read().log().head();
+        assert!(hub.applied_lsn_for_target(&cache).unwrap() < head);
+        assert_eq!(hub.lag_txns_for_target(&cache), Some(0)); // reader not run yet
+        hub.pump(20).unwrap();
+        assert_eq!(hub.applied_lsn_for_target(&cache), Some(head));
+        assert_eq!(hub.lag_txns_for_target(&cache), Some(0));
     }
 }

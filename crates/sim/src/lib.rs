@@ -25,5 +25,5 @@ pub mod repl_latency;
 
 pub use capacity::{CapacityModel, CapacityReport, TierDemands};
 pub use mva::{ClosedNetwork, MvaResult};
-pub use net::RttModel;
+pub use net::{FleetLinks, RttModel};
 pub use repl_latency::{simulate_replication_latency, ReplLatencyConfig};

@@ -35,6 +35,50 @@ impl RttModel {
     }
 }
 
+/// Per-link latency model for a cache **fleet**: the node → backend WAN-ish
+/// link and the node ↔ node LAN link have different costs. Cache nodes sit
+/// on one switch next to the application ("close to the application", §1)
+/// while the backend is the far hop — so an L2 probe served by a peer costs
+/// a fraction of a backend round trip. That asymmetry is the entire reason
+/// a peer-shared L2 tier pays for itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetLinks {
+    /// Mid-tier node → backend link.
+    pub backend: RttModel,
+    /// Node ↔ node (peer / L2) link.
+    pub peer: RttModel,
+}
+
+impl Default for FleetLinks {
+    fn default() -> FleetLinks {
+        FleetLinks {
+            backend: RttModel::default(),
+            // Same switch, no ODBC framing: ~5× cheaper fixed cost, same
+            // payload bandwidth.
+            peer: RttModel {
+                rtt_ms: 0.15,
+                per_kib_ms: 0.08,
+            },
+        }
+    }
+}
+
+impl FleetLinks {
+    /// Modeled wire latency of an execution that paid `backend_rtts` to the
+    /// backend (shipping `backend_bytes`) and `peer_rtts` to fleet peers
+    /// (shipping `peer_bytes`).
+    pub fn latency_ms(
+        &self,
+        backend_rtts: u64,
+        backend_bytes: u64,
+        peer_rtts: u64,
+        peer_bytes: u64,
+    ) -> f64 {
+        self.backend.latency_ms(backend_rtts, backend_bytes)
+            + self.peer.latency_ms(peer_rtts, peer_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +87,17 @@ mod tests {
     fn zero_round_trips_cost_nothing() {
         let m = RttModel::default();
         assert_eq!(m.latency_ms(0, 0), 0.0);
+    }
+
+    #[test]
+    fn peer_link_is_cheaper_than_backend_link() {
+        let links = FleetLinks::default();
+        // Same payload: answering from a peer (L2 hit) must beat a backend
+        // trip on the fixed cost.
+        let from_backend = links.latency_ms(1, 4096, 0, 0);
+        let from_peer = links.latency_ms(0, 0, 1, 4096);
+        assert!(from_peer < from_backend);
+        assert!((from_backend - from_peer) - (0.8 - 0.15) < 1e-12);
     }
 
     #[test]

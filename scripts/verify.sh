@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification (ROADMAP.md): build + full test suite, then the
+# explicit fleet-experiment smoke hook. The workspace sets
+# `[workspace.lints.rust] warnings = "deny"`, so the deny-warnings check is
+# a clean build: any warning anywhere fails the build step itself.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (warnings are errors workspace-wide)"
+cargo build --release
+
+echo "==> cargo test -q (root package: integration + property suites)"
+cargo test -q
+
+echo "==> cargo test -q --workspace (every crate's unit tests)"
+cargo test -q --workspace
+
+echo "==> cargo test -q --test fleet_smoke (fleet floors vs committed BENCH_fleet.json)"
+cargo test -q --test fleet_smoke
+
+echo "verify: OK"

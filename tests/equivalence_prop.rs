@@ -450,3 +450,87 @@ fn streaming_matches_seed_on_choose_plan_branches() {
         assert_eq!(streamed.rows.len() as i64, v.min(N_ROWS), "@v = {v}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet equivalence: node count, the L1/L2 hierarchy, and per-node dop
+// must all be invisible in the answers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fleet_size_cache_state_and_dop_are_invisible_across_shapes() {
+    // For every query shape, a fleet of N ∈ {1, 2, 4} nodes — cache off,
+    // cache cold, cache warm (L1 or promoted-from-L2), at dop 1 and 4 —
+    // answers bit-identically to the single-node baseline and the backend.
+    // This is the tentpole's transparency claim: adding cache servers
+    // changes where answers come from, never what they are.
+    use mtcache_repro::cache::{Fleet, FleetConfig};
+    let backend = join_db();
+    let make_fleet = |nodes: usize, dop: usize| {
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        Fleet::create(
+            backend.clone(),
+            hub,
+            FleetConfig {
+                nodes,
+                dop,
+                ..FleetConfig::default()
+            },
+            Box::new(|cache: &CacheServer| {
+                cache.create_cached_view(
+                    "t_head",
+                    "SELECT id, grp, val, name FROM t WHERE id <= 400",
+                )
+            }),
+        )
+        .unwrap()
+    };
+    check::run(
+        &Config::cases(6),
+        "fleet_size_cache_state_and_dop_are_invisible_across_shapes",
+        |rng| (gen_shape(rng), rng.gen_range(0u64..64)),
+        |(sql, session)| {
+            let reference = Connection::connect(backend.clone()).query(sql).unwrap();
+            let baseline = {
+                let fleet = make_fleet(1, 1);
+                let conn = Connection::connect(fleet.route(*session).unwrap().1);
+                conn.query(sql).unwrap()
+            };
+            assert_eq!(baseline.rows, reference.rows, "single-node fleet: {sql}");
+            for nodes in [2usize, 4] {
+                for dop in [1usize, 4] {
+                    let fleet = make_fleet(nodes, dop);
+                    let (slot, routed) = fleet.route(*session).unwrap();
+                    let conn = Connection::connect(routed.clone());
+                    routed.result_cache.set_enabled(false);
+                    let off = conn.query(sql).unwrap();
+                    assert_eq!(
+                        off.rows, reference.rows,
+                        "N={nodes} dop={dop} cache off: {sql}"
+                    );
+                    routed.result_cache.set_enabled(true);
+                    let cold = conn.query(sql).unwrap();
+                    assert_eq!(
+                        cold.rows, reference.rows,
+                        "N={nodes} dop={dop} cache cold: {sql}"
+                    );
+                    let warm = conn.query(sql).unwrap();
+                    assert_eq!(warm.schema, reference.schema, "{sql}");
+                    assert_eq!(
+                        warm.rows, reference.rows,
+                        "N={nodes} dop={dop} warm serve changed the answer: {sql}"
+                    );
+                    // A peer node answers identically too — remote shapes
+                    // may promote the first node's fetch from the shared
+                    // L2, which must preserve the bytes exactly.
+                    let peer_slot = (slot + 1) % nodes;
+                    let peer = Connection::connect(fleet.node(peer_slot).unwrap());
+                    let via_peer = peer.query(sql).unwrap();
+                    assert_eq!(
+                        via_peer.rows, reference.rows,
+                        "N={nodes} dop={dop} peer node (L2 path): {sql}"
+                    );
+                }
+            }
+        },
+    );
+}
