@@ -95,7 +95,7 @@ impl<'e> EvalEnv<'e> {
         names: &[],
     };
 
-    fn param(&self, slot: usize) -> Result<Value> {
+    pub(crate) fn param(&self, slot: usize) -> Result<Value> {
         match self.params.get(slot) {
             Some(Some(v)) => Ok(v.clone()),
             _ => {
@@ -257,16 +257,159 @@ pub enum CompiledExpr {
     },
 }
 
+/// Anything a compiled expression can read column values out of: an owned
+/// [`Row`], or a (batch, row-index) cell handle in the vectorized executor
+/// (see `crate::vector`). `value_at` reconstructs the `Value` at ordinal
+/// `i`; string payloads are `Arc`-bumped, never copied.
+pub trait ValueSource {
+    fn value_at(&self, i: usize) -> Value;
+}
+
+impl ValueSource for Row {
+    #[inline]
+    fn value_at(&self, i: usize) -> Value {
+        self[i].clone()
+    }
+}
+
 impl CompiledExpr {
+    /// Collects every column ordinal the expression reads into `out`
+    /// (duplicates possible; callers sort/dedup). Drives scan column
+    /// pruning: a scan only builds the columns its residual predicate or
+    /// the projection above actually touch.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            CompiledExpr::Col(i) => out.push(*i),
+            CompiledExpr::Const(_) | CompiledExpr::Param(_) => {}
+            CompiledExpr::Unary { expr, .. } | CompiledExpr::IsNull { expr, .. } => {
+                expr.collect_cols(out)
+            }
+            CompiledExpr::Binary { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+            CompiledExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_cols(out);
+                }
+            }
+            CompiledExpr::Like { expr, pattern, .. } => {
+                expr.collect_cols(out);
+                pattern.collect_cols(out);
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.collect_cols(out);
+                for e in list {
+                    e.collect_cols(out);
+                }
+            }
+            CompiledExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_cols(out);
+                low.collect_cols(out);
+                high.collect_cols(out);
+            }
+            CompiledExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.collect_cols(out);
+                    r.collect_cols(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_cols(out);
+                }
+            }
+        }
+    }
+
+    /// Returns a copy with every `Col(c)` rewritten to `Col(map[c])`. Every
+    /// referenced ordinal must have an entry in `map` (callers build `map`
+    /// from [`CompiledExpr::collect_cols`], so it is total by construction).
+    pub fn remap_cols(&self, map: &[usize]) -> CompiledExpr {
+        let remap_box = |e: &CompiledExpr| Box::new(e.remap_cols(map));
+        match self {
+            CompiledExpr::Col(i) => CompiledExpr::Col(map[*i]),
+            CompiledExpr::Const(v) => CompiledExpr::Const(v.clone()),
+            CompiledExpr::Param(slot) => CompiledExpr::Param(*slot),
+            CompiledExpr::Unary { op, expr } => CompiledExpr::Unary {
+                op: *op,
+                expr: remap_box(expr),
+            },
+            CompiledExpr::Binary { left, op, right } => CompiledExpr::Binary {
+                left: remap_box(left),
+                op: *op,
+                right: remap_box(right),
+            },
+            CompiledExpr::Func { kind, args } => CompiledExpr::Func {
+                kind: kind.clone(),
+                args: args.iter().map(|a| a.remap_cols(map)).collect(),
+            },
+            CompiledExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => CompiledExpr::Like {
+                expr: remap_box(expr),
+                pattern: remap_box(pattern),
+                negated: *negated,
+            },
+            CompiledExpr::InList {
+                expr,
+                list,
+                negated,
+            } => CompiledExpr::InList {
+                expr: remap_box(expr),
+                list: list.iter().map(|e| e.remap_cols(map)).collect(),
+                negated: *negated,
+            },
+            CompiledExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => CompiledExpr::Between {
+                expr: remap_box(expr),
+                low: remap_box(low),
+                high: remap_box(high),
+                negated: *negated,
+            },
+            CompiledExpr::IsNull { expr, negated } => CompiledExpr::IsNull {
+                expr: remap_box(expr),
+                negated: *negated,
+            },
+            CompiledExpr::Case {
+                branches,
+                else_expr,
+            } => CompiledExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.remap_cols(map), r.remap_cols(map)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| remap_box(e)),
+            },
+        }
+    }
+
     /// Evaluates against a row. Mirrors `eval::eval` exactly — three-valued
     /// logic, NULL propagation, short-circuit AND/OR, T-SQL `+` concat.
     pub fn eval(&self, row: &Row, env: EvalEnv<'_>) -> Result<Value> {
+        self.eval_src(row, env)
+    }
+
+    /// Evaluates against any [`ValueSource`] — the generic core shared by
+    /// the row-at-a-time and vectorized paths. Semantics are identical to
+    /// [`CompiledExpr::eval`]; monomorphization keeps the `Row` wrapper
+    /// zero-cost.
+    pub fn eval_src<S: ValueSource + ?Sized>(&self, row: &S, env: EvalEnv<'_>) -> Result<Value> {
         match self {
-            CompiledExpr::Col(i) => Ok(row[*i].clone()),
+            CompiledExpr::Col(i) => Ok(row.value_at(*i)),
             CompiledExpr::Const(v) => Ok(v.clone()),
             CompiledExpr::Param(slot) => env.param(*slot),
             CompiledExpr::Unary { op, expr } => {
-                let v = expr.eval(row, env)?;
+                let v = expr.eval_src(row, env)?;
                 match op {
                     UnaryOp::Neg => match v {
                         Value::Null => Ok(Value::Null),
@@ -283,13 +426,13 @@ impl CompiledExpr {
             CompiledExpr::Binary { left, op, right } => {
                 // AND/OR need lazy three-valued logic.
                 if *op == BinOp::And || *op == BinOp::Or {
-                    let l = truth(&left.eval(row, env)?);
+                    let l = truth(&left.eval_src(row, env)?);
                     match (op, l) {
                         (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
                         (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
                         _ => {}
                     }
-                    let r = truth(&right.eval(row, env)?);
+                    let r = truth(&right.eval_src(row, env)?);
                     let out = match op {
                         BinOp::And => match (l, r) {
                             (Some(false), _) | (_, Some(false)) => Some(false),
@@ -305,14 +448,14 @@ impl CompiledExpr {
                     };
                     return Ok(out.map(Value::Bool).unwrap_or(Value::Null));
                 }
-                let l = left.eval(row, env)?;
-                let r = right.eval(row, env)?;
+                let l = left.eval_src(row, env)?;
+                let r = right.eval_src(row, env)?;
                 apply_cmp_arith(l, *op, r)
             }
             CompiledExpr::Func { kind, args } => {
                 let argv: Vec<Value> = args
                     .iter()
-                    .map(|a| a.eval(row, env))
+                    .map(|a| a.eval_src(row, env))
                     .collect::<Result<_>>()?;
                 kind.apply(&argv)
             }
@@ -321,8 +464,8 @@ impl CompiledExpr {
                 pattern,
                 negated,
             } => {
-                let v = expr.eval(row, env)?;
-                let p = pattern.eval(row, env)?;
+                let v = expr.eval_src(row, env)?;
+                let p = pattern.eval_src(row, env)?;
                 match (v.as_str(), p.as_str()) {
                     (Some(s), Some(pat)) => {
                         let m = like_match(s, pat);
@@ -337,13 +480,13 @@ impl CompiledExpr {
                 list,
                 negated,
             } => {
-                let v = expr.eval(row, env)?;
+                let v = expr.eval_src(row, env)?;
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
                 let mut saw_null = false;
                 for item in list {
-                    let w = item.eval(row, env)?;
+                    let w = item.eval_src(row, env)?;
                     if w.is_null() {
                         saw_null = true;
                     } else if v == w {
@@ -363,9 +506,9 @@ impl CompiledExpr {
                 high,
                 negated,
             } => {
-                let v = expr.eval(row, env)?;
-                let lo = low.eval(row, env)?;
-                let hi = high.eval(row, env)?;
+                let v = expr.eval_src(row, env)?;
+                let lo = low.eval_src(row, env)?;
+                let hi = high.eval_src(row, env)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                     (Some(cl), Some(ch)) => {
                         let inside =
@@ -376,7 +519,7 @@ impl CompiledExpr {
                 }
             }
             CompiledExpr::IsNull { expr, negated } => {
-                let v = expr.eval(row, env)?;
+                let v = expr.eval_src(row, env)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
             CompiledExpr::Case {
@@ -384,12 +527,12 @@ impl CompiledExpr {
                 else_expr,
             } => {
                 for (cond, val) in branches {
-                    if cond.eval_predicate(row, env)? == Some(true) {
-                        return val.eval(row, env);
+                    if cond.eval_predicate_src(row, env)? == Some(true) {
+                        return val.eval_src(row, env);
                     }
                 }
                 match else_expr {
-                    Some(e) => e.eval(row, env),
+                    Some(e) => e.eval_src(row, env),
                     None => Ok(Value::Null),
                 }
             }
@@ -399,7 +542,16 @@ impl CompiledExpr {
     /// Evaluates to SQL three-valued logic:
     /// `Some(true)` / `Some(false)` / `None` (UNKNOWN).
     pub fn eval_predicate(&self, row: &Row, env: EvalEnv<'_>) -> Result<Option<bool>> {
-        Ok(truth(&self.eval(row, env)?))
+        self.eval_predicate_src(row, env)
+    }
+
+    /// [`CompiledExpr::eval_predicate`] over any [`ValueSource`].
+    pub fn eval_predicate_src<S: ValueSource + ?Sized>(
+        &self,
+        row: &S,
+        env: EvalEnv<'_>,
+    ) -> Result<Option<bool>> {
+        Ok(truth(&self.eval_src(row, env)?))
     }
 }
 

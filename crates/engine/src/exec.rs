@@ -54,10 +54,18 @@ pub struct ExecMetrics {
     pub local_work: f64,
     /// Work units spent on the backend on behalf of this query.
     pub remote_work: f64,
-    /// Full `Row` clones made while executing (scan copies, join spills,
-    /// distinct/agg key copies). The streaming executor exists to push this
-    /// number down.
+    /// Full `Row` (or key-tuple) deep clones made *while executing* — scan
+    /// copies, join spills, distinct/agg key copies. Materializing the
+    /// final owned result at the client boundary is not counted here (see
+    /// `bytes_materialized`); the streaming executor exists to push this
+    /// number to zero on read paths.
     pub rows_cloned: u64,
+    /// Estimated bytes of owned row data materialized at the final
+    /// client/result-cache boundary. Both executors charge this once, for
+    /// the finished result only — it measures the unavoidable boundary
+    /// copy, separating it from the per-operator churn `rows_cloned`
+    /// tracks.
+    pub bytes_materialized: u64,
     /// Batches exchanged between operators (streaming) or operator
     /// invocations (materialized).
     pub batches: u64,
@@ -87,6 +95,7 @@ impl ExecMetrics {
         self.local_work += other.local_work;
         self.remote_work += other.remote_work;
         self.rows_cloned += other.rows_cloned;
+        self.bytes_materialized += other.bytes_materialized;
         self.batches += other.batches;
         self.parallel_work += other.parallel_work;
         self.remote_rtts += other.remote_rtts;
@@ -209,6 +218,10 @@ pub use crate::stream::execute_compiled;
 pub fn execute_materialized(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<QueryResult> {
     let mut metrics = ExecMetrics::default();
     let rows = run(plan, ctx, &mut metrics)?;
+    // The root's output Vec *is* the owned result here — charge the same
+    // boundary-materialization volume the streaming executor charges when
+    // it converts its final batches to rows.
+    metrics.bytes_materialized += rows.iter().map(Row::estimated_width).sum::<u64>();
     Ok(QueryResult {
         schema: plan.schema().clone(),
         rows,
@@ -500,6 +513,9 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             let mut out = Vec::with_capacity(order.len());
             for key in order {
                 let states = &groups[&key];
+                // Third key-tuple clone per group: the emit copy. The seed
+                // hardcoded 2 and missed this one.
+                m.rows_cloned += 1;
                 let mut vals = key.clone();
                 for s in states {
                     vals.push(s.finish());

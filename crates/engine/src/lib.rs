@@ -29,6 +29,7 @@ pub mod parallel;
 pub mod physical;
 pub mod sqlgen;
 pub mod stream;
+pub mod vector;
 
 pub use binder::{bind_select, Binder};
 pub use compile::{compile, CompiledExpr, CompiledPlan, CompiledQuery, EvalEnv, ParamSlots};

@@ -14,6 +14,12 @@
 //! mutable state, so no locks are taken inside a morsel and a concurrent
 //! replication apply cannot tear a partially scanned table.
 //!
+//! Like the serial streams, workers traffic in columnar [`RowBatch`]es:
+//! a scan morsel builds one dense batch straight from the borrowed
+//! snapshot rows (fixed-width cells copied, strings `Arc`-bumped, zero
+//! `Row` clones), and the blocking operators hand workers `Arc`-shared
+//! batches plus `(batch, row)` handles instead of owned row vectors.
+//!
 //! What gets parallelized (all gated on `dop > 1` and an input-size
 //! threshold so small queries keep their serial fast path):
 //!
@@ -49,11 +55,12 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use mtc_storage::DbSnapshot;
-use mtc_types::{Result, Row, Value};
+use mtc_types::{Result, Row, RowBatch, RowBatchBuilder, Value};
 use mtc_util::pool::WorkerPool;
 
 use crate::compile::{CompiledAgg, CompiledExpr, EvalEnv};
 use crate::exec::AggState;
+use crate::vector::BatchRowSrc;
 
 /// Inputs smaller than this stay on the serial path: below a couple of
 /// batches the morsel dispatch overhead outweighs any overlap.
@@ -143,21 +150,28 @@ fn predicate_passes(
     }
 }
 
-/// Collects per-morsel results in morsel order, propagating the first
+/// Collects per-morsel scan batches in morsel order, propagating the first
 /// error by position (matching what the serial operator would hit first).
-fn merge_scan_results(results: Vec<Result<(usize, Vec<Row>)>>) -> Result<(Vec<Row>, usize)> {
-    let mut rows = Vec::new();
+/// Empty batches (morsels where nothing survived) are dropped.
+fn merge_scan_results(
+    results: Vec<Result<(usize, RowBatch)>>,
+) -> Result<(Vec<RowBatch>, usize)> {
+    let mut batches = Vec::new();
     let mut touched = 0usize;
     for r in results {
-        let (t, mut out) = r?;
+        let (t, batch) = r?;
         touched += t;
-        rows.append(&mut out);
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
     }
-    Ok((rows, touched))
+    Ok((batches, touched))
 }
 
-/// Parallel full-table or clustered-range scan. Returns the surviving rows
-/// in scan order plus the number of rows touched (for work accounting).
+/// Parallel full-table or clustered-range scan. Returns one dense column
+/// batch per non-empty morsel, in scan order, plus the number of rows
+/// touched (for work accounting). Survivors are columnized in place from
+/// the borrowed snapshot rows — no `Row` is cloned.
 ///
 /// `low`/`high` are the pre-evaluated clustered seek bounds (`None` for a
 /// plain SeqScan); each worker re-opens the same borrowed range on the
@@ -170,7 +184,7 @@ pub(crate) fn parallel_scan(
     predicate: Option<&CompiledExpr>,
     env: EvalEnv<'_>,
     n_rows: usize,
-) -> Result<(Vec<Row>, usize)> {
+) -> Result<(Vec<RowBatch>, usize)> {
     let ranges = morsel_ranges(n_rows, p.dop, p.min_rows);
     let snap = p.snapshot.clone();
     let object = object.to_string();
@@ -180,7 +194,7 @@ pub(crate) fn parallel_scan(
         let table = snap.table_ref(&object)?;
         let env = oenv.env();
         let mut touched = 0usize;
-        let mut out = Vec::new();
+        let mut out = RowBatchBuilder::with_capacity(table.schema().len(), len);
         for row in table
             .scan_range(low.as_ref(), high.as_ref())
             .skip(start)
@@ -188,10 +202,10 @@ pub(crate) fn parallel_scan(
         {
             touched += 1;
             if predicate_passes(pred.as_ref(), row, env)? {
-                out.push(row.clone());
+                out.push_row_ref(row);
             }
         }
-        Ok((touched, out))
+        Ok((touched, out.finish()))
     });
     merge_scan_results(results)
 }
@@ -208,7 +222,7 @@ pub(crate) fn parallel_index_seek(
     predicate: Option<&CompiledExpr>,
     env: EvalEnv<'_>,
     n_keys: usize,
-) -> Result<(Vec<Row>, usize)> {
+) -> Result<(Vec<RowBatch>, usize)> {
     let ranges = morsel_ranges(n_keys, p.dop, p.min_rows);
     let snap = p.snapshot.clone();
     let object = object.to_string();
@@ -222,16 +236,16 @@ pub(crate) fn parallel_index_seek(
         })?;
         let env = oenv.env();
         let mut touched = 0usize;
-        let mut out = Vec::new();
+        let mut out = RowBatchBuilder::with_capacity(table.schema().len(), len);
         for pk in ix.range(low.clone(), high.clone()).skip(start).take(len) {
             touched += 1;
             if let Some(row) = table.get(pk) {
                 if predicate_passes(pred.as_ref(), row, env)? {
-                    out.push(row.clone());
+                    out.push_row_ref(row);
                 }
             }
         }
-        Ok((touched, out))
+        Ok((touched, out.finish()))
     });
     merge_scan_results(results)
 }
@@ -242,10 +256,15 @@ fn bucket_of(key: &[Value], nparts: usize) -> usize {
     (h.finish() as usize) % nparts
 }
 
-/// Parallel hash aggregation over fully drained input rows.
+/// Parallel hash aggregation over a fully drained batch input.
 ///
-/// Phase 1 (parallel): each morsel evaluates group keys for its rows and
-/// scatters `(key, row, global index)` into `dop` hash partitions.
+/// The input arrives as retained batches plus `(batch, row)` handles for
+/// every live row (stream order); both sides are `Arc`-shared with the
+/// workers, so no row is copied into the phases — a handle's row is read
+/// through [`BatchRowSrc`] wherever an expression needs it.
+///
+/// Phase 1 (parallel): each morsel evaluates group keys for its handle
+/// slice and scatters `(key, global index)` into `dop` hash partitions.
 /// Phase 2 (parallel): each partition aggregates its groups to completion
 /// — a group lives in exactly one partition, so `DISTINCT` aggregates need
 /// no cross-worker merge. Groups come back tagged with the index of the
@@ -253,45 +272,44 @@ fn bucket_of(key: &[Value], nparts: usize) -> usize {
 /// the serial operator's first-seen emission order exactly.
 pub(crate) fn parallel_hash_aggregate(
     p: &ParallelCtx,
-    rows: Vec<Row>,
+    batches: Vec<RowBatch>,
+    handles: Vec<(u32, u32)>,
     group_by: &[CompiledExpr],
     aggs: &[CompiledAgg],
     env: EvalEnv<'_>,
 ) -> Result<Vec<Row>> {
     let nparts = p.dop.max(1);
     let oenv = OwnedEnv::capture(env);
+    let batches = Arc::new(batches);
+    let handles = Arc::new(handles);
 
-    // Phase 1: key evaluation + scatter, morselized.
-    let mut morsels: Vec<(usize, Vec<Row>)> = Vec::new();
-    {
-        let mut rows = rows;
-        let n = rows.len();
-        for (start, len) in morsel_ranges(n, p.dop, p.min_rows).into_iter().rev() {
-            let tail = rows.split_off(start);
-            debug_assert_eq!(tail.len(), len);
-            morsels.push((start, tail));
-        }
-        morsels.reverse();
-    }
+    // Phase 1: key evaluation + scatter, morselized over handle ranges.
+    let ranges = morsel_ranges(handles.len(), p.dop, p.min_rows);
     let gb = group_by.to_vec();
     let env1 = oenv.clone();
-    let scattered = p.pool.run(morsels, move |_, (base, chunk)| {
+    let batches1 = batches.clone();
+    let handles1 = handles.clone();
+    let scattered = p.pool.run(ranges, move |_, (start, len)| {
         let env = env1.env();
-        let mut parts: Vec<Vec<(Vec<Value>, Row, usize)>> = vec![Vec::new(); nparts];
-        for (i, row) in chunk.into_iter().enumerate() {
+        let mut parts: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); nparts];
+        for (i, &(bi, phys)) in handles1[start..start + len].iter().enumerate() {
+            let src = BatchRowSrc {
+                batch: &batches1[bi as usize],
+                row: phys as usize,
+            };
             let mut key = Vec::with_capacity(gb.len());
             for g in &gb {
-                key.push(g.eval(&row, env)?);
+                key.push(g.eval_src(&src, env)?);
             }
             let b = bucket_of(&key, nparts);
-            parts[b].push((key, row, base + i));
+            parts[b].push((key, start + i));
         }
         Ok::<_, mtc_types::Error>(parts)
     });
 
     // Gather per-partition inputs in morsel order (global index ascending
     // within every partition).
-    let mut partitions: Vec<Vec<(Vec<Value>, Row, usize)>> = vec![Vec::new(); nparts];
+    let mut partitions: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); nparts];
     for morsel in scattered {
         for (b, mut chunk) in morsel?.into_iter().enumerate() {
             partitions[b].append(&mut chunk);
@@ -304,7 +322,7 @@ pub(crate) fn parallel_hash_aggregate(
     let finished = p.pool.run(partitions, move |_, part| {
         let env = env2.env();
         let mut groups: HashMap<Vec<Value>, (usize, Vec<AggState>)> = HashMap::new();
-        for (key, row, idx) in part {
+        for (key, idx) in part {
             let states = match groups.get_mut(&key) {
                 Some((_, s)) => s,
                 None => {
@@ -315,9 +333,14 @@ pub(crate) fn parallel_hash_aggregate(
                     &mut groups.entry(key).or_insert((idx, states)).1
                 }
             };
+            let (bi, phys) = handles[idx];
+            let src = BatchRowSrc {
+                batch: &batches[bi as usize],
+                row: phys as usize,
+            };
             for (state, call) in states.iter_mut().zip(&aggs_owned) {
                 let v = match &call.arg {
-                    Some(e) => Some(e.eval(&row, env)?),
+                    Some(e) => Some(e.eval_src(&src, env)?),
                     None => None,
                 };
                 state.update(v);
@@ -343,28 +366,35 @@ pub(crate) fn parallel_hash_aggregate(
     Ok(tagged.into_iter().map(|(_, r)| r).collect())
 }
 
-/// Parallel join-key evaluation for a hash-join build side. The rows stay
-/// shared (the probe phase needs them); workers compute `(index, key)`
-/// pairs per morsel and the hash table is assembled serially in row order,
-/// so every key's index list is ascending — identical to the serial build.
+/// Parallel join-key evaluation for a hash-join build side. The batches
+/// stay shared (the probe phase reads rows through the same handles);
+/// workers compute `(index, key)` pairs per morsel and the hash table is
+/// assembled serially in handle order, so every key's index list is
+/// ascending — identical to the serial build.
 pub(crate) fn parallel_build_hash_table(
     p: &ParallelCtx,
-    rows: &Arc<Vec<Row>>,
+    batches: &Arc<Vec<RowBatch>>,
+    handles: &Arc<Vec<(u32, u32)>>,
     keys: &[CompiledExpr],
     env: EvalEnv<'_>,
 ) -> Result<HashMap<Vec<Value>, Vec<usize>>> {
-    let ranges = morsel_ranges(rows.len(), p.dop, p.min_rows);
-    let shared = rows.clone();
+    let ranges = morsel_ranges(handles.len(), p.dop, p.min_rows);
+    let batches_shared = batches.clone();
+    let handles_shared = handles.clone();
     let keys_owned = keys.to_vec();
     let oenv = OwnedEnv::capture(env);
     let results = p.pool.run(ranges, move |_, (start, len)| {
         let env = oenv.env();
         let mut out: Vec<(usize, Option<Vec<Value>>)> = Vec::with_capacity(len);
-        for (i, row) in shared[start..start + len].iter().enumerate() {
+        for (i, &(bi, phys)) in handles_shared[start..start + len].iter().enumerate() {
+            let src = BatchRowSrc {
+                batch: &batches_shared[bi as usize],
+                row: phys as usize,
+            };
             let mut key = Vec::with_capacity(keys_owned.len());
             let mut null = false;
             for k in &keys_owned {
-                let v = k.eval(row, env)?;
+                let v = k.eval_src(&src, env)?;
                 if v.is_null() {
                     null = true;
                     break;

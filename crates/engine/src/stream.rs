@@ -1,52 +1,76 @@
-//! Pull-based streaming execution of compiled plans (Volcano with batches).
+//! Pull-based streaming execution of compiled plans (Volcano with
+//! zero-copy column batches).
 //!
 //! The interpreting executor in [`crate::exec`] materializes every
 //! operator's full output as a `Vec<Row>` before its parent sees a single
 //! row. This module replaces that hot path with a batch iterator model:
 //! each operator implements [`BatchStream::next_batch`] and pulls
-//! [`BATCH_SIZE`]-row batches from its children on demand, so
+//! [`BATCH_SIZE`]-row [`RowBatch`]es from its children on demand. Batches
+//! are **columnar** and `Arc`-shared (see [`mtc_types::batch`]):
 //!
-//! * `Filter`/`Project`/joins pass rows through without re-buffering whole
-//!   intermediate results,
-//! * `Top` stops pulling — and its whole subtree stops scanning — as soon
-//!   as the limit is reached,
-//! * `IndexSeek` walks the borrowed PK range from the index directly
-//!   instead of cloning every matching PK into a `Vec<Row>` first, and
-//! * UnionAll branches are only *built* after their startup predicate
-//!   passes, preserving the ChoosePlan "a closed branch is never opened"
-//!   contract (§5.1) down to the table-lookup level.
+//! * scans and seeks build each batch column-wise straight from the
+//!   borrowed storage rows — fixed-width cells are copied into typed
+//!   vectors, strings are `Arc`-bumped, and no `Row` is ever cloned,
+//! * `Filter` emits the same columns plus a **selection vector** of
+//!   surviving physical indices ([`crate::vector::eval_filter_sel`]), so
+//!   survivors are never moved,
+//! * `Project` of a bare column reference shares the input column (an
+//!   `Arc` bump), and `Top` narrows the selection in place,
+//! * blocking operators (DISTINCT, hash-agg, hash-join builds, sort)
+//!   retain whole input batches and reference rows as `(batch, row)`
+//!   handles instead of cloning them,
+//! * owned `Row`s are materialized exactly once, at the root of
+//!   [`execute_compiled`] — the client/result-cache boundary — where the
+//!   volume is tallied into [`ExecMetrics::bytes_materialized`].
+//!
+//! `Top` still stops pulling — and its whole subtree stops scanning — as
+//! soon as the limit is reached, and UnionAll branches are only *built*
+//! after their startup predicate passes, preserving the ChoosePlan "a
+//! closed branch is never opened" contract (§5.1) down to the table-lookup
+//! level.
 //!
 //! Work-unit accounting follows the interpreting executor exactly (same
 //! [`crate::optimizer::cost::CostModel`] formulas, charged incrementally),
 //! so absent early termination the two executors report identical
 //! `local_work`/`remote_work`. [`crate::exec::ExecMetrics::rows_cloned`]
-//! and [`crate::exec::ExecMetrics::batches`] make the difference
-//! observable: streaming clones strictly fewer rows on seek- and
-//! limit-bearing plans.
+//! makes the zero-copy contract observable: read-only plans report **zero**
+//! cloned rows on this path (pinned by the clone-budget tests).
 
-use std::collections::{HashMap, HashSet};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use mtc_sql::JoinKind;
 use mtc_storage::{Database, Index, Table};
-use mtc_types::{Error, Result, Row, Value};
+use mtc_types::batch::HASH_SEED;
+use mtc_types::{Error, Result, Row, RowBatch, RowBatchBuilder, Value};
 
 use crate::compile::{
     CompiledAgg, CompiledBound, CompiledExpr, CompiledPlan, CompiledQuery, CompiledSortKey,
-    EvalEnv,
+    EvalEnv, ValueSource,
 };
 use crate::eval::Bindings;
-use crate::exec::{null_extend, AggState, ExecContext, ExecMetrics, QueryResult, RemoteExecutor};
+use crate::exec::{AggState, ExecContext, ExecMetrics, QueryResult, RemoteExecutor};
 use crate::optimizer::cost::CostModel;
 use crate::parallel::{
     parallel_build_hash_table, parallel_hash_aggregate, parallel_index_seek, parallel_scan,
     ParallelCtx,
+};
+use crate::vector::{
+    eval_filter_sel, eval_project_col, BatchRowSrc, JoinSrc, PreHashedBuild, Side,
 };
 
 /// Rows per batch. Large enough to amortize per-batch dispatch to nothing,
 /// small enough that a pipeline's working set stays cache-resident
 /// (1024 rows × a few dozen bytes ≈ tens of KiB per operator).
 pub const BATCH_SIZE: usize = 1024;
+
+/// First-batch row target for scans. Starting small and growing
+/// geometrically to [`BATCH_SIZE`] means a `TOP n` pipeline never pays to
+/// build ~1000 rows it will discard, while full scans amortize the extra
+/// batch boundaries to noise within three pulls.
+const FIRST_BATCH: usize = 64;
 
 /// Everything the streaming operators need at run time.
 pub(crate) struct StreamCtx<'e> {
@@ -70,7 +94,7 @@ pub(crate) struct StreamCtx<'e> {
 /// A pull-based operator: yields `Some(batch)` until exhausted.
 pub(crate) trait BatchStream<'e> {
     fn next_batch(&mut self, cx: &StreamCtx<'e>, m: &mut ExecMetrics)
-        -> Result<Option<Vec<Row>>>;
+        -> Result<Option<RowBatch>>;
 }
 
 type BoxStream<'e> = Box<dyn BatchStream<'e> + 'e>;
@@ -126,9 +150,10 @@ pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<
         }
     }
     let mut root = build(&query.root, &cx, &mut metrics)?;
+    // The one place owned rows are materialized: the client boundary.
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut metrics)? {
-        rows.extend(batch);
+        metrics.bytes_materialized += batch.append_rows(&mut rows);
     }
     Ok(QueryResult {
         schema: query.schema.clone(),
@@ -204,13 +229,16 @@ fn build<'e>(
                 )));
             }
             if let Some(p) = cx.parallel.filter(|p| p.eligible(table.row_count())) {
-                let (rows, touched) =
+                let (batches, touched) =
                     parallel_scan(p, object, None, None, predicate.as_ref(), cx.env, table.row_count())?;
-                return Ok(prefetched(rows, touched, cx, m));
+                return Ok(prefetched(batches, touched, cx, m));
             }
             Box::new(ScanStream {
                 iter: Box::new(table.scan()),
-                predicate: predicate.as_ref(),
+                predicate: predicate.as_ref().map(Cow::Borrowed),
+                cols: None,
+                width: table.schema().len(),
+                target: FIRST_BATCH,
             })
         }
 
@@ -241,13 +269,16 @@ fn build<'e>(
                 }
             });
             if let Some((p, n)) = par {
-                let (rows, touched) =
+                let (batches, touched) =
                     parallel_scan(p, object, low_key, high_key, predicate.as_ref(), cx.env, n)?;
-                return Ok(prefetched(rows, touched, cx, m));
+                return Ok(prefetched(batches, touched, cx, m));
             }
             Box::new(ScanStream {
                 iter: Box::new(table.scan_range(low_key.as_ref(), high_key.as_ref())),
-                predicate: predicate.as_ref(),
+                predicate: predicate.as_ref().map(Cow::Borrowed),
+                cols: None,
+                width: table.schema().len(),
+                target: FIRST_BATCH,
             })
         }
 
@@ -281,7 +312,7 @@ fn build<'e>(
                 }
             });
             if let Some((p, n)) = par {
-                let (rows, touched) = parallel_index_seek(
+                let (batches, touched) = parallel_index_seek(
                     p,
                     object,
                     index,
@@ -291,7 +322,7 @@ fn build<'e>(
                     cx.env,
                     n,
                 )?;
-                return Ok(prefetched(rows, touched, cx, m));
+                return Ok(prefetched(batches, touched, cx, m));
             }
             Box::new(IndexSeekStream {
                 table,
@@ -299,6 +330,8 @@ fn build<'e>(
                 // keys, touched keys counted per batch.
                 pks: Box::new(ix.range(lo, hi)),
                 predicate: predicate.as_ref(),
+                width: table.schema().len(),
+                target: FIRST_BATCH,
             })
         }
 
@@ -307,10 +340,35 @@ fn build<'e>(
             predicate,
         }),
 
-        CompiledPlan::Project { input, exprs } => Box::new(ProjectStream {
-            input: build(input, cx, m)?,
-            exprs,
-        }),
+        CompiledPlan::Project { input, exprs } => {
+            // An all-column-reference projection (the planner's usual
+            // output shape) reduces to sharing input columns + selection.
+            let cols: Option<Vec<usize>> = exprs
+                .iter()
+                .map(|e| match e {
+                    CompiledExpr::Col(c) => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            let cols = cols.filter(|c| !c.is_empty());
+            // Fusion: an all-column projection straight over a serial
+            // sequential scan prunes the scan to the columns the query
+            // actually reads — untouched columns are never built.
+            if let Some(proj) = &cols {
+                if let Some((scan, out_cols)) = build_pruned_scan(input, proj, cx)? {
+                    return Ok(Box::new(ProjectStream {
+                        input: scan,
+                        exprs,
+                        cols: Some(out_cols),
+                    }));
+                }
+            }
+            Box::new(ProjectStream {
+                input: build(input, cx, m)?,
+                exprs,
+                cols,
+            })
+        }
 
         CompiledPlan::NestedLoopJoin {
             left,
@@ -326,7 +384,7 @@ fn build<'e>(
             kind: *kind,
             left_width: *left_width,
             right_width: *right_width,
-            right_rows: None,
+            right_side: None,
             right_matched: Vec::new(),
             left_seen: 0,
             done: false,
@@ -379,7 +437,8 @@ fn build<'e>(
 
         CompiledPlan::Distinct { input } => Box::new(DistinctStream {
             input: build(input, cx, m)?,
-            seen: HashSet::new(),
+            kept: Vec::new(),
+            lookup: HashMap::default(),
         }),
 
         CompiledPlan::UnionAll { inputs, guards } => Box::new(UnionAllStream {
@@ -462,9 +521,10 @@ fn build<'e>(
 /// Wraps the merged output of a parallel leaf as a stream, charging the
 /// same work units the serial leaf would have charged for `touched` rows —
 /// and mirroring them into `parallel_work`, since they overlapped across
-/// the pool's workers.
+/// the pool's workers. The workers built column batches directly from the
+/// borrowed snapshot rows, so nothing here was cloned.
 fn prefetched<'e>(
-    rows: Vec<Row>,
+    batches: Vec<RowBatch>,
     touched: usize,
     cx: &StreamCtx<'e>,
     m: &mut ExecMetrics,
@@ -472,16 +532,15 @@ fn prefetched<'e>(
     let w = cx.work.cpu_per_row * touched as f64;
     m.local_work += w;
     m.parallel_work += w;
-    m.rows_cloned += rows.len() as u64;
-    m.local_rows += rows.len() as u64;
+    m.local_rows += batches.iter().map(|b| b.len() as u64).sum::<u64>();
     Box::new(PrefetchedStream {
-        rows: rows.into_iter(),
+        batches: batches.into_iter(),
     })
 }
 
-/// Emits already-computed rows in [`BATCH_SIZE`] chunks.
+/// Emits already-built batches one at a time.
 struct PrefetchedStream {
-    rows: std::vec::IntoIter<Row>,
+    batches: std::vec::IntoIter<RowBatch>,
 }
 
 impl<'e> BatchStream<'e> for PrefetchedStream {
@@ -489,24 +548,87 @@ impl<'e> BatchStream<'e> for PrefetchedStream {
         &mut self,
         _cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
-        let batch: Vec<Row> = self.rows.by_ref().take(BATCH_SIZE).collect();
-        if batch.is_empty() {
+    ) -> Result<Option<RowBatch>> {
+        let Some(batch) = self.batches.next() else {
             return Ok(None);
-        }
+        };
         m.batches += 1;
         Ok(Some(batch))
     }
 }
 
-fn passes(
+/// Attempts to fuse an all-column projection into a serial sequential
+/// scan: the scan then builds only the columns the projection or the
+/// residual predicate read (`needed`, in source order), the residual is
+/// remapped onto that pruned layout, and the returned indices re-select
+/// the projection's columns from it. `None` falls back to the generic
+/// operator tree — the input is not a serial seq scan (shadow refusal and
+/// parallel eligibility keep their usual paths), or nothing can be pruned.
+///
+/// Work-unit parity holds: the scan still charges `cpu_per_row` per
+/// touched row and the wrapping `Project` still charges per survivor —
+/// only the per-cell build cost of dead columns disappears.
+fn build_pruned_scan<'e>(
+    plan: &'e CompiledPlan,
+    proj: &[usize],
+    cx: &StreamCtx<'e>,
+) -> Result<Option<(BoxStream<'e>, Vec<usize>)>> {
+    let CompiledPlan::SeqScan { object, predicate } = plan else {
+        return Ok(None);
+    };
+    let table = cx.db.table_ref(object)?;
+    if table.is_shadow() {
+        return Ok(None);
+    }
+    if cx.parallel.filter(|p| p.eligible(table.row_count())).is_some() {
+        return Ok(None);
+    }
+    let full = table.schema().len();
+    let mut needed = proj.to_vec();
+    if let Some(p) = predicate {
+        p.collect_cols(&mut needed);
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    if needed.len() >= full {
+        return Ok(None);
+    }
+    let mut map = vec![usize::MAX; full];
+    for (pos, &c) in needed.iter().enumerate() {
+        map[c] = pos;
+    }
+    let out_cols = proj.iter().map(|&c| map[c]).collect();
+    let predicate = predicate.as_ref().map(|p| Cow::Owned(p.remap_cols(&map)));
+    let width = needed.len();
+    Ok(Some((
+        Box::new(ScanStream {
+            iter: Box::new(table.scan()),
+            predicate,
+            cols: Some(needed),
+            width,
+            target: FIRST_BATCH,
+        }),
+        out_cols,
+    )))
+}
+
+/// Applies a scan's residual predicate **vectorized**: every touched row is
+/// built into the batch, survivors become a selection vector over the same
+/// columns ([`eval_filter_sel`]'s typed loops). A predicate that passes all
+/// rows leaves the batch dense — the common "residual subsumed by the seek
+/// range / view bound" shape costs one comparison sweep and leaves no
+/// selection indirection for downstream operators.
+fn filter_scan(
+    batch: RowBatch,
     predicate: Option<&CompiledExpr>,
-    row: &Row,
     env: EvalEnv<'_>,
-) -> Result<bool> {
-    match predicate {
-        None => Ok(true),
-        Some(p) => Ok(p.eval_predicate(row, env)? == Some(true)),
+) -> Result<RowBatch> {
+    let Some(p) = predicate else { return Ok(batch) };
+    let sel = eval_filter_sel(p, &batch, env)?;
+    if sel.len() == batch.len() {
+        Ok(batch)
+    } else {
+        Ok(batch.with_sel(sel))
     }
 }
 
@@ -522,20 +644,49 @@ fn bound_row(bound: &Option<CompiledBound>, env: EvalEnv<'_>) -> Result<Option<R
 }
 
 /// Join keys for hashing; `None` when any key is NULL (never matches).
-fn hash_key(
+fn hash_key_src<S: ValueSource + ?Sized>(
     keys: &[CompiledExpr],
-    row: &Row,
+    src: &S,
     env: EvalEnv<'_>,
 ) -> Result<Option<Vec<Value>>> {
     let mut out = Vec::with_capacity(keys.len());
     for k in keys {
-        let v = k.eval(row, env)?;
+        let v = k.eval_src(src, env)?;
         if v.is_null() {
             return Ok(None);
         }
         out.push(v);
     }
     Ok(Some(out))
+}
+
+/// Drains a child into retained batches plus `(batch, physical row)`
+/// handles for every live row, in stream order. The blocking operators
+/// (joins, sort) reference build-side rows through these handles instead
+/// of cloning them.
+fn drain_batches<'e>(
+    input: &mut BoxStream<'e>,
+    cx: &StreamCtx<'e>,
+    m: &mut ExecMetrics,
+) -> Result<(Vec<RowBatch>, Vec<(u32, u32)>)> {
+    let mut batches = Vec::new();
+    let mut handles = Vec::new();
+    while let Some(b) = input.next_batch(cx, m)? {
+        if b.is_empty() {
+            continue;
+        }
+        let bi = batches.len() as u32;
+        for phys in b.live() {
+            handles.push((bi, phys as u32));
+        }
+        batches.push(b);
+    }
+    Ok((batches, handles))
+}
+
+/// NULLs for the missing side of an outer join.
+fn nulls(n: usize) -> impl Iterator<Item = Value> {
+    std::iter::repeat(Value::Null).take(n)
 }
 
 // ---------------------------------------------------------------------------
@@ -551,21 +702,33 @@ impl<'e> BatchStream<'e> for NothingStream {
         &mut self,
         _cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.done {
             return Ok(None);
         }
         self.done = true;
         m.batches += 1;
-        Ok(Some(vec![Row::new(vec![])]))
+        Ok(Some(RowBatch::empty_rows(1)))
     }
 }
 
-/// Sequential or clustered-range scan: both walk a borrowed row iterator
-/// with an optional residual predicate at `cpu_per_row` each.
+/// Sequential or clustered-range scan: both walk a borrowed row iterator,
+/// charging `cpu_per_row` per touched row. Touched rows go straight into a
+/// column batch — fixed-width cells copied, strings `Arc`-bumped, zero
+/// `Row` clones — and the residual predicate (if any) runs vectorized over
+/// the built columns ([`filter_scan`]).
 struct ScanStream<'e> {
     iter: Box<dyn Iterator<Item = &'e Row> + 'e>,
-    predicate: Option<&'e CompiledExpr>,
+    /// Borrowed from the plan, or owned when remapped onto a pruned
+    /// column layout (see [`build_pruned_scan`]).
+    predicate: Option<Cow<'e, CompiledExpr>>,
+    /// `Some` when fused with an all-column projection: only these source
+    /// columns are built, in this order.
+    cols: Option<Vec<usize>>,
+    width: usize,
+    /// Row target for the next batch (adaptive, [`FIRST_BATCH`] →
+    /// [`BATCH_SIZE`]).
+    target: usize,
 }
 
 impl<'e> BatchStream<'e> for ScanStream<'e> {
@@ -573,24 +736,27 @@ impl<'e> BatchStream<'e> for ScanStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
+        let target = self.target;
+        self.target = (target * 4).min(BATCH_SIZE);
         let mut touched = 0usize;
-        let mut out = Vec::new();
-        while touched < BATCH_SIZE {
+        let mut out = RowBatchBuilder::with_capacity(self.width, target);
+        while touched < target {
             let Some(row) = self.iter.next() else { break };
             touched += 1;
-            if passes(self.predicate, row, cx.env)? {
-                out.push(row.clone());
-                m.rows_cloned += 1;
+            match &self.cols {
+                Some(cols) => out.push_row_cols(row, cols),
+                None => out.push_row_ref(row),
             }
         }
         if touched == 0 {
             return Ok(None);
         }
         m.local_work += cx.work.cpu_per_row * touched as f64;
-        m.local_rows += out.len() as u64;
+        let batch = filter_scan(out.finish(), self.predicate.as_deref(), cx.env)?;
+        m.local_rows += batch.len() as u64;
         m.batches += 1;
-        Ok(Some(out))
+        Ok(Some(batch))
     }
 }
 
@@ -601,6 +767,9 @@ struct IndexSeekStream<'e> {
     table: &'e Table,
     pks: Box<dyn Iterator<Item = &'e Row> + 'e>,
     predicate: Option<&'e CompiledExpr>,
+    width: usize,
+    /// Row target for the next batch (adaptive, like [`ScanStream`]).
+    target: usize,
 }
 
 impl<'e> BatchStream<'e> for IndexSeekStream<'e> {
@@ -608,26 +777,26 @@ impl<'e> BatchStream<'e> for IndexSeekStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
+        let target = self.target;
+        self.target = (target * 4).min(BATCH_SIZE);
         let mut touched = 0usize;
-        let mut out = Vec::new();
-        while touched < BATCH_SIZE {
+        let mut out = RowBatchBuilder::with_capacity(self.width, target);
+        while touched < target {
             let Some(pk) = self.pks.next() else { break };
             touched += 1;
             if let Some(row) = self.table.get(pk) {
-                if passes(self.predicate, row, cx.env)? {
-                    out.push(row.clone());
-                    m.rows_cloned += 1;
-                }
+                out.push_row_ref(row);
             }
         }
         if touched == 0 {
             return Ok(None);
         }
         m.local_work += cx.work.cpu_per_row * touched as f64;
-        m.local_rows += out.len() as u64;
+        let batch = filter_scan(out.finish(), self.predicate, cx.env)?;
+        m.local_rows += batch.len() as u64;
         m.batches += 1;
-        Ok(Some(out))
+        Ok(Some(batch))
     }
 }
 
@@ -643,7 +812,7 @@ impl<'e> BatchStream<'e> for ExtremeSeekStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.done {
             return Ok(None);
         }
@@ -658,7 +827,9 @@ impl<'e> BatchStream<'e> for ExtremeSeekStream<'e> {
         m.local_work += cx.work.seek(1.0);
         m.local_rows += 1;
         m.batches += 1;
-        Ok(Some(vec![Row::new(vec![v])]))
+        let mut out = RowBatchBuilder::with_capacity(1, 1);
+        out.push_values(std::iter::once(v));
+        Ok(Some(out.finish()))
     }
 }
 
@@ -674,7 +845,7 @@ impl<'e> BatchStream<'e> for RemoteStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.done {
             return Ok(None);
         }
@@ -721,12 +892,13 @@ impl<'e> BatchStream<'e> for RemoteStream<'e> {
         // Local cost of receiving the transfer.
         m.local_work += cx.work.transfer(result.rows.len() as f64, self.row_width) * 0.01;
         m.batches += 1;
-        Ok(Some(result.rows))
+        // Owned remote rows are *moved* into columnar storage, not cloned.
+        Ok(Some(RowBatch::from_rows(result.rows, self.arity)))
     }
 }
 
 // ---------------------------------------------------------------------------
-// Row-at-a-time pipeline streams
+// Pipeline streams (filter, project, top, distinct)
 // ---------------------------------------------------------------------------
 
 struct FilterStream<'e> {
@@ -739,17 +911,21 @@ impl<'e> BatchStream<'e> for FilterStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         let Some(batch) = self.input.next_batch(cx, m)? else {
             return Ok(None);
         };
         m.local_work += cx.work.filter(batch.len() as f64);
-        let mut out = Vec::with_capacity(batch.len());
-        for row in batch {
-            if self.predicate.eval_predicate(&row, cx.env)? == Some(true) {
-                out.push(row);
-            }
-        }
+        // Vectorized evaluation; survivors become a selection vector over
+        // the same shared columns — no cell moves. When nothing was dropped
+        // the input batch passes through untouched (a dense batch stays
+        // dense, so downstream column shares stay `Arc` bumps).
+        let sel = eval_filter_sel(self.predicate, &batch, cx.env)?;
+        let out = if sel.len() == batch.len() {
+            batch
+        } else {
+            batch.with_sel(sel)
+        };
         m.local_rows += out.len() as u64;
         m.batches += 1;
         Ok(Some(out))
@@ -759,6 +935,10 @@ impl<'e> BatchStream<'e> for FilterStream<'e> {
 struct ProjectStream<'e> {
     input: BoxStream<'e>,
     exprs: &'e [CompiledExpr],
+    /// `Some` when every projection is a bare column reference: the output
+    /// batch then *shares* the input's columns and selection vector
+    /// ([`RowBatch::project`]) — zero evaluation, zero gathers.
+    cols: Option<Vec<usize>>,
 }
 
 impl<'e> BatchStream<'e> for ProjectStream<'e> {
@@ -766,19 +946,26 @@ impl<'e> BatchStream<'e> for ProjectStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         let Some(batch) = self.input.next_batch(cx, m)? else {
             return Ok(None);
         };
         m.local_work += cx.work.project(batch.len() as f64);
-        let mut out = Vec::with_capacity(batch.len());
-        for row in batch {
-            let mut vals = Vec::with_capacity(self.exprs.len());
+        let out = if let Some(idx) = &self.cols {
+            batch.project(idx)
+        } else {
+            let mut cols = Vec::with_capacity(self.exprs.len());
             for e in self.exprs {
-                vals.push(e.eval(&row, cx.env)?);
+                // Bare column references on unfiltered batches are Arc
+                // shares even on the general path.
+                cols.push(eval_project_col(e, &batch, cx.env)?);
             }
-            out.push(Row::new(vals));
-        }
+            if cols.is_empty() {
+                RowBatch::empty_rows(batch.len())
+            } else {
+                RowBatch::from_cols(cols)
+            }
+        };
         m.local_rows += out.len() as u64;
         m.batches += 1;
         Ok(Some(out))
@@ -795,27 +982,35 @@ impl<'e> BatchStream<'e> for TopStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         // Early termination: once the limit is reached the whole subtree
-        // below stops being pulled (and stops scanning/cloning).
+        // below stops being pulled (and stops scanning).
         if self.remaining == 0 {
             return Ok(None);
         }
-        let Some(mut batch) = self.input.next_batch(cx, m)? else {
+        let Some(batch) = self.input.next_batch(cx, m)? else {
             return Ok(None);
         };
-        if batch.len() as u64 > self.remaining {
-            batch.truncate(self.remaining as usize);
-        }
+        // Narrow in place: the truncated batch shares the input's columns.
+        let n = (batch.len() as u64).min(self.remaining) as usize;
+        let batch = batch.take_first(n);
         self.remaining -= batch.len() as u64;
         m.batches += 1;
         Ok(Some(batch))
     }
 }
 
+/// DISTINCT over batches: seen rows are referenced as `(batch, row)`
+/// handles inside retained input batches — first occurrences survive via a
+/// selection vector, and nothing is cloned.
 struct DistinctStream<'e> {
     input: BoxStream<'e>,
-    seen: HashSet<Row>,
+    /// Batches retained because they contain at least one first occurrence
+    /// (pushed *before* dedup so intra-batch duplicates resolve against
+    /// the current batch too).
+    kept: Vec<RowBatch>,
+    /// cell-hash → handles of first occurrences with that hash.
+    lookup: HashMap<u64, Vec<(u32, u32)>, PreHashedBuild>,
 }
 
 impl<'e> BatchStream<'e> for DistinctStream<'e> {
@@ -823,23 +1018,37 @@ impl<'e> BatchStream<'e> for DistinctStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         let Some(batch) = self.input.next_batch(cx, m)? else {
             return Ok(None);
         };
         m.local_work += cx.work.aggregate(batch.len() as f64, batch.len() as f64);
-        let mut out = Vec::new();
-        for row in batch {
-            // contains-then-insert clones only first occurrences (the
-            // materializing executor clones every input row).
-            if !self.seen.contains(&row) {
-                self.seen.insert(row.clone());
-                m.rows_cloned += 1;
-                out.push(row);
+        let mut firsts: Vec<u32> = Vec::new();
+        if !batch.is_empty() {
+            let bi = self.kept.len() as u32;
+            self.kept.push(batch.clone());
+            // Row hashes fold column-at-a-time: one storage-variant dispatch
+            // per column, not one per cell.
+            let idx: Vec<u32> = batch.live().map(|p| p as u32).collect();
+            let mut hs = vec![HASH_SEED; idx.len()];
+            for c in 0..batch.width() {
+                batch.col(c).fold_hash_at(&idx, &mut hs);
+            }
+            for (k, &phys) in idx.iter().enumerate() {
+                let entries = self.lookup.entry(hs[k]).or_default();
+                let dup = entries.iter().any(|&(obi, ophys)| {
+                    let ob = &self.kept[obi as usize];
+                    (0..batch.width())
+                        .all(|c| batch.col(c).cell_eq(phys as usize, ob.col(c), ophys as usize))
+                });
+                if !dup {
+                    entries.push((bi, phys));
+                    firsts.push(phys);
+                }
             }
         }
         m.batches += 1;
-        Ok(Some(out))
+        Ok(Some(batch.with_sel(firsts)))
     }
 }
 
@@ -855,7 +1064,7 @@ impl<'e> BatchStream<'e> for UnionAllStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         loop {
             if let Some(stream) = self.current.as_mut() {
                 if let Some(batch) = stream.next_batch(cx, m)? {
@@ -894,8 +1103,9 @@ struct NlJoinStream<'e> {
     kind: JoinKind,
     left_width: usize,
     right_width: usize,
-    /// Materialized build side (the right input), filled on first pull.
-    right_rows: Option<Vec<Row>>,
+    /// Materialized build side (the right input) as retained batches plus
+    /// row handles, filled on first pull.
+    right_side: Option<(Vec<RowBatch>, Vec<(u32, u32)>)>,
     right_matched: Vec<bool>,
     left_seen: u64,
     done: bool,
@@ -906,67 +1116,90 @@ impl<'e> BatchStream<'e> for NlJoinStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.done {
             return Ok(None);
         }
-        if self.right_rows.is_none() {
-            let mut rr = Vec::new();
-            while let Some(b) = self.right.next_batch(cx, m)? {
-                rr.extend(b);
-            }
-            self.right_matched = vec![false; rr.len()];
-            self.right_rows = Some(rr);
+        if self.right_side.is_none() {
+            let side = drain_batches(&mut self.right, cx, m)?;
+            self.right_matched = vec![false; side.1.len()];
+            self.right_side = Some(side);
         }
+        let width = self.left_width + self.right_width;
         if let Some(lbatch) = self.left.next_batch(cx, m)? {
-            let rrows = self.right_rows.as_ref().expect("build side materialized");
+            let (rbatches, rhandles) = self.right_side.as_ref().expect("build side materialized");
             self.left_seen += lbatch.len() as u64;
-            m.local_work += cx.work.cpu_per_row * lbatch.len() as f64 * rrows.len() as f64;
-            let mut out = Vec::new();
-            for l in &lbatch {
+            m.local_work += cx.work.cpu_per_row * lbatch.len() as f64 * rhandles.len() as f64;
+            let mut out = RowBatchBuilder::with_capacity(width, lbatch.len());
+            for lphys in lbatch.live() {
                 let mut matched = false;
-                for (ri, r) in rrows.iter().enumerate() {
-                    let joined = l.join(r);
+                for (ri, &(bi, rphys)) in rhandles.iter().enumerate() {
+                    let rbatch = &rbatches[bi as usize];
                     let ok = match self.on {
                         None => true,
-                        Some(p) => p.eval_predicate(&joined, cx.env)? == Some(true),
+                        Some(p) => {
+                            let src = JoinSrc {
+                                left: Side::Batch(&lbatch, lphys),
+                                left_width: self.left_width,
+                                right: Side::Batch(rbatch, rphys as usize),
+                            };
+                            p.eval_predicate_src(&src, cx.env)? == Some(true)
+                        }
                     };
                     if ok {
                         matched = true;
                         self.right_matched[ri] = true;
-                        out.push(joined);
+                        out.push_values(
+                            lbatch
+                                .values_iter(lphys)
+                                .chain(rbatch.values_iter(rphys as usize)),
+                        );
                     }
                 }
                 if !matched && matches!(self.kind, JoinKind::Left | JoinKind::Full) {
-                    out.push(null_extend(l, self.right_width, false));
+                    out.push_values(lbatch.values_iter(lphys).chain(nulls(self.right_width)));
                 }
             }
             m.local_work += cx.work.cpu_per_row * out.len() as f64;
             m.local_rows += out.len() as u64;
             m.batches += 1;
-            return Ok(Some(out));
+            return Ok(Some(out.finish()));
         }
         // Left side exhausted.
         self.done = true;
-        let rrows = self.right_rows.as_ref().expect("build side materialized");
+        let (rbatches, rhandles) = self.right_side.as_ref().expect("build side materialized");
         if self.left_seen == 0 {
             // The cost model floors the outer side at one row.
-            m.local_work += cx.work.cpu_per_row * rrows.len() as f64;
+            m.local_work += cx.work.cpu_per_row * rhandles.len() as f64;
         }
         if matches!(self.kind, JoinKind::Right | JoinKind::Full) {
-            let mut out = Vec::new();
-            for (ri, r) in rrows.iter().enumerate() {
+            let mut out = RowBatchBuilder::with_capacity(width, 0);
+            for (ri, &(bi, rphys)) in rhandles.iter().enumerate() {
                 if !self.right_matched[ri] {
-                    out.push(null_extend(r, self.left_width, true));
+                    out.push_values(
+                        nulls(self.left_width)
+                            .chain(rbatches[bi as usize].values_iter(rphys as usize)),
+                    );
                 }
             }
             m.local_work += cx.work.cpu_per_row * out.len() as f64;
             m.local_rows += out.len() as u64;
             m.batches += 1;
-            return Ok(Some(out));
+            return Ok(Some(out.finish()));
         }
         Ok(None)
     }
+}
+
+/// Hash-join build side: retained batches, row handles, and the key table
+/// mapping join keys to **global handle indices** (ascending, so probe
+/// output order matches the serial executor exactly). Batches and handles
+/// sit behind `Arc`s so a parallel build can share them with the worker
+/// pool without cloning.
+struct BuiltSide {
+    batches: Arc<Vec<RowBatch>>,
+    handles: Arc<Vec<(u32, u32)>>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
 }
 
 struct HashJoinStream<'e> {
@@ -978,10 +1211,7 @@ struct HashJoinStream<'e> {
     residual: Option<&'e CompiledExpr>,
     left_width: usize,
     right_width: usize,
-    /// Build side: (right rows, key → row indices), filled on first pull.
-    /// The rows sit behind an `Arc` so a parallel build can share them
-    /// with the worker pool without cloning.
-    built: Option<(std::sync::Arc<Vec<Row>>, HashMap<Vec<Value>, Vec<usize>>)>,
+    built: Option<BuiltSide>,
     right_matched: Vec<bool>,
     done: bool,
 }
@@ -991,83 +1221,109 @@ impl<'e> BatchStream<'e> for HashJoinStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.done {
             return Ok(None);
         }
         if self.built.is_none() {
-            let mut rrows = Vec::new();
-            while let Some(b) = self.right.next_batch(cx, m)? {
-                rrows.extend(b);
-            }
-            let w = cx.work.hash_per_row * rrows.len() as f64;
+            let (batches, handles) = drain_batches(&mut self.right, cx, m)?;
+            let w = cx.work.hash_per_row * handles.len() as f64;
             m.local_work += w;
-            self.right_matched = vec![false; rrows.len()];
-            let rrows = std::sync::Arc::new(rrows);
-            let table = match cx.parallel.filter(|p| p.eligible(rrows.len())) {
+            self.right_matched = vec![false; handles.len()];
+            let batches = Arc::new(batches);
+            let handles = Arc::new(handles);
+            let table = match cx.parallel.filter(|p| p.eligible(handles.len())) {
                 Some(p) => {
                     // Morselized key evaluation; the table is assembled in
                     // row order, so probe output is byte-identical.
                     m.parallel_work += w;
-                    parallel_build_hash_table(p, &rrows, self.right_keys, cx.env)?
+                    parallel_build_hash_table(p, &batches, &handles, self.right_keys, cx.env)?
                 }
                 None => {
                     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                    for (i, r) in rrows.iter().enumerate() {
-                        if let Some(key) = hash_key(self.right_keys, r, cx.env)? {
+                    for (i, &(bi, phys)) in handles.iter().enumerate() {
+                        let src = BatchRowSrc {
+                            batch: &batches[bi as usize],
+                            row: phys as usize,
+                        };
+                        if let Some(key) = hash_key_src(self.right_keys, &src, cx.env)? {
                             table.entry(key).or_default().push(i);
                         }
                     }
                     table
                 }
             };
-            self.built = Some((rrows, table));
+            self.built = Some(BuiltSide {
+                batches,
+                handles,
+                table,
+            });
         }
+        let width = self.left_width + self.right_width;
         if let Some(lbatch) = self.left.next_batch(cx, m)? {
-            let (rrows, table) = self.built.as_ref().expect("build side materialized");
+            let built = self.built.as_ref().expect("build side materialized");
             m.local_work += cx.work.hash_per_row * lbatch.len() as f64;
-            let mut out = Vec::new();
-            for l in &lbatch {
+            let mut out = RowBatchBuilder::with_capacity(width, lbatch.len());
+            for lphys in lbatch.live() {
                 let mut matched = false;
-                if let Some(key) = hash_key(self.left_keys, l, cx.env)? {
-                    if let Some(entries) = table.get(&key) {
+                let lsrc = BatchRowSrc {
+                    batch: &lbatch,
+                    row: lphys,
+                };
+                if let Some(key) = hash_key_src(self.left_keys, &lsrc, cx.env)? {
+                    if let Some(entries) = built.table.get(&key) {
                         for &ri in entries {
-                            let joined = l.join(&rrows[ri]);
+                            let (bi, rphys) = built.handles[ri];
+                            let rbatch = &built.batches[bi as usize];
                             let ok = match self.residual {
                                 None => true,
-                                Some(p) => p.eval_predicate(&joined, cx.env)? == Some(true),
+                                Some(p) => {
+                                    let src = JoinSrc {
+                                        left: Side::Batch(&lbatch, lphys),
+                                        left_width: self.left_width,
+                                        right: Side::Batch(rbatch, rphys as usize),
+                                    };
+                                    p.eval_predicate_src(&src, cx.env)? == Some(true)
+                                }
                             };
                             if ok {
                                 matched = true;
                                 self.right_matched[ri] = true;
-                                out.push(joined);
+                                out.push_values(
+                                    lbatch
+                                        .values_iter(lphys)
+                                        .chain(rbatch.values_iter(rphys as usize)),
+                                );
                             }
                         }
                     }
                 }
                 if !matched && matches!(self.kind, JoinKind::Left | JoinKind::Full) {
-                    out.push(null_extend(l, self.right_width, false));
+                    out.push_values(lbatch.values_iter(lphys).chain(nulls(self.right_width)));
                 }
             }
             m.local_work += cx.work.cpu_per_row * out.len() as f64;
             m.local_rows += out.len() as u64;
             m.batches += 1;
-            return Ok(Some(out));
+            return Ok(Some(out.finish()));
         }
         // Probe side exhausted.
         self.done = true;
         if matches!(self.kind, JoinKind::Right | JoinKind::Full) {
-            let (rrows, _) = self.built.as_ref().expect("build side materialized");
-            let mut out = Vec::new();
-            for (ri, r) in rrows.iter().enumerate() {
+            let built = self.built.as_ref().expect("build side materialized");
+            let mut out = RowBatchBuilder::with_capacity(width, 0);
+            for (ri, &(bi, rphys)) in built.handles.iter().enumerate() {
                 if !self.right_matched[ri] {
-                    out.push(null_extend(r, self.left_width, true));
+                    out.push_values(
+                        nulls(self.left_width)
+                            .chain(built.batches[bi as usize].values_iter(rphys as usize)),
+                    );
                 }
             }
             m.local_work += cx.work.cpu_per_row * out.len() as f64;
             m.local_rows += out.len() as u64;
             m.batches += 1;
-            return Ok(Some(out));
+            return Ok(Some(out.finish()));
         }
         Ok(None)
     }
@@ -1089,15 +1345,20 @@ impl<'e> BatchStream<'e> for IndexNlJoinStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         let Some(obatch) = self.outer.next_batch(cx, m)? else {
             return Ok(None);
         };
-        let mut out = Vec::new();
+        let owidth = obatch.width();
+        let mut out = RowBatchBuilder::with_capacity(owidth + self.inner_width, obatch.len());
         let mut seeks = 0u64;
         let mut fetched = 0u64;
-        for orow in &obatch {
-            let key = self.outer_key.eval(orow, cx.env)?;
+        for ophys in obatch.live() {
+            let osrc = BatchRowSrc {
+                batch: &obatch,
+                row: ophys,
+            };
+            let key = self.outer_key.eval_src(&osrc, cx.env)?;
             let mut matched = false;
             if !key.is_null() {
                 seeks += 1;
@@ -1112,32 +1373,57 @@ impl<'e> BatchStream<'e> for IndexNlJoinStream<'e> {
                 };
                 for irow in inner_matches {
                     fetched += 1;
-                    let projected = match self.inner_exprs {
+                    match self.inner_exprs {
                         Some(exprs) => {
                             let mut vals = Vec::with_capacity(exprs.len());
                             for e in exprs {
                                 vals.push(e.eval(irow, cx.env)?);
                             }
-                            Row::new(vals)
+                            let ok = match self.residual {
+                                None => true,
+                                Some(p) => {
+                                    let src = JoinSrc {
+                                        left: Side::Batch(&obatch, ophys),
+                                        left_width: owidth,
+                                        right: Side::Values(&vals),
+                                    };
+                                    p.eval_predicate_src(&src, cx.env)? == Some(true)
+                                }
+                            };
+                            if ok {
+                                matched = true;
+                                out.push_values(obatch.values_iter(ophys).chain(vals));
+                            }
                         }
                         None => {
-                            m.rows_cloned += 1;
-                            irow.clone()
+                            // Full inner row, referenced in place — cells
+                            // are copied/`Arc`-bumped into the output
+                            // batch, the `Row` itself is never cloned.
+                            let ok = match self.residual {
+                                None => true,
+                                Some(p) => {
+                                    let src = JoinSrc {
+                                        left: Side::Batch(&obatch, ophys),
+                                        left_width: owidth,
+                                        right: Side::Row(irow),
+                                    };
+                                    p.eval_predicate_src(&src, cx.env)? == Some(true)
+                                }
+                            };
+                            if ok {
+                                matched = true;
+                                out.push_values(
+                                    obatch
+                                        .values_iter(ophys)
+                                        .chain(irow.values().iter().cloned()),
+                                );
+                            }
                         }
-                    };
-                    let joined = orow.join(&projected);
-                    let ok = match self.residual {
-                        None => true,
-                        Some(p) => p.eval_predicate(&joined, cx.env)? == Some(true),
-                    };
-                    if ok {
-                        matched = true;
-                        out.push(joined);
                     }
                 }
             }
             if !matched && self.kind == JoinKind::Left {
-                out.push(null_extend(orow, self.inner_width, false));
+                out.push_values(obatch.values_iter(ophys).chain(nulls(self.inner_width)));
             }
         }
         m.local_work += cx.work.seek_cost * seeks as f64
@@ -1145,7 +1431,7 @@ impl<'e> BatchStream<'e> for IndexNlJoinStream<'e> {
             + cx.work.cpu_per_row * out.len() as f64;
         m.local_rows += out.len() as u64;
         m.batches += 1;
-        Ok(Some(out))
+        Ok(Some(out.finish()))
     }
 }
 
@@ -1154,11 +1440,21 @@ impl<'e> BatchStream<'e> for IndexNlJoinStream<'e> {
 // ---------------------------------------------------------------------------
 
 /// Incremental group-by state shared by the serial aggregation paths.
+///
+/// Groups live in insertion-order vectors (`keys[g]`/`states[g]`); the
+/// lookup side is a vectorized cell-hash → group-id table (hashes folded
+/// column-at-a-time, looked up through the identity hasher), so the common
+/// per-row path allocates nothing — a key `Vec<Value>` is materialized only
+/// when a *new* group appears.
 struct GroupBuild<'e> {
     group_by: &'e [CompiledExpr],
     aggs: &'e [CompiledAgg],
-    /// key → (insertion index, aggregate states).
-    groups: HashMap<Vec<Value>, (usize, Vec<AggState>)>,
+    /// Group keys in first-seen order.
+    keys: Vec<Vec<Value>>,
+    /// Aggregate states, parallel to `keys`.
+    states: Vec<Vec<AggState>>,
+    /// key-hash → group ids with that hash (collision chain).
+    lookup: HashMap<u64, Vec<u32>, PreHashedBuild>,
     n_in: u64,
 }
 
@@ -1167,60 +1463,85 @@ impl<'e> GroupBuild<'e> {
         GroupBuild {
             group_by,
             aggs,
-            groups: HashMap::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
+            lookup: HashMap::default(),
             n_in: 0,
         }
     }
 
-    fn absorb(&mut self, row: &Row, env: EvalEnv<'_>) -> Result<()> {
-        self.n_in += 1;
-        let mut key = Vec::with_capacity(self.group_by.len());
-        for g in self.group_by {
-            key.push(g.eval(row, env)?);
+    /// Absorbs one batch: group keys and aggregate arguments are evaluated
+    /// column-at-a-time (dense, aligned with the batch's live rows), then
+    /// each row updates its group's states.
+    fn absorb_batch(&mut self, batch: &RowBatch, env: EvalEnv<'_>) -> Result<()> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(());
         }
-        let states = match self.groups.get_mut(&key) {
-            Some((_, s)) => s,
-            None => {
-                let idx = self.groups.len();
-                let states = self
-                    .aggs
-                    .iter()
-                    .map(|a| AggState::from_parts(a.func, a.distinct))
-                    .collect();
-                &mut self.groups.entry(key).or_insert((idx, states)).1
-            }
-        };
-        for (state, call) in states.iter_mut().zip(self.aggs) {
-            let v = match &call.arg {
-                Some(e) => Some(e.eval(row, env)?),
+        self.n_in += n as u64;
+        let mut kcols = Vec::with_capacity(self.group_by.len());
+        for g in self.group_by {
+            kcols.push(eval_project_col(g, batch, env)?);
+        }
+        let mut acols = Vec::with_capacity(self.aggs.len());
+        for a in self.aggs {
+            acols.push(match &a.arg {
+                Some(e) => Some(eval_project_col(e, batch, env)?),
                 None => None,
+            });
+        }
+        // Key hashes fold column-at-a-time over the dense key columns.
+        let mut hs = vec![HASH_SEED; n];
+        for kc in &kcols {
+            kc.fold_hash_dense(&mut hs);
+        }
+        for d in 0..n {
+            let ids = self.lookup.entry(hs[d]).or_default();
+            let found = ids.iter().copied().find(|&g| {
+                kcols
+                    .iter()
+                    .zip(&self.keys[g as usize])
+                    .all(|(kc, kv)| kc.value_eq(d, kv))
+            });
+            let gid = match found {
+                Some(g) => g as usize,
+                None => {
+                    let g = self.keys.len();
+                    self.keys.push(kcols.iter().map(|kc| kc.value(d)).collect());
+                    self.states.push(
+                        self.aggs
+                            .iter()
+                            .map(|a| AggState::from_parts(a.func, a.distinct))
+                            .collect(),
+                    );
+                    ids.push(g as u32);
+                    g
+                }
             };
-            state.update(v);
+            let states = &mut self.states[gid];
+            for (state, ac) in states.iter_mut().zip(&acols) {
+                state.update(ac.as_ref().map(|c| c.value(d)));
+            }
         }
         Ok(())
     }
 
     fn finish(mut self, cx: &StreamCtx<'_>, m: &mut ExecMetrics) -> Vec<Row> {
         // Global aggregate over an empty input still yields one row.
-        if self.groups.is_empty() && self.group_by.is_empty() {
-            let states = self
-                .aggs
-                .iter()
-                .map(|a| AggState::from_parts(a.func, a.distinct))
-                .collect();
-            self.groups.insert(vec![], (0, states));
+        if self.keys.is_empty() && self.group_by.is_empty() {
+            self.keys.push(vec![]);
+            self.states.push(
+                self.aggs
+                    .iter()
+                    .map(|a| AggState::from_parts(a.func, a.distinct))
+                    .collect(),
+            );
         }
-        // Recover first-seen order by draining and sorting on the
-        // insertion index.
-        let mut entries: Vec<(Vec<Value>, usize, Vec<AggState>)> = self
-            .groups
-            .into_iter()
-            .map(|(key, (idx, states))| (key, idx, states))
-            .collect();
-        entries.sort_by_key(|(_, idx, _)| *idx);
-        let mut rows = Vec::with_capacity(entries.len());
-        for (key, _, states) in entries {
+        // `keys`/`states` are already in first-seen order.
+        let mut rows = Vec::with_capacity(self.keys.len());
+        for (key, states) in self.keys.into_iter().zip(self.states) {
             let mut vals = key;
+            vals.reserve(states.len());
             for s in &states {
                 vals.push(s.finish());
             }
@@ -1244,7 +1565,7 @@ impl<'e> BatchStream<'e> for HashAggStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.output.is_none() {
             if let Some(p) = cx.parallel {
                 // Parallel path: drain the (blocking) input, then hash-
@@ -1252,14 +1573,17 @@ impl<'e> BatchStream<'e> for HashAggStream<'e> {
                 // aggregated to completion by exactly one worker, and the
                 // output comes back in the serial first-seen order (see
                 // [`crate::parallel::parallel_hash_aggregate`]).
-                let mut rows = Vec::new();
-                while let Some(batch) = self.input.next_batch(cx, m)? {
-                    rows.extend(batch);
-                }
-                if p.eligible(rows.len()) {
-                    let n_in = rows.len() as u64;
-                    let out =
-                        parallel_hash_aggregate(p, rows, self.group_by, self.aggs, cx.env)?;
+                let (batches, handles) = drain_batches(&mut self.input, cx, m)?;
+                if p.eligible(handles.len()) {
+                    let n_in = handles.len() as u64;
+                    let out = parallel_hash_aggregate(
+                        p,
+                        batches,
+                        handles,
+                        self.group_by,
+                        self.aggs,
+                        cx.env,
+                    )?;
                     let w = cx.work.aggregate(n_in as f64, out.len() as f64);
                     m.local_work += w;
                     m.parallel_work += w;
@@ -1267,39 +1591,38 @@ impl<'e> BatchStream<'e> for HashAggStream<'e> {
                     self.output = Some(out.into_iter());
                 } else {
                     let mut gb = GroupBuild::new(self.group_by, self.aggs);
-                    for row in &rows {
-                        gb.absorb(row, cx.env)?;
+                    for batch in &batches {
+                        gb.absorb_batch(batch, cx.env)?;
                     }
                     self.output = Some(gb.finish(cx, m).into_iter());
                 }
             } else {
                 // Serial path: consume the whole input (aggregation is
-                // blocking) without materializing it; each key is kept
-                // exactly once — moved into the group map and recovered by
-                // draining, not cloned per group.
+                // blocking) batch-at-a-time; a group key is materialized
+                // exactly once, when its group first appears.
                 let mut gb = GroupBuild::new(self.group_by, self.aggs);
                 while let Some(batch) = self.input.next_batch(cx, m)? {
-                    for row in &batch {
-                        gb.absorb(row, cx.env)?;
-                    }
+                    gb.absorb_batch(&batch, cx.env)?;
                 }
                 self.output = Some(gb.finish(cx, m).into_iter());
             }
         }
         let output = self.output.as_mut().expect("aggregate output built");
-        let batch: Vec<Row> = output.by_ref().take(BATCH_SIZE).collect();
-        if batch.is_empty() {
+        let chunk: Vec<Row> = output.by_ref().take(BATCH_SIZE).collect();
+        if chunk.is_empty() {
             return Ok(None);
         }
         m.batches += 1;
-        Ok(Some(batch))
+        let width = self.group_by.len() + self.aggs.len();
+        Ok(Some(RowBatch::from_rows(chunk, width)))
     }
 }
 
 struct SortStream<'e> {
     input: BoxStream<'e>,
     keys: &'e [CompiledSortKey],
-    output: Option<std::vec::IntoIter<Row>>,
+    /// Retained input batches plus sorted row handles, built on first pull.
+    output: Option<(Vec<RowBatch>, Vec<(u32, u32)>, usize)>,
 }
 
 impl<'e> BatchStream<'e> for SortStream<'e> {
@@ -1307,23 +1630,24 @@ impl<'e> BatchStream<'e> for SortStream<'e> {
         &mut self,
         cx: &StreamCtx<'e>,
         m: &mut ExecMetrics,
-    ) -> Result<Option<Vec<Row>>> {
+    ) -> Result<Option<RowBatch>> {
         if self.output.is_none() {
-            let mut rows = Vec::new();
-            while let Some(batch) = self.input.next_batch(cx, m)? {
-                rows.extend(batch);
-            }
-            m.local_work += cx.work.sort(rows.len() as f64);
-            // Precompute sort keys to keep the comparator infallible.
-            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut k = Vec::with_capacity(self.keys.len());
+            let (batches, handles) = drain_batches(&mut self.input, cx, m)?;
+            m.local_work += cx.work.sort(handles.len() as f64);
+            // Precompute sort keys column-at-a-time to keep the comparator
+            // infallible; rows are referenced by handle, never moved.
+            let mut keyed: Vec<(Vec<Value>, u32, u32)> = Vec::with_capacity(handles.len());
+            for (bi, batch) in batches.iter().enumerate() {
+                let mut kcols = Vec::with_capacity(self.keys.len());
                 for key in self.keys {
-                    k.push(key.expr.eval(&row, cx.env)?);
+                    kcols.push(eval_project_col(&key.expr, batch, cx.env)?);
                 }
-                keyed.push((k, row));
+                for (d, phys) in batch.live().enumerate() {
+                    let k: Vec<Value> = kcols.iter().map(|kc| kc.value(d)).collect();
+                    keyed.push((k, bi as u32, phys as u32));
+                }
             }
-            keyed.sort_by(|(a, _), (b, _)| {
+            keyed.sort_by(|(a, _, _), (b, _, _)| {
                 for (i, key) in self.keys.iter().enumerate() {
                     let ord = a[i].cmp(&b[i]);
                     let ord = if key.asc { ord } else { ord.reverse() };
@@ -1333,15 +1657,21 @@ impl<'e> BatchStream<'e> for SortStream<'e> {
                 }
                 std::cmp::Ordering::Equal
             });
-            let sorted: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
-            self.output = Some(sorted.into_iter());
+            let sorted: Vec<(u32, u32)> = keyed.into_iter().map(|(_, bi, p)| (bi, p)).collect();
+            self.output = Some((batches, sorted, 0));
         }
-        let output = self.output.as_mut().expect("sort output built");
-        let batch: Vec<Row> = output.by_ref().take(BATCH_SIZE).collect();
-        if batch.is_empty() {
+        let (batches, sorted, pos) = self.output.as_mut().expect("sort output built");
+        if *pos >= sorted.len() {
             return Ok(None);
         }
+        let end = (*pos + BATCH_SIZE).min(sorted.len());
+        let width = batches.first().map(|b| b.width()).unwrap_or(0);
+        let mut out = RowBatchBuilder::with_capacity(width, end - *pos);
+        for &(bi, phys) in &sorted[*pos..end] {
+            out.push_values(batches[bi as usize].values_iter(phys as usize));
+        }
+        *pos = end;
         m.batches += 1;
-        Ok(Some(batch))
+        Ok(Some(out.finish()))
     }
 }

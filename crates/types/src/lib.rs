@@ -6,12 +6,14 @@
 //! All values carry a total order (`NULL` sorts lowest, as in SQL Server's
 //! index ordering) so they can key B-tree indexes directly.
 
+pub mod batch;
 pub mod codec;
 pub mod error;
 pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use batch::{ColBuilder, ColData, ColumnVec, RowBatch, RowBatchBuilder};
 pub use codec::{BinCodec, ByteReader};
 pub use error::{Error, Result};
 pub use row::Row;

@@ -34,8 +34,16 @@ impl Row {
         self.0.get(idx)
     }
 
-    /// Concatenates two rows (join output).
+    /// Concatenates two rows (join output). When one side is empty the
+    /// other is cloned as-is — a capacity-exact `Vec` clone instead of a
+    /// fresh allocation plus two extends.
     pub fn join(&self, other: &Row) -> Row {
+        if other.0.is_empty() {
+            return self.clone();
+        }
+        if self.0.is_empty() {
+            return other.clone();
+        }
         let mut values = Vec::with_capacity(self.0.len() + other.0.len());
         values.extend_from_slice(&self.0);
         values.extend_from_slice(&other.0);
@@ -105,6 +113,20 @@ mod tests {
         assert_eq!(j.len(), 3);
         assert_eq!(j[0], Value::Int(1));
         assert_eq!(j[2], Value::Float(2.5));
+    }
+
+    #[test]
+    fn join_empty_side_is_capacity_exact() {
+        let a = row![1, "x"];
+        let empty = Row::new(vec![]);
+        let j = a.join(&empty);
+        assert_eq!(j, a);
+        assert_eq!(j.0.capacity(), a.len());
+        let j2 = empty.join(&a);
+        assert_eq!(j2, a);
+        assert_eq!(j2.0.capacity(), a.len());
+        let both = a.join(&row![2]);
+        assert_eq!(both.0.capacity(), 3);
     }
 
     #[test]

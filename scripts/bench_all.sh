@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Regenerates every committed benchmark artifact (BENCH_*.json) from
+# release binaries. Run after any executor, cache, or fleet change that
+# moves performance, then update the floors pinned in
+# tests/hotpath_smoke.rs (STREAMING_US_FLOOR) and tests/fleet_smoke.rs if
+# the new numbers shifted legitimately — the tier-2 gate in
+# scripts/verify.sh fails on a >20% regression against them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for exp in hotpath concurrency resultcache fleet; do
+    echo "==> exp_$exp"
+    cargo run --release -q -p mtc-bench --bin "exp_$exp"
+done
+
+echo "bench_all: OK"

@@ -19,4 +19,10 @@ cargo test -q --workspace
 echo "==> cargo test -q --test fleet_smoke (fleet floors vs committed BENCH_fleet.json)"
 cargo test -q --test fleet_smoke
 
+# Tier-2: release-mode perf gate. The full-size hot-path run must stay
+# within 20% of the committed streaming floor (tests/hotpath_smoke.rs,
+# STREAMING_US_FLOOR); debug timings are meaningless, hence --release.
+echo "==> cargo test --release -q --test hotpath_smoke -- --ignored (tier-2 perf floor)"
+cargo test --release -q --test hotpath_smoke -- --ignored
+
 echo "verify: OK"

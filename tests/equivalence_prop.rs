@@ -234,6 +234,12 @@ fn assert_equivalent(sql: &str, streamed: &QueryResult, seed: &QueryResult) {
         streamed.metrics.rows_cloned,
         seed.metrics.rows_cloned
     );
+    // Both executors materialize the same final rows exactly once at the
+    // client boundary, so their boundary-volume accounting must agree.
+    assert_eq!(
+        streamed.metrics.bytes_materialized, seed.metrics.bytes_materialized,
+        "boundary materialization volume differs: {sql}"
+    );
 }
 
 /// A randomized query spanning every shape the executor supports: inner and
@@ -382,7 +388,7 @@ fn result_cache_and_dop_are_invisible_across_shapes() {
         gen_shape,
         |sql| {
             let reference = Connection::connect(backend.clone()).query(sql).unwrap();
-            for dop in [1usize, 4] {
+            for dop in [1usize, 4, 8] {
                 let cache = make_cache(dop);
                 let conn = Connection::connect(cache.clone());
                 cache.result_cache.set_enabled(false);
@@ -398,6 +404,40 @@ fn result_cache_and_dop_are_invisible_across_shapes() {
                     "a warm result-cache serve changed the answer, dop={dop}: {sql}"
                 );
             }
+        },
+    );
+}
+
+#[test]
+fn streaming_clone_budget_is_zero_on_read_paths() {
+    // The zero-copy contract, pinned: a read-only query through the
+    // streaming executor clones **zero** rows at every dop. Scans columnize
+    // borrowed storage rows in place, filters narrow selection vectors,
+    // joins/aggregates/sorts reference retained batches through
+    // `(batch, row)` handles, and the only owned copy is the final result —
+    // tracked separately in `bytes_materialized`, which must be charged
+    // whenever rows came back.
+    let backend = join_db();
+    let snap = Arc::new(SnapshotDb::new(backend.db.read().clone())).read();
+    let params = Bindings::new();
+    check::run(
+        &Config::cases(24),
+        "streaming_clone_budget_is_zero_on_read_paths",
+        |rng| (gen_shape(rng), *rng.choose(&[1usize, 4, 8]).unwrap()),
+        |(sql, dop)| {
+            let (serial, parallel) = serial_vs_parallel(&snap, sql, &params, None, *dop);
+            assert_eq!(
+                serial.metrics.rows_cloned, 0,
+                "serial streaming cloned rows: {sql}"
+            );
+            assert_eq!(
+                parallel.metrics.rows_cloned, 0,
+                "dop={dop} streaming cloned rows: {sql}"
+            );
+            assert!(
+                serial.rows.is_empty() || serial.metrics.bytes_materialized > 0,
+                "result rows came back but no boundary volume was charged: {sql}"
+            );
         },
     );
 }
