@@ -1,16 +1,25 @@
 //! Ablation: ChoosePlan pull-up above joins (§5.1.2) on vs off — pull-up
-//! costs optimization time but can produce larger remote subqueries.
+//! costs optimization time but can produce larger remote subqueries —
+//! plus the multi-site planning overhead guard: the same join planned
+//! under a 3-peer placement environment must stay under 2× the two-site
+//! planning time (the per-site cost vectors and peer view probes are the
+//! only additions).
 
 mod common;
 
-use mtc_util::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use mtc_engine::{bind_select, optimize, OptimizerOptions};
+use mtc_util::bench::{criterion_group, criterion_main, Criterion};
+
+use mtc_engine::{
+    bind_select, optimize, optimize_with_placement, CostModel, OptimizerOptions, PeerSite,
+    PlacementEnv,
+};
 use mtc_sql::{parse_statement, Statement};
 
 fn bench(c: &mut Criterion) {
-    let (_backend, cache, _hub) = common::customer_fixture(10_000);
+    let (backend, cache, hub) = common::customer_fixture(10_000);
     let db = cache.db.read();
     let Statement::Select(sel) = parse_statement(
         "SELECT c.cname, o.total FROM customer AS c, orders AS o \
@@ -31,6 +40,90 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+
+    // Multi-site variant: three peers, each caching a different slice, so
+    // the placement DP probes real view matches at every shadow leaf.
+    let peers: Vec<_> = (0..3)
+        .map(|i| {
+            let peer = mtcache::CacheServer::create(
+                &format!("peer{i}"),
+                backend.clone(),
+                hub.clone(),
+            );
+            peer.create_cached_view(
+                &format!("cust_slice{i}"),
+                &format!("SELECT cid, cname, caddress FROM customer WHERE cid <= {}", 1000 * (i + 1)),
+            )
+            .unwrap();
+            peer
+        })
+        .collect();
+    let snaps: Vec<_> = peers.iter().map(|p| p.db.read()).collect();
+    let cm = CostModel::default();
+    let make_env = || {
+        let mut env = PlacementEnv::two_site(&cm);
+        for (i, snap) in snaps.iter().enumerate() {
+            env.peers.push(PeerSite {
+                name: format!("peer{i}"),
+                db: snap,
+                link: cm.peer_link(),
+            });
+        }
+        env
+    };
+    let options = OptimizerOptions::default();
+    let env = make_env();
+    c.bench_function("two_site_planning", |b| {
+        b.iter(|| {
+            let plan = bind_select(black_box(&sel), &db).unwrap();
+            optimize(plan, &db, &options).unwrap()
+        })
+    });
+    c.bench_function("multi_site_planning_3_peers", |b| {
+        b.iter(|| {
+            let plan = bind_select(black_box(&sel), &db).unwrap();
+            optimize_with_placement(plan, &db, &options, &env).unwrap()
+        })
+    });
+
+    // Overhead guard (the ISSUE's satellite floor): multi-site planning
+    // must stay under 2× two-site planning on the same statement. Best-of-
+    // batches: the minimum batch mean is robust to scheduler noise that a
+    // single long mean is not.
+    let time_ns = |f: &mut dyn FnMut()| -> f64 {
+        for _ in 0..50 {
+            f(); // warmup
+        }
+        let (batches, reps) = (8, 40);
+        let mut best = f64::INFINITY;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+        }
+        best
+    };
+    let two = time_ns(&mut || {
+        let plan = bind_select(black_box(&sel), &db).unwrap();
+        black_box(optimize(plan, &db, &options).unwrap());
+    });
+    let multi = time_ns(&mut || {
+        let plan = bind_select(black_box(&sel), &db).unwrap();
+        black_box(optimize_with_placement(plan, &db, &options, &env).unwrap());
+    });
+    let ratio = multi / two;
+    println!(
+        "multi-site planning overhead: two-site {:.1} us, 3-peer multi-site {:.1} us, \
+ratio {ratio:.2}x (floor < 2.00x)",
+        two / 1e3,
+        multi / 1e3
+    );
+    assert!(
+        ratio < 2.0,
+        "multi-site planning overhead {ratio:.2}x exceeds the 2x floor"
+    );
 }
 
 criterion_group!(benches, bench);

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod hotpath;
 pub mod measure;
+pub mod placement;
 pub mod report;
 pub mod resultcache;
 
@@ -27,6 +28,7 @@ pub use experiments::{run_all, ExperimentResults};
 pub use fleet::{run_fleet, FleetDeployment, FleetResults, FleetWorkloadPoint};
 pub use hotpath::{run_hotpath, HotpathResults};
 pub use measure::{measure_demands, MeasuredDemands};
+pub use placement::{run_placement, PlacementPhase, PlacementResults};
 pub use report::render_experiments;
 pub use resultcache::{run_resultcache, ResultCacheResults, WorkloadPoint};
 

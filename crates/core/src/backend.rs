@@ -214,7 +214,7 @@ impl BackendServer {
             work: &self.options.cost,
             parallel: None,
         };
-        let result = match self.plan_cache.lookup(&key, &sig, version) {
+        let result = match self.plan_cache.lookup(&key, &sig, version, 0) {
             Some(hit) => mtc_engine::execute_compiled(&hit.compiled, &ctx)?,
             None => {
                 let plan = bind_select(sel, &db)?;
@@ -227,6 +227,7 @@ impl BackendServer {
                         est_cost: opt.est_cost,
                         est_rows: opt.est_rows,
                         catalog_version: version,
+                        topology_version: 0,
                     },
                 );
                 mtc_engine::execute_compiled(&cached.compiled, &ctx)?
@@ -418,7 +419,7 @@ impl BackendServer {
         let opt = mtc_engine::optimize(plan, &db, &self.options)?;
         let cached = self
             .plan_cache
-            .contains_sql(&sel.to_string(), db.catalog.version());
+            .contains_sql(&sel.to_string(), db.catalog.version(), 0);
         let cs = self.plan_cache.stats();
         Ok(format!(
             "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\n{}",

@@ -1,11 +1,14 @@
 //! The MTCache cache server.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use mtc_util::sync::Mutex;
 
 use mtc_engine::eval::Bindings;
-use mtc_engine::{bind_select, execute, ExecContext, OptimizerOptions, QueryResult};
+use mtc_engine::{
+    bind_select, execute, ExecContext, OptimizerOptions, PeerSite, PlacementEnv, QueryResult,
+};
 use mtc_replication::{Article, Clock, ReplicationHub, SubscriptionId};
 use mtc_sql::{parse_statement, Select, Statement, TableRef};
 use mtc_storage::{DbSnapshot, Lsn, ProcedureDef, SnapshotDb, ViewMeta};
@@ -54,6 +57,22 @@ pub struct CacheServer {
     /// statement returns — so no peer can serve a pre-write result to a
     /// reader that has already seen the write's LSN.
     peer_caches: Mutex<Vec<Arc<ResultCache>>>,
+    /// Fleet wiring: peer nodes this server may *place plan fragments on*
+    /// (multi-site placement). Weak — a crashed peer must not be kept alive
+    /// by its neighbours' placement wiring.
+    peers: Mutex<Vec<PeerHandle>>,
+    /// Fleet-wide placement-topology version, shared by every node of a
+    /// fleet and bumped on crash/rejoin. Plan-cache entries are stamped
+    /// with it exactly like the catalog version, so a plan that routes a
+    /// fragment to a vanished peer is discarded, never executed.
+    /// Single-node servers keep their private counter pinned at 0.
+    topology: Mutex<Arc<AtomicU64>>,
+}
+
+/// A named, weakly-held peer a cache server can route plan fragments to.
+pub struct PeerHandle {
+    pub name: String,
+    pub server: Weak<CacheServer>,
 }
 
 impl CacheServer {
@@ -97,6 +116,8 @@ impl CacheServer {
             result_cache,
             l2: Mutex::new(None),
             peer_caches: Mutex::new(Vec::new()),
+            peers: Mutex::new(Vec::new()),
+            topology: Mutex::new(Arc::new(AtomicU64::new(0))),
         })
     }
 
@@ -114,6 +135,24 @@ impl CacheServer {
     /// invalidates on forwarded writes (fleet membership changes reset it).
     pub fn set_peer_caches(&self, peers: Vec<Arc<ResultCache>>) {
         *self.peer_caches.lock() = peers;
+    }
+
+    /// Replaces the set of peers multi-site placement may route plan
+    /// fragments to (fleet membership changes reset it).
+    pub fn set_peers(&self, peers: Vec<PeerHandle>) {
+        *self.peers.lock() = peers;
+    }
+
+    /// Attaches the fleet's shared placement-topology counter; every node
+    /// of a fleet shares one, so a crash observed anywhere invalidates
+    /// placement-bearing plans everywhere.
+    pub fn set_topology(&self, topology: Arc<AtomicU64>) {
+        *self.topology.lock() = topology;
+    }
+
+    /// The placement-topology version plans are currently stamped with.
+    pub fn topology_version(&self) -> u64 {
+        self.topology.lock().load(Ordering::Acquire)
     }
 
     /// Raises the invalidation watermark for `table` on this node's L1,
@@ -368,12 +407,44 @@ impl CacheServer {
     }
 
     /// Optimizes and executes a SELECT. The plan may be fully local, fully
-    /// remote, or mixed; parameterized queries get dynamic plans.
+    /// remote, or mixed; parameterized queries get dynamic plans; in a
+    /// fleet, fragments may be placed on peer nodes' cached views.
     pub fn execute_select(
         &self,
         sel: &Select,
         params: &Bindings,
         principal: &str,
+    ) -> Result<QueryResult> {
+        self.select_impl(sel, params, principal, true)
+    }
+
+    /// Executes a plan fragment that a *peer's* multi-site placement routed
+    /// to this node. Placement is disabled for the nested execution — a
+    /// fragment never hops twice — so this terminates; everything else
+    /// (plan cache, L1 result cache, backend fallback) behaves exactly like
+    /// a session query. Runs as `dbo`, like backend-shipped SQL.
+    pub fn execute_for_peer(&self, sql: &str, params: &Bindings) -> Result<QueryResult> {
+        let Statement::Select(sel) = parse_statement(sql)? else {
+            return Err(Error::plan("peers only ship SELECT fragments"));
+        };
+        self.select_impl(&sel, params, "dbo", false)
+    }
+
+    /// Upgraded placement peers: `(name, server)` for every live peer.
+    fn live_peers(&self) -> Vec<(String, Arc<CacheServer>)> {
+        self.peers
+            .lock()
+            .iter()
+            .filter_map(|p| p.server.upgrade().map(|s| (p.name.clone(), s)))
+            .collect()
+    }
+
+    fn select_impl(
+        &self,
+        sel: &Select,
+        params: &Bindings,
+        principal: &str,
+        allow_placement: bool,
     ) -> Result<QueryResult> {
         let options = self.options.clone();
         let db = self.db.read();
@@ -384,10 +455,18 @@ impl CacheServer {
         let key = sel.to_string();
         let sig = param_signature(params);
         let version = db.catalog.version();
+        let topology = self.topology_version();
         // The statement's currency bound travels with the remote gateway:
         // a cached remote result is only served if its age satisfies it.
         let bound_ms = sel.freshness_seconds.map(|s| s as i64 * 1000);
         let l2 = self.l2.lock().clone();
+        // Peers pinned for this statement: the placement DP costs their
+        // snapshots, and the gateway routes peer-placed fragments to them.
+        let peers = if allow_placement {
+            self.live_peers()
+        } else {
+            Vec::new()
+        };
         let mut gateway = RemoteGateway::new(
             &self.result_cache,
             &self.backend,
@@ -398,11 +477,14 @@ impl CacheServer {
         if let Some(l2) = l2.as_deref() {
             gateway = gateway.with_l2(l2);
         }
+        if !peers.is_empty() {
+            gateway = gateway.with_peers(&peers);
+        }
 
         // Permission checks run on every execution, cached plan or not.
         let perm = check_select_permissions(&db, sel, principal);
         if cacheable && perm.is_ok() {
-            if let Some(hit) = self.plan_cache.lookup(&key, &sig, version) {
+            if let Some(hit) = self.plan_cache.lookup(&key, &sig, version, topology) {
                 let ctx = ExecContext {
                     db: &db,
                     remote: Some(&gateway),
@@ -435,7 +517,16 @@ impl CacheServer {
             }
             Err(e) => return Err(e),
         };
-        let mut opt = mtc_engine::optimize(plan.clone(), &db, &options)?;
+        // Multi-site placement: every DataTransfer boundary is costed per
+        // candidate site over its own link — here, each peer carrying a
+        // relevant cached view (their published snapshots, pinned for the
+        // duration of planning), or the backend.
+        let peer_snaps: Vec<(String, Arc<DbSnapshot>)> = peers
+            .iter()
+            .map(|(name, s)| (name.clone(), s.db.read()))
+            .collect();
+        let env = self.placement_env(&options, &peer_snaps);
+        let mut opt = mtc_engine::optimize_with_placement(plan.clone(), &db, &options, &env)?;
 
         // Freshness routing (§7 extension): if the statement carries a
         // staleness bound, check it against the cached views the chosen
@@ -460,8 +551,9 @@ impl CacheServer {
             parallel: self.parallel_ctx(&db),
         };
         let result = if cacheable {
-            // Compile once, cache (stamped with the catalog version seen
-            // under this read lock), and execute the compiled form.
+            // Compile once, cache (stamped with the catalog and topology
+            // versions seen under this read lock), and execute the
+            // compiled form.
             let cached = self.plan_cache.insert(
                 &key,
                 &sig,
@@ -470,6 +562,7 @@ impl CacheServer {
                     est_cost: opt.est_cost,
                     est_rows: opt.est_rows,
                     catalog_version: version,
+                    topology_version: topology,
                 },
             );
             mtc_engine::execute_compiled(&cached.compiled, &ctx)?
@@ -479,6 +572,26 @@ impl CacheServer {
         };
         self.stats.record_query(&result.metrics, result.rows.len());
         Ok(result)
+    }
+
+    /// The placement environment for one planning pass: the classic
+    /// two-site space (here / backend over the modeled backend link) plus
+    /// one site per pinned peer snapshot over the cheap peer link.
+    fn placement_env<'a>(
+        &self,
+        options: &OptimizerOptions,
+        peer_snaps: &'a [(String, Arc<DbSnapshot>)],
+    ) -> PlacementEnv<'a> {
+        let mut env = PlacementEnv::two_site(&options.cost);
+        let link = options.cost.peer_link();
+        for (name, snap) in peer_snaps {
+            env.peers.push(PeerSite {
+                name: name.clone(),
+                db: snap,
+                link,
+            });
+        }
+        env
     }
 
     /// Runs a copied procedure locally: its queries go through this cache's
@@ -549,7 +662,15 @@ impl CacheServer {
         };
         let db = self.db.read();
         let plan = bind_select(&sel, &db)?;
-        let mut opt = mtc_engine::optimize(plan.clone(), &db, &self.options)?;
+        // Mirror execute_select's placement space so EXPLAIN shows where
+        // fragments would actually run.
+        let peers = self.live_peers();
+        let peer_snaps: Vec<(String, Arc<DbSnapshot>)> = peers
+            .iter()
+            .map(|(name, s)| (name.clone(), s.db.read()))
+            .collect();
+        let env = self.placement_env(&self.options, &peer_snaps);
+        let mut opt = mtc_engine::optimize_with_placement(plan.clone(), &db, &self.options, &env)?;
         // Mirror execute_select's currency check so EXPLAIN shows the plan
         // that would actually run, with the routing reason spelled out.
         let mut routing = String::new();
@@ -572,20 +693,24 @@ impl CacheServer {
             }
         }
         let version = db.catalog.version();
-        let cached = self.plan_cache.contains_sql(&sel.to_string(), version);
+        let cached = self
+            .plan_cache
+            .contains_sql(&sel.to_string(), version, self.topology_version());
         let cs = self.plan_cache.stats();
         // Result-cache visibility, mirroring the plan-cache line: per
         // remote subexpression, would the shipped SQL (probed with no bound
         // parameters, as EXPLAIN has none) be answered from the result
         // cache right now — and under this statement's currency bound?
+        // Each fragment also names its chosen site, so multi-site placement
+        // decisions are observable (`placed: cache2 (view ord_cache)`).
         let bound_ms = sel.freshness_seconds.map(|s| s as i64 * 1000);
         let now = self.clock.now_ms();
-        for sql in remote_sqls(&opt.physical) {
+        for (site, sql) in remote_fragments(&opt.physical) {
             let served = self
                 .result_cache
                 .would_hit(&sql, "", version, bound_ms, now);
             routing.push_str(&format!(
-                "routing: {}: {sql}\n",
+                "routing: {}: {sql}\nplaced: {site}\n",
                 if served { "remote(cached)" } else { "remote(fetched)" }
             ));
         }
@@ -698,11 +823,12 @@ pub struct CurrencyDecision {
     pub lag_txns: u64,
 }
 
-/// The shipped SQL of every Remote node in a physical plan, in plan order.
-fn remote_sqls(plan: &mtc_engine::PhysicalPlan) -> Vec<String> {
-    fn walk(p: &mtc_engine::PhysicalPlan, out: &mut Vec<String>) {
-        if let mtc_engine::PhysicalPlan::Remote { sql, .. } = p {
-            out.push(sql.clone());
+/// `(site description, shipped SQL)` of every Remote node in a physical
+/// plan, in plan order.
+fn remote_fragments(plan: &mtc_engine::PhysicalPlan) -> Vec<(String, String)> {
+    fn walk(p: &mtc_engine::PhysicalPlan, out: &mut Vec<(String, String)>) {
+        if let mtc_engine::PhysicalPlan::Remote { sql, site, .. } = p {
+            out.push((site.describe(), sql.clone()));
         }
         for c in p.children() {
             walk(c, out);

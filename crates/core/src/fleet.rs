@@ -39,6 +39,7 @@
 //!   peers (pinned by `tests/fleet_semantics.rs`).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mtc_util::sync::Mutex;
@@ -48,7 +49,7 @@ use mtc_storage::Lsn;
 use mtc_types::{Error, Result};
 
 use crate::backend::BackendServer;
-use crate::cache::CacheServer;
+use crate::cache::{CacheServer, PeerHandle};
 use crate::result_cache::{ResultCache, ResultCacheConfig};
 
 /// 64-bit FNV-1a. Used for ring and session placement because it is
@@ -159,6 +160,11 @@ pub struct FleetConfig {
     pub l2_budget: u64,
     /// Per-node degree of intra-query parallelism (1 = serial execution).
     pub dop: usize,
+    /// Multi-site fragment placement: let each node's optimizer route plan
+    /// fragments to peers carrying a relevant cached view (over the cheap
+    /// peer link) instead of falling back to the backend. Disabling it
+    /// restores strict two-site (local/backend) planning on every node.
+    pub multisite: bool,
 }
 
 impl Default for FleetConfig {
@@ -169,6 +175,7 @@ impl Default for FleetConfig {
             l1_budget: 256 * 1024,
             l2_budget: 1024 * 1024,
             dop: 1,
+            multisite: true,
         }
     }
 }
@@ -195,6 +202,10 @@ pub struct Fleet {
     provision: Box<Provisioner>,
     slots: Mutex<Vec<Slot>>,
     router: Mutex<Router>,
+    /// Fleet-wide placement-topology version, shared by every node: bumped
+    /// on crash AND rejoin, so plan-cache entries whose placements
+    /// reference the old membership are invalidated everywhere at once.
+    topology: Arc<AtomicU64>,
 }
 
 impl Fleet {
@@ -220,6 +231,7 @@ impl Fleet {
             provision,
             slots: Mutex::new(Vec::new()),
             router: Mutex::new(Router::new(cfg.vnodes)),
+            topology: Arc::new(AtomicU64::new(0)),
         };
         {
             let mut slots = fleet.slots.lock();
@@ -280,6 +292,23 @@ impl Fleet {
                 .map(|(_, p)| p.result_cache.clone())
                 .collect();
             server.set_peer_caches(peers);
+            // Placement wiring: every node shares the fleet topology
+            // counter and (when multi-site planning is on) holds weak
+            // handles to its peers so its optimizer can place fragments on
+            // them.
+            server.set_topology(self.topology.clone());
+            let placement_peers: Vec<PeerHandle> = if self.cfg.multisite {
+                live.iter()
+                    .filter(|(j, _)| j != i)
+                    .map(|(_, p)| PeerHandle {
+                        name: p.name().to_string(),
+                        server: Arc::downgrade(p),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            server.set_peers(placement_peers);
         }
         let names: Vec<(usize, String)> = live
             .iter()
@@ -360,6 +389,10 @@ impl Fleet {
         };
         self.hub.lock().detach_target(&server.db);
         let evicted = self.router.lock().evict_node(idx);
+        // Placements that routed fragments to the victim are now invalid
+        // fleet-wide: bump the shared topology version so every node's plan
+        // cache discards them (exactly like a catalog version bump).
+        self.topology.fetch_add(1, Ordering::AcqRel);
         self.rewire();
         Ok(evicted)
     }
@@ -381,6 +414,9 @@ impl Fleet {
         };
         let server = self.spawn(&name)?;
         self.slots.lock()[idx].server = Some(server.clone());
+        // A rejoin changes the placement space too (the returned node's
+        // views are routable again): old single-site plans must re-optimize.
+        self.topology.fetch_add(1, Ordering::AcqRel);
         self.rewire();
         Ok(server)
     }
@@ -402,6 +438,11 @@ impl Fleet {
     /// Sessions rerouted by crashes so far.
     pub fn reroutes(&self) -> u64 {
         self.router.lock().reroutes()
+    }
+
+    /// The fleet-wide placement-topology version (bumped by crash/rejoin).
+    pub fn topology_version(&self) -> u64 {
+        self.topology.load(Ordering::Acquire)
     }
 }
 

@@ -65,7 +65,7 @@ pub mod scripting;
 pub mod stats;
 
 pub use backend::BackendServer;
-pub use cache::{CacheServer, CurrencyDecision};
+pub use cache::{CacheServer, CurrencyDecision, PeerHandle};
 pub use connection::{Connection, ServerHandle};
 pub use fleet::{fnv1a64, Fleet, FleetConfig, Router};
 pub use plan_cache::{param_signature, CachedPlan, CacheStats, PlanCache};

@@ -82,6 +82,12 @@ pub struct CachedPlan {
     pub est_rows: f64,
     /// Catalog version this plan was optimized under.
     pub catalog_version: u64,
+    /// Fleet placement-topology version this plan was optimized under.
+    /// Multi-site placements reference specific peers; a node crash or
+    /// rejoin bumps the fleet topology version, so plans that might route
+    /// fragments to a vanished (or newly-returned) peer are discarded
+    /// exactly like catalog-stale plans. Single-node servers pin this at 0.
+    pub topology_version: u64,
 }
 
 type Key = (String, String);
@@ -138,16 +144,26 @@ impl PlanCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up a plan for `(sql, sig)` valid at `current_version`.
+    /// Looks up a plan for `(sql, sig)` valid at `current_version` and
+    /// placement-topology version `topology`.
     ///
-    /// A resident plan stamped with an older catalog version is discarded
-    /// (counted as an invalidation *and* a miss) so a stale plan can never
-    /// be executed. Only the key's shard is locked.
-    pub fn lookup(&self, sql: &str, sig: &str, current_version: u64) -> Option<Arc<CachedPlan>> {
+    /// A resident plan stamped with an older catalog *or topology* version
+    /// is discarded (counted as an invalidation *and* a miss) so a stale
+    /// plan can never be executed. Only the key's shard is locked.
+    pub fn lookup(
+        &self,
+        sql: &str,
+        sig: &str,
+        current_version: u64,
+        topology: u64,
+    ) -> Option<Arc<CachedPlan>> {
         let key = (sql.to_string(), sig.to_string());
         let mut shard = self.shard_of(&key).lock();
         match shard.entries.get(&key) {
-            Some(plan) if plan.catalog_version == current_version => {
+            Some(plan)
+                if plan.catalog_version == current_version
+                    && plan.topology_version == topology =>
+            {
                 let plan = plan.clone();
                 // Move to the back of the LRU order.
                 if let Some(pos) = shard.order.iter().position(|k| *k == key) {
@@ -206,13 +222,11 @@ impl PlanCache {
     /// Non-counting peek used by EXPLAIN: is *any* plan for this statement
     /// text resident and valid at `current_version` (regardless of which
     /// parameter signature it was compiled for)?
-    pub fn contains_sql(&self, sql: &str, current_version: u64) -> bool {
+    pub fn contains_sql(&self, sql: &str, current_version: u64, topology: u64) -> bool {
         self.shards.iter().any(|shard| {
-            shard
-                .lock()
-                .entries
-                .iter()
-                .any(|((s, _), p)| s == sql && p.catalog_version == current_version)
+            shard.lock().entries.iter().any(|((s, _), p)| {
+                s == sql && p.catalog_version == current_version && p.topology_version == topology
+            })
         })
     }
 
@@ -316,6 +330,7 @@ mod tests {
             est_cost: opt.est_cost,
             est_rows: opt.est_rows,
             catalog_version: db.catalog.version(),
+            topology_version: 0,
         }
     }
 
@@ -325,11 +340,11 @@ mod tests {
         let cache = PlanCache::new(8);
         let sql = "SELECT i_id FROM item WHERE i_id <= @n";
         let v = db.catalog.version();
-        assert!(cache.lookup(sql, "n=int", v).is_none());
+        assert!(cache.lookup(sql, "n=int", v, 0).is_none());
         cache.insert(sql, "n=int", plan_for(&db, sql));
-        assert!(cache.lookup(sql, "n=int", v).is_some());
+        assert!(cache.lookup(sql, "n=int", v, 0).is_some());
         // A different parameter signature is a different entry.
-        assert!(cache.lookup(sql, "n=str", v).is_none());
+        assert!(cache.lookup(sql, "n=str", v, 0).is_none());
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
@@ -343,13 +358,32 @@ mod tests {
         let sql = "SELECT i_id FROM item WHERE i_id <= 5";
         cache.insert(sql, "", plan_for(&db, sql));
         let v0 = db.catalog.version();
-        assert!(cache.lookup(sql, "", v0).is_some());
+        assert!(cache.lookup(sql, "", v0, 0).is_some());
         // Metadata changes; the cached plan must not survive.
         db.create_index("ix_cost", "item", &["i_cost".into()], false)
             .unwrap();
         let v1 = db.catalog.version();
         assert!(v1 > v0);
-        assert!(cache.lookup(sql, "", v1).is_none());
+        assert!(cache.lookup(sql, "", v1, 0).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn topology_mismatch_invalidates() {
+        let db = db();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT i_id FROM item WHERE i_id <= 5";
+        cache.insert(sql, "", plan_for(&db, sql));
+        let v = db.catalog.version();
+        assert!(cache.lookup(sql, "", v, 0).is_some());
+        assert!(cache.contains_sql(sql, v, 0));
+        // A fleet topology change (crash/rejoin) must discard the plan even
+        // though the catalog version is unchanged: its placement may route
+        // fragments to a peer that no longer exists.
+        assert!(!cache.contains_sql(sql, v, 1));
+        assert!(cache.lookup(sql, "", v, 1).is_none());
         let s = cache.stats();
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.entries, 0);
@@ -365,11 +399,11 @@ mod tests {
         cache.insert("a", "", plan_for(&db, sql));
         cache.insert("b", "", plan_for(&db, sql));
         // Touch "a" so "b" is the LRU victim.
-        assert!(cache.lookup("a", "", v).is_some());
+        assert!(cache.lookup("a", "", v, 0).is_some());
         cache.insert("c", "", plan_for(&db, sql));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup("a", "", v).is_some());
-        assert!(cache.lookup("b", "", v).is_none(), "LRU entry evicted");
+        assert!(cache.lookup("a", "", v, 0).is_some());
+        assert!(cache.lookup("b", "", v, 0).is_none(), "LRU entry evicted");
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -397,7 +431,7 @@ mod tests {
         assert_eq!(cache.len(), 100, "well under capacity, nothing evicted");
         assert_eq!(cache.stats().insertions, 100);
         for i in 0..100 {
-            assert!(cache.lookup(&format!("q{i}"), "", v).is_some(), "q{i}");
+            assert!(cache.lookup(&format!("q{i}"), "", v, 0).is_some(), "q{i}");
         }
         assert_eq!(cache.stats().hits, 100);
         cache.clear();
@@ -419,9 +453,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..50 {
                         let key = format!("t{t}-q{i}");
-                        assert!(cache.lookup(&key, "", v).is_none());
+                        assert!(cache.lookup(&key, "", v, 0).is_none());
                         cache.insert(&key, "", plan_for(&db, sql));
-                        assert!(cache.lookup(&key, "", v).is_some());
+                        assert!(cache.lookup(&key, "", v, 0).is_some());
                     }
                 })
             })

@@ -34,7 +34,7 @@ use mtc_types::{Error, Result, Row, Schema, Value};
 
 use crate::eval::{apply_cmp_arith, like_match, truth, Bindings};
 use crate::logical::AggFunc;
-use crate::physical::{KeyBound, PhysicalPlan};
+use crate::physical::{KeyBound, PhysicalPlan, RemoteSite};
 
 // ---------------------------------------------------------------------------
 // Parameter slots
@@ -849,6 +849,8 @@ pub enum CompiledPlan {
         arity: usize,
         /// Estimated row width in bytes, for transfer-cost accounting.
         row_width: f64,
+        /// Site the SQL ships to: backend or a placed cache peer.
+        site: RemoteSite,
     },
 }
 
@@ -1104,10 +1106,12 @@ fn compile_plan(plan: &PhysicalPlan, slots: &mut ParamSlots) -> Result<CompiledP
             sql,
             schema,
             est_rows: _,
+            site,
         } => CompiledPlan::Remote {
             sql: sql.clone(),
             arity: schema.len(),
             row_width: schema.estimated_row_width() as f64,
+            site: site.clone(),
         },
     })
 }

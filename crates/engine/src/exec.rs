@@ -83,6 +83,18 @@ pub struct ExecMetrics {
     /// batched siblings and single-flight followers. Each coalesced call is
     /// a round trip the network never saw.
     pub coalesced_calls: u64,
+    /// Statements shipped to a cache *peer* (multi-site placement) instead
+    /// of the backend. Every peer call is also counted in `remote_calls`;
+    /// this splits out the share the backend never saw.
+    pub peer_calls: u64,
+    /// Round trips actually paid on peer links. Like `remote_rtts`, cache
+    /// hits and fallbacks can make this smaller than `peer_calls`.
+    pub peer_rtts: u64,
+    /// Rows received over peer links (subset of `remote_rows`).
+    pub peer_rows: u64,
+    /// Estimated bytes received over peer links (subset of
+    /// `bytes_transferred`).
+    pub peer_bytes: u64,
 }
 
 impl ExecMetrics {
@@ -100,6 +112,10 @@ impl ExecMetrics {
         self.parallel_work += other.parallel_work;
         self.remote_rtts += other.remote_rtts;
         self.coalesced_calls += other.coalesced_calls;
+        self.peer_calls += other.peer_calls;
+        self.peer_rtts += other.peer_rtts;
+        self.peer_rows += other.peer_rows;
+        self.peer_bytes += other.peer_bytes;
     }
 
     /// Local work units on the query's critical path when its parallel
@@ -142,6 +158,10 @@ pub struct RemoteOutcome {
     pub coalesced: u64,
     /// True when the rows came out of a mid-tier result cache.
     pub cached: bool,
+    /// True when the rows were served by a cache peer (multi-site
+    /// placement) rather than the backend; `rtts` then counts peer-link
+    /// round trips, not backend ones.
+    pub peer: bool,
 }
 
 impl RemoteOutcome {
@@ -154,6 +174,7 @@ impl RemoteOutcome {
             rtts: 1,
             coalesced: 0,
             cached: false,
+            peer: false,
         }
     }
 }
@@ -182,6 +203,16 @@ pub trait RemoteExecutor {
         sqls.iter()
             .map(|sql| self.execute_remote_outcome(sql, params))
             .collect()
+    }
+
+    /// Executes a fragment that multi-site placement assigned to cache peer
+    /// `node`. The default ignores the placement and falls back to the
+    /// backend path, so executors without fleet wiring stay correct (the
+    /// peer's cached view is, by construction, a subset of backend truth).
+    /// Fleet gateways override this to actually cross the peer link.
+    fn execute_peer(&self, node: &str, sql: &str, params: &Bindings) -> Result<RemoteOutcome> {
+        let _ = node;
+        self.execute_remote_outcome(sql, params)
     }
 }
 
@@ -709,11 +740,19 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             sql,
             schema,
             est_rows: _,
+            site,
         } => {
             let remote = ctx.remote.ok_or_else(|| {
                 Error::execution("plan requires a backend connection but none is configured")
             })?;
-            let outcome = remote.execute_remote_outcome(sql, ctx.params)?;
+            let outcome = match site {
+                crate::physical::RemoteSite::Backend => {
+                    remote.execute_remote_outcome(sql, ctx.params)?
+                }
+                crate::physical::RemoteSite::Peer { node, .. } => {
+                    remote.execute_peer(node, sql, ctx.params)?
+                }
+            };
             let result = outcome.result;
             // Positional contract: the shipped SELECT list matches our
             // schema column-for-column.
@@ -728,11 +767,18 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>, m: &mut ExecMetrics) -> Resul
             m.remote_rtts += outcome.rtts;
             m.coalesced_calls += outcome.coalesced;
             m.remote_rows += result.rows.len() as u64;
-            m.bytes_transferred += result
+            let bytes = result
                 .rows
                 .iter()
                 .map(Row::estimated_width)
                 .sum::<u64>();
+            m.bytes_transferred += bytes;
+            if outcome.peer {
+                m.peer_calls += outcome.calls;
+                m.peer_rtts += outcome.rtts;
+                m.peer_rows += result.rows.len() as u64;
+                m.peer_bytes += bytes;
+            }
             // Work the backend spent executing the shipped statement.
             m.remote_work += result.metrics.local_work + result.metrics.remote_work;
             // Local cost of receiving the transfer.

@@ -40,5 +40,8 @@ pub use exec::{
 };
 pub use logical::{AggCall, AggFunc, DataLocation, LogicalPlan};
 pub use parallel::{ParallelCtx, PARALLEL_THRESHOLD};
-pub use optimizer::{optimize, CostModel, Optimized, OptimizerOptions};
-pub use physical::PhysicalPlan;
+pub use optimizer::{
+    optimize, optimize_with_placement, CostModel, LinkCost, Optimized, OptimizerOptions, PeerSite,
+    PlacementEnv,
+};
+pub use physical::{PhysicalPlan, RemoteSite};

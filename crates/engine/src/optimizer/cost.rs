@@ -23,6 +23,11 @@ pub struct CostModel {
     /// "even though the backend server may be powerful, it is likely to be
     /// heavily loaded so we will only get a fraction of its capacity" (§5).
     pub remote_cost_factor: f64,
+    /// Multiplier applied to operators executed on a cache *peer*. Peers
+    /// are identical mid-tier boxes (not the loaded backend), but they
+    /// serve their own sessions — a mild penalty keeps truly-local
+    /// execution preferred whenever both are feasible.
+    pub peer_cost_factor: f64,
 }
 
 impl Default for CostModel {
@@ -35,6 +40,7 @@ impl Default for CostModel {
             transfer_startup: 200.0,
             transfer_per_byte: 0.02,
             remote_cost_factor: 1.3,
+            peer_cost_factor: 1.1,
         }
     }
 }
@@ -91,6 +97,47 @@ impl CostModel {
     pub fn transfer(&self, rows: f64, row_width: f64) -> f64 {
         self.transfer_startup + self.transfer_per_byte * rows.max(0.0) * row_width.max(1.0)
     }
+
+    /// The backend link as a [`LinkCost`]: same startup + per-byte numbers
+    /// the classic two-site DataTransfer used, so multi-site placement with
+    /// no peers reproduces the legacy costs exactly.
+    pub fn backend_link(&self) -> LinkCost {
+        LinkCost {
+            startup: self.transfer_startup,
+            per_byte: self.transfer_per_byte,
+        }
+    }
+
+    /// The rack-local peer link: same payload bandwidth as the backend
+    /// link, but a fraction of its startup cost — mirroring the default
+    /// `mtc_sim::FleetLinks` RTTs (peer 0.15 ms vs backend 0.8 ms: same
+    /// switch, no ODBC framing).
+    pub fn peer_link(&self) -> LinkCost {
+        LinkCost {
+            startup: self.transfer_startup * (0.15 / 0.8),
+            per_byte: self.transfer_per_byte,
+        }
+    }
+}
+
+/// Per-link DataTransfer cost: a fleet is not one uniform network. The
+/// backend sits behind a WAN-ish link (high startup), cache peers sit on the
+/// same rack (cheap startup, similar bandwidth). Multi-site placement costs
+/// each candidate boundary with the link it would actually cross.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCost {
+    /// Constant per-statement cost (round trip, remote parse/optimize).
+    pub startup: f64,
+    /// Per-byte cost of volume shipped over this link.
+    pub per_byte: f64,
+}
+
+impl LinkCost {
+    /// DataTransfer cost of shipping `rows` rows of `row_width` bytes
+    /// across this link — same shape as [`CostModel::transfer`].
+    pub fn transfer(&self, rows: f64, row_width: f64) -> f64 {
+        self.startup + self.per_byte * rows.max(0.0) * row_width.max(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +171,32 @@ mod tests {
     fn sort_superlinear() {
         let m = CostModel::default();
         assert!(m.sort(2000.0) > 2.0 * m.sort(1000.0));
+    }
+
+    #[test]
+    fn backend_link_matches_legacy_transfer() {
+        let m = CostModel::default();
+        let link = m.backend_link();
+        for (rows, width) in [(0.0, 8.0), (1.0, 8.0), (5_000.0, 64.0)] {
+            assert_eq!(link.transfer(rows, width), m.transfer(rows, width));
+        }
+    }
+
+    #[test]
+    fn peer_factor_between_local_and_backend() {
+        let m = CostModel::default();
+        assert!(m.peer_cost_factor >= 1.0);
+        assert!(m.peer_cost_factor < m.remote_cost_factor);
+    }
+
+    #[test]
+    fn peer_link_is_cheaper_on_startup_same_on_volume() {
+        let m = CostModel::default();
+        let peer = m.peer_link();
+        let backend = m.backend_link();
+        assert!(peer.startup < backend.startup);
+        assert_eq!(peer.per_byte, backend.per_byte);
+        // The ratio mirrors mtc_sim::FleetLinks's 0.15ms / 0.8ms defaults.
+        assert!((peer.startup / backend.startup - 0.1875).abs() < 1e-12);
     }
 }

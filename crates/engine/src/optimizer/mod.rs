@@ -15,7 +15,8 @@ use mtc_types::Result;
 use crate::logical::LogicalPlan;
 use crate::physical::PhysicalPlan;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, LinkCost};
+pub use location::{PeerSite, PlacementEnv};
 pub use view_match::MatchOptions;
 
 /// Optimizer configuration, including ablation switches for every MTCache
@@ -63,11 +64,26 @@ pub struct Optimized {
     pub est_rows: f64,
 }
 
-/// Runs the full optimization pipeline over a bound logical plan.
+/// Runs the full optimization pipeline over a bound logical plan with the
+/// classic two-site (here / backend) placement space.
 pub fn optimize(
     plan: LogicalPlan,
     db: &Database,
     options: &OptimizerOptions,
+) -> Result<Optimized> {
+    optimize_with_placement(plan, db, options, &PlacementEnv::two_site(&options.cost))
+}
+
+/// Runs the full optimization pipeline with an explicit placement
+/// environment: every DataTransfer boundary is costed per candidate site
+/// (here, each peer carrying a relevant cached view, backend) over its own
+/// link, and physical `Remote` boundaries are threaded to whichever site
+/// the dynamic program picked.
+pub fn optimize_with_placement(
+    plan: LogicalPlan,
+    db: &Database,
+    options: &OptimizerOptions,
+    env: &PlacementEnv<'_>,
 ) -> Result<Optimized> {
     let plan = pushdown::push_filters(plan);
 
@@ -82,32 +98,56 @@ pub fn optimize(
     // Candidate set: the matched plan, a greedily join-reordered variant,
     // and (optionally) versions with every ChoosePlan pulled to the top.
     // Pick the cheapest — the paper notes pull-up can win (bigger remote
-    // subqueries) or lose (larger plans).
-    let mut candidates = vec![plan.clone()];
-    let reordered =
-        view_match::recompute_schemas(join_order::reorder_joins(plan.clone(), db));
-    if !candidates.contains(&reordered) {
-        candidates.push(reordered);
+    // subqueries) or lose (larger plans). Each candidate is costed exactly
+    // once; `consider` folds it into the running best.
+    fn consider(
+        cand: LogicalPlan,
+        seen: &mut Vec<LogicalPlan>,
+        best: &mut Option<(f64, LogicalPlan)>,
+        db: &Database,
+        options: &OptimizerOptions,
+        env: &PlacementEnv<'_>,
+    ) {
+        if seen.contains(&cand) {
+            return;
+        }
+        let c = location::cost_placed(&cand, db, &options.cost, env, &[]);
+        if best.as_ref().map(|(bc, _)| c.local < *bc).unwrap_or(true) {
+            *best = Some((c.local, cand.clone()));
+        }
+        seen.push(cand);
+    }
+    let mut best: Option<(f64, LogicalPlan)> = None;
+    let mut seen: Vec<LogicalPlan> = Vec::new();
+    consider(plan.clone(), &mut seen, &mut best, db, options, env);
+    consider(
+        view_match::recompute_schemas(join_order::reorder_joins(plan, db)),
+        &mut seen,
+        &mut best,
+        db,
+        options,
+        env,
+    );
+    // Placement ChoosePlans: when a *peer* (not this node) carries a view
+    // that matches a parameterized leaf only under a guard, build a dynamic
+    // plan whose startup predicate selects among placements — guard open:
+    // ship the fragment over the cheap peer link; guard closed: backend.
+    // Synthesized from the cheapest base only: deriving placement variants
+    // of every base would double the DP passes (and the planning time)
+    // without changing which base structure wins.
+    if options.enable_dynamic_plans && !env.peers.is_empty() {
+        let base = best.as_ref().expect("at least one candidate").1.clone();
+        let placed = view_match::recompute_schemas(synthesize_placement_choices(base, env));
+        consider(placed, &mut seen, &mut best, db, options, env);
     }
     if options.enable_choose_plan_pullup {
-        for base in candidates.clone() {
-            let pulled = pull_up_choose_plans(base);
-            if !candidates.contains(&pulled) {
-                candidates.push(pulled);
-            }
-        }
-    }
-
-    let mut best: Option<(f64, LogicalPlan)> = None;
-    for cand in candidates {
-        let c = location::cost(&cand, db, &options.cost);
-        if best.as_ref().map(|(bc, _)| c.local < *bc).unwrap_or(true) {
-            best = Some((c.local, cand));
+        for base in seen.clone() {
+            consider(pull_up_choose_plans(base), &mut seen, &mut best, db, options, env);
         }
     }
     let (est_cost, logical) = best.expect("at least one candidate");
     let est_rows = cardinality::estimate_rows(&logical, db);
-    let physical = location::build(&logical, db, &options.cost)?;
+    let physical = location::build_placed(&logical, db, &options.cost, env, &[])?;
     Ok(Optimized {
         logical,
         physical,
@@ -239,6 +279,64 @@ fn apply_view_matching(
             }
         }
         best
+    };
+    rewrite_plan(plan, &rewrite)
+}
+
+/// Builds *placement ChoosePlans*: for every remote leaf that no local view
+/// rewrote, but that some peer's cached view matches **under a parameter
+/// guard**, wrap the leaf in a two-branch UnionAll whose startup predicates
+/// are the guard and its negation. Both branches are textually the same
+/// remote leaf — what differs is *placement*: under the open guard the
+/// placement DP can route the fragment to the peer's view over the cheap
+/// peer link; under the closed guard the peer match is unusable and the
+/// fragment ships to the backend. At run time exactly one branch opens.
+fn synthesize_placement_choices(
+    plan: LogicalPlan,
+    env: &location::PlacementEnv<'_>,
+) -> LogicalPlan {
+    let rewrite = |node: LogicalPlan| -> LogicalPlan {
+        let (get, conjuncts): (&LogicalPlan, Vec<Expr>) = match &node {
+            LogicalPlan::Filter { input, predicate }
+                if matches!(**input, LogicalPlan::Get { .. }) =>
+            {
+                (
+                    input,
+                    predicate.split_conjuncts().into_iter().cloned().collect(),
+                )
+            }
+            LogicalPlan::Get { .. } => (&node, vec![]),
+            _ => return node,
+        };
+        let LogicalPlan::Get {
+            object,
+            alias,
+            schema,
+            location,
+        } = get
+        else {
+            return node;
+        };
+        if *location != crate::logical::DataLocation::Remote || object.is_empty() {
+            return node;
+        }
+        let required: Vec<String> = schema.columns().iter().map(|c| c.name.clone()).collect();
+        for site in &env.peers {
+            // A local match would have rewritten this leaf already; only a
+            // *guarded* peer match creates a genuine placement choice.
+            let Some((guard, fl)) = location::guarded_peer_match(
+                object, alias, schema, &conjuncts, &required, site, env,
+            ) else {
+                continue;
+            };
+            return LogicalPlan::UnionAll {
+                inputs: vec![node.clone(), node.clone()],
+                startup_predicates: vec![Some(guard.clone()), Some(Expr::not(guard))],
+                weights: vec![fl, 1.0 - fl],
+                schema: node.schema().clone(),
+            };
+        }
+        node
     };
     rewrite_plan(plan, &rewrite)
 }

@@ -17,6 +17,31 @@ pub struct KeyBound {
     pub inclusive: bool,
 }
 
+/// Which site a [`PhysicalPlan::Remote`] boundary ships its SQL to: the
+/// backend server (the paper's only remote site), or a cache peer whose
+/// cached views cover the fragment (multi-site placement).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteSite {
+    Backend,
+    Peer {
+        /// Fleet node name, e.g. `cache2`.
+        node: String,
+        /// Cached view(s) the fragment is served from (`+`-joined), for
+        /// EXPLAIN observability.
+        view: String,
+    },
+}
+
+impl RemoteSite {
+    /// Human-readable placement label used by EXPLAIN.
+    pub fn describe(&self) -> String {
+        match self {
+            RemoteSite::Backend => "backend".to_string(),
+            RemoteSite::Peer { node, view } => format!("{node} (view {view})"),
+        }
+    }
+}
+
 /// Physical operators.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -136,13 +161,14 @@ pub enum PhysicalPlan {
         /// Single-column output schema (the aggregate's output name).
         schema: Schema,
     },
-    /// DataTransfer boundary: ship `sql` to the backend, which re-parses and
-    /// re-optimizes it (the prototype's textual-SQL limitation), and stream
-    /// the result back.
+    /// DataTransfer boundary: ship `sql` to `site` — the backend or a cache
+    /// peer — which re-parses and re-optimizes it (the prototype's
+    /// textual-SQL limitation), and stream the result back.
     Remote {
         sql: String,
         schema: Schema,
         est_rows: f64,
+        site: RemoteSite,
     },
 }
 
@@ -322,9 +348,19 @@ impl PhysicalPlan {
                 "ExtremeSeek {object} ({})\n",
                 if *is_max { "MAX" } else { "MIN" }
             )),
-            PhysicalPlan::Remote { sql, est_rows, .. } => {
-                out.push_str(&format!("Remote (~{est_rows:.0} rows): {sql}\n"))
-            }
+            PhysicalPlan::Remote {
+                sql,
+                est_rows,
+                site,
+                ..
+            } => match site {
+                RemoteSite::Backend => {
+                    out.push_str(&format!("Remote (~{est_rows:.0} rows): {sql}\n"))
+                }
+                RemoteSite::Peer { node, view } => out.push_str(&format!(
+                    "Remote@{node} (view {view}, ~{est_rows:.0} rows): {sql}\n"
+                )),
+            },
         }
         for c in self.children() {
             c.explain_into(out, depth + 1);
@@ -356,6 +392,7 @@ mod tests {
             sql: "SELECT a FROM t".into(),
             schema: schema.clone(),
             est_rows: 10.0,
+            site: RemoteSite::Backend,
         };
         let plan = PhysicalPlan::Top {
             input: Box::new(PhysicalPlan::Filter {

@@ -177,7 +177,14 @@ fn collect_certain_remotes<'p>(
     out: &mut Vec<&'p str>,
 ) -> Result<()> {
     match plan {
-        CompiledPlan::Remote { sql, .. } => out.push(sql),
+        // Only backend-bound remotes are batched into the pipelined
+        // prefetch round trip; peer-placed fragments cross their own (much
+        // cheaper) peer link on demand.
+        CompiledPlan::Remote { sql, site, .. } => {
+            if matches!(site, crate::physical::RemoteSite::Backend) {
+                out.push(sql);
+            }
+        }
         CompiledPlan::UnionAll { inputs, guards } => {
             for (input, guard) in inputs.iter().zip(guards) {
                 let open = match guard {
@@ -505,10 +512,12 @@ fn build<'e>(
             sql,
             arity,
             row_width,
+            site,
         } => Box::new(RemoteStream {
             sql,
             arity: *arity,
             row_width: *row_width,
+            site,
             done: false,
         }),
     })
@@ -837,6 +846,7 @@ struct RemoteStream<'e> {
     sql: &'e str,
     arity: usize,
     row_width: f64,
+    site: &'e crate::physical::RemoteSite,
     done: bool,
 }
 
@@ -863,18 +873,32 @@ impl<'e> BatchStream<'e> for RemoteStream<'e> {
                 let remote = cx.remote.ok_or_else(|| {
                     Error::execution("plan requires a backend connection but none is configured")
                 })?;
-                let outcome = remote.execute_remote_outcome(self.sql, cx.params)?;
+                let outcome = match self.site {
+                    crate::physical::RemoteSite::Backend => {
+                        remote.execute_remote_outcome(self.sql, cx.params)?
+                    }
+                    crate::physical::RemoteSite::Peer { node, .. } => {
+                        remote.execute_peer(node, self.sql, cx.params)?
+                    }
+                };
                 m.remote_calls += outcome.calls;
                 m.remote_rtts += outcome.rtts;
                 m.coalesced_calls += outcome.coalesced;
                 m.remote_rows += outcome.result.rows.len() as u64;
-                m.bytes_transferred += outcome
+                let bytes = outcome
                     .result
                     .rows
                     .iter()
                     .map(Row::estimated_width)
                     .sum::<u64>();
-                // Work the backend spent executing the shipped statement.
+                m.bytes_transferred += bytes;
+                if outcome.peer {
+                    m.peer_calls += outcome.calls;
+                    m.peer_rtts += outcome.rtts;
+                    m.peer_rows += outcome.result.rows.len() as u64;
+                    m.peer_bytes += bytes;
+                }
+                // Work the remote site spent executing the shipped statement.
                 m.remote_work +=
                     outcome.result.metrics.local_work + outcome.result.metrics.remote_work;
                 outcome.result

@@ -4,7 +4,7 @@
 use mtc_engine::eval::Bindings;
 use mtc_engine::{
     bind_select, execute, optimize, CostModel, ExecContext, ExecMetrics, OptimizerOptions,
-    PhysicalPlan, QueryResult, RemoteExecutor,
+    PhysicalPlan, QueryResult, RemoteExecutor, RemoteSite,
 };
 use mtc_sql::{parse_statement, Statement};
 use mtc_storage::{Database, RowChange};
@@ -154,6 +154,7 @@ fn remote_node_accounts_transfer_metrics() {
         sql: "SELECT x FROM somewhere".into(),
         schema: Schema::new(vec![Column::new("x", DataType::Int)]),
         est_rows: 3.0,
+        site: RemoteSite::Backend,
     };
     let cm = CostModel::default();
     let params = Bindings::new();
@@ -187,6 +188,7 @@ fn remote_arity_mismatch_is_detected() {
         sql: "SELECT x FROM somewhere".into(),
         schema: Schema::new(vec![Column::new("x", DataType::Int)]),
         est_rows: 1.0,
+        site: RemoteSite::Backend,
     };
     let cm = CostModel::default();
     let params = Bindings::new();
@@ -224,6 +226,7 @@ fn startup_predicates_skip_remote_branches_entirely() {
                 sql: "SELECT lk FROM left_t".into(),
                 schema: schema.clone(),
                 est_rows: 4.0,
+                site: RemoteSite::Backend,
             },
         ],
         startup_predicates: vec![

@@ -574,3 +574,95 @@ fn fleet_size_cache_state_and_dop_are_invisible_across_shapes() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Multi-site placement × degree of parallelism (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+/// A partitioned fleet over this file's `t` fixture: `cache0` is viewless
+/// (in-view reads hop to its peer), only `cache1` caches `t_head`.
+fn placement_fleet(dop: usize) -> (Arc<BackendServer>, Arc<mtcache_repro::cache::Fleet>) {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, grp INT, val FLOAT, name VARCHAR);
+             CREATE INDEX ix_t_grp ON t (grp);",
+        )
+        .unwrap();
+    let rows: Vec<String> = (1..=N_ROWS)
+        .map(|i| {
+            format!(
+                "INSERT INTO t VALUES ({i}, {}, {}.5, 'name{}')",
+                i % 17,
+                i % 83,
+                i % 29
+            )
+        })
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let fleet = mtcache_repro::cache::Fleet::create(
+        backend.clone(),
+        hub,
+        mtcache_repro::cache::FleetConfig {
+            nodes: 2,
+            dop,
+            ..mtcache_repro::cache::FleetConfig::default()
+        },
+        Box::new(|cache: &CacheServer| {
+            if cache.name() == "cache1" {
+                cache.create_cached_view(
+                    "t_head",
+                    &format!("SELECT id, grp, val, name FROM t WHERE id <= {VIEW_BOUND}"),
+                )?;
+            }
+            Ok(())
+        }),
+    )
+    .unwrap();
+    (backend, fleet)
+}
+
+#[test]
+fn fleet_placement_agrees_across_dop() {
+    // Transparency through the placement layer: for randomized queries, a
+    // viewless node whose fragments may be peer-placed answers exactly what
+    // the backend answers — at dop 1 and dop 4, through every node. The
+    // chosen site is a pure performance decision, never a semantic one.
+    let (backend1, serial) = placement_fleet(1);
+    let (backend4, parallel) = placement_fleet(4);
+    let reference = Connection::connect(backend1);
+    let reference4 = Connection::connect(backend4);
+    check::run(
+        &Config::cases(24),
+        "fleet_placement_agrees_across_dop",
+        gen_query,
+        |sql| {
+            let want = reference.query(sql).unwrap();
+            assert_eq!(
+                sorted(reference4.query(sql).unwrap().rows),
+                sorted(want.rows.clone()),
+                "fixtures diverged: {sql}"
+            );
+            for slot in 0..2 {
+                let via_serial = Connection::connect(serial.node(slot).unwrap())
+                    .query(sql)
+                    .unwrap();
+                let via_parallel = Connection::connect(parallel.node(slot).unwrap())
+                    .query(sql)
+                    .unwrap();
+                assert_eq!(
+                    sorted(via_serial.rows),
+                    sorted(want.rows.clone()),
+                    "dop 1, node {slot}: {sql}"
+                );
+                assert_eq!(
+                    sorted(via_parallel.rows),
+                    sorted(want.rows.clone()),
+                    "dop 4, node {slot}: {sql}"
+                );
+            }
+        },
+    );
+}

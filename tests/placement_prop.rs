@@ -1,0 +1,159 @@
+//! Property-based pin of the multi-site placement DP (DESIGN.md §13):
+//! for randomized small queries and randomized placement environments
+//! (up to 3 peers + backend + here = 5 sites), the DP's cheapest
+//! local-delivery cost equals an exhaustive brute-force enumeration of
+//! every feasible (plan node → site) assignment. The DP is optimal over
+//! the space it claims to search — per-link DataTransfer costs, peer
+//! view coverage, pruning-Project fusion and all.
+
+use std::sync::Arc;
+
+use mtc_util::check::{self, Config};
+use mtc_util::rng::{Rng, StdRng};
+use mtc_util::sync::Mutex;
+
+use mtcache_repro::cache::{BackendServer, CacheServer};
+use mtcache_repro::engine::optimizer::location::{brute_force_local, cost_placed};
+use mtcache_repro::engine::{bind_select, CostModel, PeerSite, PlacementEnv};
+use mtcache_repro::replication::ReplicationHub;
+use mtcache_repro::sql::{parse_statement, Statement};
+
+const T_ROWS: i64 = 2000;
+const U_ROWS: i64 = 1500;
+
+/// A viewless "here" node plus three peers with *different* view subsets,
+/// so feasibility varies per peer: p0 covers narrow `t` reads, p1 covers
+/// wide `t` reads over a smaller range, p2 covers `u`.
+fn setup() -> (Arc<CacheServer>, Vec<Arc<CacheServer>>) {
+    let backend = BackendServer::new("backend");
+    backend
+        .run_script(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, grp INT, val FLOAT, name VARCHAR);
+             CREATE TABLE u (id INT NOT NULL PRIMARY KEY, tag INT)",
+        )
+        .unwrap();
+    let t_rows: Vec<String> = (1..=T_ROWS)
+        .map(|i| format!("INSERT INTO t VALUES ({i}, {}, {}.5, 'n{}')", i % 17, i % 83, i % 29))
+        .collect();
+    backend.run_script(&t_rows.join(";")).unwrap();
+    let u_rows: Vec<String> = (1..=U_ROWS)
+        .map(|i| format!("INSERT INTO u VALUES ({i}, {})", i % 41))
+        .collect();
+    backend.run_script(&u_rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    let here = CacheServer::create("here", backend.clone(), hub.clone());
+    let views: [&[(&str, &str)]; 3] = [
+        &[("t_head", "SELECT id, grp FROM t WHERE id < 1500")],
+        &[("t_wide", "SELECT id, grp, val, name FROM t WHERE id < 800")],
+        &[("u_head", "SELECT id, tag FROM u WHERE id < 1200")],
+    ];
+    let peers = views
+        .iter()
+        .enumerate()
+        .map(|(i, defs)| {
+            let peer = CacheServer::create(&format!("peer{i}"), backend.clone(), hub.clone());
+            for (name, sql) in defs.iter() {
+                peer.create_cached_view(name, sql).unwrap();
+            }
+            peer
+        })
+        .collect();
+    (here, peers)
+}
+
+/// Small query shapes (≤5 plan nodes after binding): leaf scans with
+/// range/equality filters, pruning projections, sorts, aggregates, and a
+/// two-table join — every operator family the DP composes peer costs over.
+fn gen_query(rng: &mut StdRng) -> String {
+    let k = rng.gen_range(1i64..T_ROWS);
+    let g = rng.gen_range(0i64..17);
+    match rng.gen_range(0u32..7) {
+        0 => format!("SELECT id, grp FROM t WHERE id < {k}"),
+        1 => format!("SELECT id, grp, val FROM t WHERE id < {k}"),
+        2 => format!("SELECT id, grp FROM t WHERE id < {k} ORDER BY id ASC"),
+        3 => format!("SELECT COUNT(*) AS n FROM t WHERE id < {k}"),
+        4 => format!("SELECT id, grp FROM t WHERE id < {k} AND grp = {g}"),
+        5 => format!(
+            "SELECT t.id, u.tag FROM t JOIN u ON t.id = u.id WHERE t.id < {}",
+            k.min(U_ROWS)
+        ),
+        _ => format!("SELECT id FROM u WHERE id < {} AND tag > 10", k.min(U_ROWS)),
+    }
+}
+
+#[test]
+fn dp_cost_equals_brute_force_enumeration() {
+    let (here, peers) = setup();
+    let cm = CostModel::default();
+    let db = here.db.read();
+    let snaps: Vec<_> = peers.iter().map(|p| p.db.read()).collect();
+    check::run(
+        &Config::cases(300),
+        "dp_cost_equals_brute_force_enumeration",
+        |rng: &mut StdRng| {
+            // A random peer subset: from two-site (no peers) up to 5 sites.
+            let mask = rng.gen_range(0u32..8);
+            (gen_query(rng), mask)
+        },
+        |(sql, mask)| {
+            let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+                panic!("generator only emits SELECT");
+            };
+            let plan = bind_select(&sel, &db).unwrap();
+            let mut env = PlacementEnv::two_site(&cm);
+            for (i, snap) in snaps.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    env.peers.push(PeerSite {
+                        name: format!("peer{i}"),
+                        db: snap,
+                        link: cm.peer_link(),
+                    });
+                }
+            }
+            let dp = cost_placed(&plan, &db, &cm, &env, &[]).local;
+            let bf = brute_force_local(&plan, &db, &cm, &env, &[]);
+            assert!(
+                (dp - bf).abs() <= 1e-9 * dp.abs().max(1.0),
+                "DP {dp} != brute force {bf} for `{sql}` with peer mask {mask:03b}"
+            );
+        },
+    );
+}
+
+#[test]
+fn adding_peers_never_raises_the_delivery_cost() {
+    // Monotonicity: every peer only *adds* strategies to the assignment
+    // space, so the optimal delivery cost is non-increasing in the peer
+    // set — and never beats the degenerate all-sites-here lower bound.
+    let (here, peers) = setup();
+    let cm = CostModel::default();
+    let db = here.db.read();
+    let snaps: Vec<_> = peers.iter().map(|p| p.db.read()).collect();
+    check::run(
+        &Config::cases(120),
+        "adding_peers_never_raises_the_delivery_cost",
+        gen_query,
+        |sql| {
+            let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+                panic!("generator only emits SELECT");
+            };
+            let plan = bind_select(&sel, &db).unwrap();
+            let mut env = PlacementEnv::two_site(&cm);
+            let mut prev = cost_placed(&plan, &db, &cm, &env, &[]).local;
+            for (i, snap) in snaps.iter().enumerate() {
+                env.peers.push(PeerSite {
+                    name: format!("peer{i}"),
+                    db: snap,
+                    link: cm.peer_link(),
+                });
+                let next = cost_placed(&plan, &db, &cm, &env, &[]).local;
+                assert!(
+                    next <= prev + 1e-9 * prev.abs().max(1.0),
+                    "adding peer{i} raised the cost {prev} -> {next} for `{sql}`"
+                );
+                prev = next;
+            }
+        },
+    );
+}
