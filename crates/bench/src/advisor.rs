@@ -1,0 +1,440 @@
+//! Adaptive-advisor experiment (DESIGN.md §14).
+//!
+//! The static TPC-W cache configuration (§6.1.2) is tuned for the item
+//! catalog: cv_item / cv_author / cv_orders / cv_order_line. This
+//! experiment moves the working set out from under it and measures how an
+//! *online* advisor recovers. The same seeded, phase-shifting interaction
+//! stream ([`PhaseSchedule::shifting_working_set`]: a Zipf-skewed Browsing
+//! phase, then an abrupt shift to account-heavy traffic) runs through two
+//! deployments:
+//!
+//! * **static** — the frozen §6.1.2 configuration. Post-shift, every
+//!   customer/account read pays a backend round trip, forever (the
+//!   statement result cache helps only until the next login write
+//!   invalidates it).
+//! * **adaptive** — the same deployment with an [`AdaptiveAdvisor`]
+//!   attached (ticked every [`TICK_EVERY`] interactions) and
+//!   intermediate-result caching on. The advisor observes the shifted
+//!   statement stream, creates the missing cached views at runtime through
+//!   the ordinary DDL + bulk-populate path, and re-partitions cache
+//!   budgets; memoized join/aggregate fragments absorb the repeated
+//!   best-seller computation.
+//!
+//! Reported per config and phase: backend round trips, modeled p50/p95
+//! latency, fragment memo probes/hits. The headline numbers are the
+//! post-shift ratios (static ÷ adaptive) of backend RTTs and p50 — the
+//! ISSUE floors the better of the two at ≥ 1.3× — plus the advisor's own
+//! decision counters and a post-drain equivalence sweep (caches on vs off,
+//! bit-for-bit).
+
+use std::sync::Arc;
+
+use mtc_replication::{Clock, FaultPlan};
+use mtc_sim::RttModel;
+use mtc_tpcw::interactions::run_interaction_with_keys;
+use mtc_tpcw::mix::PhaseSchedule;
+use mtc_tpcw::session::Session;
+use mtc_util::rng::{Rng, SeedableRng, StdRng};
+use mtcache::{AdaptiveAdvisor, AdvisorConfig, AdvisorStats};
+
+use crate::concurrency::{FAULTS, SESSIONS, WORK_RATE};
+use crate::deployment::Deployment;
+use crate::resultcache::{equivalence_probes, REMOTE_ROW_BYTES};
+
+/// The adaptive config closes one advisor epoch every this many
+/// interactions (a real deployment would tick on a timer).
+pub const TICK_EVERY: usize = 50;
+
+/// Measured stream of one phase under one config.
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorPhaseStats {
+    pub phase: &'static str,
+    pub interactions: usize,
+    pub errors: usize,
+    /// Logical remote statements the plans consumed.
+    pub remote_calls: u64,
+    /// Wire round trips actually paid to the backend.
+    pub remote_rtts: u64,
+    /// Rows shipped back from the backend.
+    pub remote_rows: u64,
+    /// Total CPU work, work units (local + backend).
+    pub total_work: f64,
+    /// Modeled per-interaction latency percentiles, ms.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    /// Fragment-memo probes/hits inside this phase's executions.
+    pub fragment_probes: u64,
+    pub fragment_hits: u64,
+}
+
+/// One config's full run over the schedule.
+#[derive(Debug, Clone)]
+pub struct AdvisorRun {
+    pub config: &'static str,
+    pub phases: Vec<AdvisorPhaseStats>,
+    /// Cached views present when the stream ended.
+    pub views_end: Vec<String>,
+    /// Advisor decision counters (`None` for the static config).
+    pub advisor: Option<AdvisorStats>,
+    /// Cache byte budgets when the stream ended.
+    pub l1_budget_end: u64,
+    pub fragment_budget_end: u64,
+}
+
+/// Everything `exp_advisor` reports.
+#[derive(Debug, Clone)]
+pub struct AdvisorResults {
+    pub per_phase: usize,
+    pub seed: u64,
+    pub rtt: RttModel,
+    pub static_run: AdvisorRun,
+    pub adaptive_run: AdvisorRun,
+    /// Post-shift (last phase) static ÷ adaptive backend round trips.
+    pub post_shift_rtt_ratio: f64,
+    /// Post-shift static ÷ adaptive modeled p50.
+    pub post_shift_p50_ratio: f64,
+    /// Fragment memo totals of the adaptive run.
+    pub fragment_probes: u64,
+    pub fragment_hits: u64,
+    /// Post-drain equivalence sweep on the adaptive deployment.
+    pub equivalence_checked: usize,
+    pub equivalence_failures: usize,
+    /// The adaptive advisor's decision log (most recent lines).
+    pub advisor_log: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl AdvisorResults {
+    /// Renders the results as a JSON object (hand-rolled: hermetic build,
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"experiment\": \"advisor\",\n");
+        s.push_str(&format!("  \"interactions_per_phase\": {},\n", self.per_phase));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"tick_every\": {TICK_EVERY},\n"));
+        s.push_str(&format!(
+            "  \"fault_plan\": {{ \"drop_p\": {:.2}, \"duplicate_p\": {:.2}, \"crash_every\": {} }},\n",
+            FAULTS.drop_p, FAULTS.duplicate_p, FAULTS.crash_every
+        ));
+        s.push_str(&format!(
+            "  \"rtt_model\": {{ \"rtt_ms\": {:.3}, \"per_kib_ms\": {:.3}, \"row_bytes\": {} }},\n",
+            self.rtt.rtt_ms, self.rtt.per_kib_ms, REMOTE_ROW_BYTES
+        ));
+        s.push_str("  \"configs\": [\n");
+        for (ci, run) in [&self.static_run, &self.adaptive_run].into_iter().enumerate() {
+            s.push_str(&format!("    {{ \"config\": \"{}\",\n", run.config));
+            s.push_str("      \"phases\": [\n");
+            for (i, p) in run.phases.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{ \"phase\": \"{}\", \"interactions\": {}, \"errors\": {}, \
+\"remote_calls\": {}, \"remote_rtts\": {}, \"remote_rows\": {}, \
+\"total_work_units\": {:.0}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+\"fragment_probes\": {}, \"fragment_hits\": {} }}{}\n",
+                    p.phase,
+                    p.interactions,
+                    p.errors,
+                    p.remote_calls,
+                    p.remote_rtts,
+                    p.remote_rows,
+                    p.total_work,
+                    p.p50_ms,
+                    p.p95_ms,
+                    p.fragment_probes,
+                    p.fragment_hits,
+                    if i + 1 == run.phases.len() { "" } else { "," },
+                ));
+            }
+            s.push_str("      ],\n");
+            s.push_str(&format!(
+                "      \"views_end\": [{}],\n",
+                run.views_end
+                    .iter()
+                    .map(|v| format!("\"{}\"", json_escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            s.push_str(&format!(
+                "      \"budgets_end\": {{ \"l1\": {}, \"fragment\": {} }}",
+                run.l1_budget_end, run.fragment_budget_end
+            ));
+            if let Some(a) = &run.advisor {
+                s.push_str(&format!(
+                    ",\n      \"advisor\": {{ \"epochs\": {}, \"views_created\": {}, \
+\"views_widened\": {}, \"indexes_created\": {}, \"views_dropped\": {}, \
+\"creates_suppressed\": {}, \"drops_suppressed\": {}, \
+\"budget_moves\": {}, \"bytes_rebalanced\": {} }}",
+                    a.epochs,
+                    a.views_created,
+                    a.views_widened,
+                    a.indexes_created,
+                    a.views_dropped,
+                    a.creates_suppressed,
+                    a.drops_suppressed,
+                    a.budget_moves,
+                    a.bytes_rebalanced
+                ));
+            }
+            s.push_str(&format!(
+                " }}{}\n",
+                if ci == 0 { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"post_shift\": {{ \"rtt_ratio\": {:.4}, \"p50_ratio\": {:.4} }},\n",
+            self.post_shift_rtt_ratio, self.post_shift_p50_ratio
+        ));
+        s.push_str(&format!(
+            "  \"fragment\": {{ \"probes\": {}, \"hits\": {} }},\n",
+            self.fragment_probes, self.fragment_hits
+        ));
+        s.push_str(&format!(
+            "  \"equivalence\": {{ \"checked\": {}, \"failures\": {} }},\n",
+            self.equivalence_checked, self.equivalence_failures
+        ));
+        s.push_str("  \"advisor_log\": [\n");
+        for (i, line) in self.advisor_log.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\"{}\n",
+                json_escape(line),
+                if i + 1 == self.advisor_log.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the phase schedule once through `deployment` ([`SESSIONS`]
+/// closed-loop sessions round-robin, replication pumped under the standard
+/// fault plan every 8 interactions). With `adaptive`, closes an advisor
+/// epoch every [`TICK_EVERY`] interactions. Per-phase stats come back
+/// separately, so the shift is observable in the numbers.
+fn run_schedule(
+    deployment: &Deployment,
+    sched: &PhaseSchedule,
+    seed: u64,
+    rtt: &RttModel,
+    adaptive: bool,
+    config: &'static str,
+) -> AdvisorRun {
+    let conn = deployment.connection();
+    let scale = deployment.scale;
+    let cache = deployment.cache.clone().expect("cached deployment");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sessions: Vec<Session> = (0..SESSIONS)
+        .map(|_| {
+            Session::new(
+                rng.gen_range(1..=scale.customers() as i64 / 2).max(1),
+                deployment.ids.clone(),
+            )
+        })
+        .collect();
+
+    let mut phases: Vec<AdvisorPhaseStats> = sched
+        .phases
+        .iter()
+        .map(|p| AdvisorPhaseStats {
+            phase: p.name,
+            ..Default::default()
+        })
+        .collect();
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); sched.phases.len()];
+
+    for i in 0..sched.total() {
+        let (pidx, phase) = sched.phase_at(i);
+        let interaction = phase.mix.sample(&mut rng);
+        let session = &mut sessions[i % SESSIONS];
+        let stats = &mut phases[pidx];
+        match run_interaction_with_keys(interaction, &conn, session, &scale, &mut rng, &phase.keys)
+        {
+            Ok(out) => {
+                let m = &out.metrics;
+                stats.interactions += 1;
+                stats.remote_calls += m.remote_calls;
+                stats.remote_rtts += m.remote_rtts;
+                stats.remote_rows += m.remote_rows;
+                stats.fragment_probes += m.fragment_probes;
+                stats.fragment_hits += m.fragment_hits;
+                let work = m.local_work + m.remote_work;
+                stats.total_work += work;
+                let wire = rtt.latency_ms(m.remote_rtts, m.remote_rows * REMOTE_ROW_BYTES);
+                latencies[pidx].push(work / WORK_RATE * 1e3 + wire);
+            }
+            Err(_) => stats.errors += 1,
+        }
+        if i % 8 == 7 {
+            deployment.pump_replication(5);
+        }
+        if adaptive && i % TICK_EVERY == TICK_EVERY - 1 {
+            cache.advisor_tick();
+        }
+    }
+    for (pidx, lat) in latencies.iter_mut().enumerate() {
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        phases[pidx].p50_ms = percentile(lat, 50.0);
+        phases[pidx].p95_ms = percentile(lat, 95.0);
+    }
+    AdvisorRun {
+        config,
+        phases,
+        views_end: cache.cached_views(),
+        advisor: cache.advisor().map(|a| a.stats()),
+        l1_budget_end: cache.result_cache.budget(),
+        fragment_budget_end: cache.fragment_cache.budget(),
+    }
+}
+
+/// Pumps the hub until every subscription has drained.
+fn drain(deployment: &Deployment) {
+    for _ in 0..100_000 {
+        deployment.clock.advance(50);
+        let mut h = deployment.hub.lock();
+        let _ = h.pump(deployment.clock.now_ms());
+        if h.drained() {
+            break;
+        }
+    }
+}
+
+/// Post-drain equivalence sweep on the adaptive deployment: every probe is
+/// answered with BOTH caches (statement results + fragments) on, then with
+/// both off, and the row sets must match bit-for-bit.
+fn check_equivalence(deployment: &Deployment) -> (usize, usize) {
+    let cache = deployment.cache.clone().expect("cached deployment");
+    let conn = deployment.connection();
+    let probes = equivalence_probes(&deployment.scale);
+    let mut failures = 0usize;
+    for sql in &probes {
+        cache.result_cache.set_enabled(true);
+        cache.fragment_cache.set_enabled(true);
+        let _warm = conn.query(sql);
+        let served = conn.query(sql);
+        cache.result_cache.set_enabled(false);
+        cache.fragment_cache.set_enabled(false);
+        let fresh = conn.query(sql);
+        cache.result_cache.set_enabled(true);
+        cache.fragment_cache.set_enabled(true);
+        let ok = match (&served, &fresh) {
+            (Ok(a), Ok(b)) => a.rows == b.rows && a.schema == b.schema,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !ok {
+            failures += 1;
+        }
+    }
+    (probes.len(), failures)
+}
+
+/// Builds the standard cached deployment under the standard fault plan.
+fn build(seed: u64) -> Deployment {
+    let deployment = Deployment::new(mtc_tpcw::Scale::tiny(), true);
+    deployment
+        .hub
+        .lock()
+        .set_fault_plan(FaultPlan::new(seed, FAULTS));
+    deployment
+}
+
+/// Runs the full experiment: the shifting-working-set schedule through the
+/// frozen static config and the adaptive config, same seed.
+pub fn run_advisor(per_phase: usize, seed: u64) -> AdvisorResults {
+    let rtt = RttModel::default();
+    let sched = PhaseSchedule::shifting_working_set(per_phase);
+
+    // Static: the frozen §6.1.2 configuration.
+    let static_dep = build(seed);
+    let static_run = run_schedule(&static_dep, &sched, seed, &rtt, false, "static");
+
+    // Adaptive: same deployment + advisor + fragment caching.
+    let adaptive_dep = build(seed);
+    let cache = adaptive_dep.cache.clone().expect("cached deployment");
+    cache.set_fragment_caching(true);
+    cache.set_advisor(Some(Arc::new(AdaptiveAdvisor::new(AdvisorConfig::default()))));
+    let adaptive_run = run_schedule(&adaptive_dep, &sched, seed, &rtt, true, "adaptive");
+    let advisor_log = cache
+        .advisor()
+        .map(|a| a.log_tail(32))
+        .unwrap_or_default();
+
+    let last = sched.phases.len() - 1;
+    let s_last = &static_run.phases[last];
+    let a_last = &adaptive_run.phases[last];
+    let post_shift_rtt_ratio = s_last.remote_rtts as f64 / a_last.remote_rtts.max(1) as f64;
+    let post_shift_p50_ratio = if a_last.p50_ms > 0.0 {
+        s_last.p50_ms / a_last.p50_ms
+    } else {
+        0.0
+    };
+    let fragment_probes: u64 = adaptive_run.phases.iter().map(|p| p.fragment_probes).sum();
+    let fragment_hits: u64 = adaptive_run.phases.iter().map(|p| p.fragment_hits).sum();
+
+    drain(&adaptive_dep);
+    let (equivalence_checked, equivalence_failures) = check_equivalence(&adaptive_dep);
+
+    AdvisorResults {
+        per_phase,
+        seed,
+        rtt,
+        static_run,
+        adaptive_run,
+        post_shift_rtt_ratio,
+        post_shift_p50_ratio,
+        fragment_probes,
+        fragment_hits,
+        equivalence_checked,
+        equivalence_failures,
+        advisor_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advisor_experiment_smoke() {
+        let r = run_advisor(150, 11);
+        assert_eq!(r.static_run.phases.len(), 2);
+        assert_eq!(r.adaptive_run.phases.len(), 2);
+        for run in [&r.static_run, &r.adaptive_run] {
+            for p in &run.phases {
+                assert_eq!(p.errors, 0, "{}/{} must run clean", run.config, p.phase);
+            }
+        }
+        // The advisor acted: epochs closed, at least one view created, and
+        // the adaptive config ends with more views than the static one.
+        let a = r.adaptive_run.advisor.expect("advisor attached");
+        assert!(a.epochs >= 4, "{a:?}");
+        assert!(a.views_created >= 1, "{a:?}");
+        assert!(r.adaptive_run.views_end.len() > r.static_run.views_end.len());
+        // Adaptation pays post-shift: fewer backend RTTs than frozen-static.
+        assert!(
+            r.post_shift_rtt_ratio > 1.0,
+            "adaptive must beat static post-shift: {:.3}",
+            r.post_shift_rtt_ratio
+        );
+        // The shared best-seller fragment memoizes.
+        assert!(r.fragment_probes > 0);
+        assert!(r.fragment_hits > 0, "fragment memo never hit");
+        assert_eq!(r.equivalence_failures, 0, "caches-on == caches-off rows");
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"advisor\""));
+        assert!(json.contains("\"post_shift\""));
+        assert!(json.contains("\"advisor_log\""));
+    }
+}
+

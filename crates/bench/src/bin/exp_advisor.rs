@@ -1,0 +1,80 @@
+//! Regenerates `BENCH_advisor.json`: frozen-static vs adaptive cache
+//! configuration under the shifting-working-set TPC-W phase schedule
+//! (Zipf-skewed Browsing, then an abrupt shift to account-heavy traffic).
+//! The adaptive config runs the online advisor — runtime cached-view
+//! create/drop plus cache-budget re-partitioning — and intermediate-result
+//! (fragment) caching; the headline is the post-shift static ÷ adaptive
+//! ratio of backend round trips and modeled p50 (DESIGN.md §14).
+//!
+//! Usage: `cargo run --release -p mtc-bench --bin exp_advisor [per_phase] [seed]`
+
+use mtc_bench::run_advisor;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_phase: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let r = run_advisor(per_phase, seed);
+
+    println!(
+        "advisor experiment, {} interactions per phase, seed {}, faults: 10% drop / 5% dup / crash every 200",
+        r.per_phase, r.seed
+    );
+    for run in [&r.static_run, &r.adaptive_run] {
+        println!("  {} config:", run.config);
+        for p in &run.phases {
+            println!(
+                "    {:>13}: rtts {:>6}  rows {:>7}  p50 {:>7.3} ms  p95 {:>7.3} ms  \
+fragments {}/{} hit  errors {}",
+                p.phase,
+                p.remote_rtts,
+                p.remote_rows,
+                p.p50_ms,
+                p.p95_ms,
+                p.fragment_hits,
+                p.fragment_probes,
+                p.errors,
+            );
+        }
+        println!(
+            "    views at end: [{}]  budgets l1 {} B / fragment {} B",
+            run.views_end.join(", "),
+            run.l1_budget_end,
+            run.fragment_budget_end,
+        );
+        if let Some(a) = &run.advisor {
+            println!(
+                "    advisor: {} epochs, {} created ({} widened, {} indexes) / {} dropped, \
+{} creates + {} drops suppressed, {} budget moves ({} B)",
+                a.epochs,
+                a.views_created,
+                a.views_widened,
+                a.indexes_created,
+                a.views_dropped,
+                a.creates_suppressed,
+                a.drops_suppressed,
+                a.budget_moves,
+                a.bytes_rebalanced,
+            );
+        }
+    }
+    println!(
+        "  post-shift static/adaptive: rtts {:.2}x  p50 {:.2}x",
+        r.post_shift_rtt_ratio, r.post_shift_p50_ratio
+    );
+    println!(
+        "  fragment memo: {} hits / {} probes  equivalence {}/{} ok",
+        r.fragment_hits,
+        r.fragment_probes,
+        r.equivalence_checked - r.equivalence_failures,
+        r.equivalence_checked,
+    );
+    for line in &r.advisor_log {
+        println!("    {line}");
+    }
+
+    let path = "BENCH_advisor.json";
+    std::fs::write(path, r.to_json()).expect("write BENCH_advisor.json");
+    println!("wrote {path}");
+}

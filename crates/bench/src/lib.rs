@@ -12,6 +12,7 @@
 //! all scale-out curves, backend loads and overheads — follows from
 //! *measured relative demands* and is a genuine prediction of the model.
 
+pub mod advisor;
 pub mod concurrency;
 pub mod deployment;
 pub mod experiments;
@@ -22,6 +23,7 @@ pub mod placement;
 pub mod report;
 pub mod resultcache;
 
+pub use advisor::{run_advisor, AdvisorPhaseStats, AdvisorResults, AdvisorRun};
 pub use concurrency::{run_concurrency, ConcurrencyResults, WorkerPoint};
 pub use deployment::Deployment;
 pub use experiments::{run_all, ExperimentResults};

@@ -9,9 +9,11 @@
 //! offloading pays. Stored procedures whose statements are read-only and
 //! fully covered by the recommended views are suggested for copying.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use mtc_sql::{Select, Statement, TableRef};
+use mtc_util::sync::Mutex;
+
+use mtc_sql::{parse_statement, Select, Statement, TableRef};
 use mtc_storage::Database;
 use mtc_types::Result;
 
@@ -29,6 +31,15 @@ pub struct Recommendation {
     /// `CREATE MATERIALIZED VIEW …` definition text, ready to run against a
     /// cache server.
     pub create_sql: String,
+    /// The projected columns (referenced + primary key), in schema order.
+    pub columns: Vec<String>,
+    /// Supporting indexes for the view's backing table, as
+    /// `(index_name, column)` — one per non-key column the workload
+    /// filters on (the paper's "all indexes on the cache servers were
+    /// identical to the backend"; without them a point query on a non-key
+    /// column costs a full local scan and the optimizer keeps routing it
+    /// to the backend).
+    pub indexes: Vec<(String, String)>,
     /// Estimated read work units per unit time offloaded by this view.
     pub benefit: f64,
     /// Estimated replication apply work per unit time it costs.
@@ -56,15 +67,15 @@ struct TableTraffic {
     read_freq: f64,
     write_freq: f64,
     columns: BTreeSet<String>,
+    /// Columns appearing in WHERE clauses — candidates for supporting
+    /// indexes on the cached view's backing table.
+    filter_columns: BTreeSet<String>,
 }
 
-/// Analyzes a workload against the backend catalog and recommends cached
-/// views.
-pub fn recommend(
-    db: &Database,
-    workload: &[WorkloadEntry],
-    options: &AdvisorOptions,
-) -> Result<Vec<Recommendation>> {
+/// Per-table read/write traffic of a workload trace, with proc bodies
+/// expanded through the catalog. Shared by the offline [`recommend`] pass
+/// and the online advisor's cold-view detection.
+fn gather_traffic(db: &Database, workload: &[WorkloadEntry]) -> BTreeMap<String, TableTraffic> {
     let mut traffic: BTreeMap<String, TableTraffic> = BTreeMap::new();
 
     for entry in workload {
@@ -105,7 +116,17 @@ pub fn recommend(
             }
         }
     }
+    traffic
+}
 
+/// Analyzes a workload against the backend catalog and recommends cached
+/// views.
+pub fn recommend(
+    db: &Database,
+    workload: &[WorkloadEntry],
+    options: &AdvisorOptions,
+) -> Result<Vec<Recommendation>> {
+    let traffic = gather_traffic(db, workload);
     let mut recs = Vec::new();
     for (table, t) in &traffic {
         if t.read_freq <= 0.0 {
@@ -146,11 +167,23 @@ pub fn recommend(
             .filter(|c| cols.contains(c))
             .collect();
         let view_name = format!("cv_{table}");
+        let pk_names: BTreeSet<String> = base
+            .primary_key()
+            .iter()
+            .map(|&i| base.schema().column(i).name.clone())
+            .collect();
+        let indexes: Vec<(String, String)> = ordered
+            .iter()
+            .filter(|c| t.filter_columns.contains(*c) && !pk_names.contains(*c))
+            .map(|c| (format!("ix_{view_name}_{c}"), c.clone()))
+            .collect();
         recs.push(Recommendation {
             create_sql: format!(
                 "CREATE MATERIALIZED VIEW {view_name} AS SELECT {} FROM {table}",
                 ordered.join(", ")
             ),
+            columns: ordered,
+            indexes,
             view_name,
             benefit,
             maintenance,
@@ -182,8 +215,10 @@ fn record_select(
     // Column references anywhere in the statement, assigned to whichever
     // table's schema contains them.
     let mut cols: Vec<String> = Vec::new();
+    let mut where_cols: Vec<String> = Vec::new();
     if let Some(w) = &sel.selection {
         cols.extend(w.columns().iter().map(|c| c.to_string()));
+        where_cols.extend(w.columns().iter().map(|c| c.to_string()));
     }
     for item in &sel.projection {
         if let mtc_sql::SelectItem::Expr { expr, .. } = item {
@@ -215,7 +250,473 @@ fn record_select(
                     entry.columns.insert(suffix.to_string());
                 }
             }
+            for c in &where_cols {
+                let suffix = c.rsplit('.').next().unwrap_or(c);
+                if t.schema().contains(suffix) {
+                    entry.filter_columns.insert(suffix.to_string());
+                }
+            }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online adaptive advisor
+// ---------------------------------------------------------------------------
+
+/// Configuration of the online [`AdaptiveAdvisor`].
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Offline scoring knobs reused per epoch (benefit/maintenance ratio).
+    pub options: AdvisorOptions,
+    /// At most this many cached views are created per epoch, so one hot
+    /// phase cannot blow up replication churn in a single tick.
+    pub max_creates_per_epoch: usize,
+    /// An advisor-created view must be cold (no reads on its base table)
+    /// for this many consecutive epochs before it is dropped.
+    pub drop_patience: u32,
+    /// A freshly created view is immune to dropping for this many epochs,
+    /// and a freshly dropped view cannot be re-created for the same span —
+    /// the hysteresis that stops create/drop flapping at a phase boundary.
+    pub grace_epochs: u32,
+    /// Fraction of the donor cache's budget moved per rebalance decision.
+    pub rebalance_step: f64,
+    /// Neither cache tier is ever shrunk below this floor.
+    pub min_budget: u64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> AdvisorConfig {
+        AdvisorConfig {
+            options: AdvisorOptions::default(),
+            max_creates_per_epoch: 2,
+            drop_patience: 3,
+            grace_epochs: 2,
+            rebalance_step: 0.25,
+            min_budget: 16 * 1024,
+        }
+    }
+}
+
+/// Lifetime counters of one advisor instance — every decision class it can
+/// take, plus the suppressions (hysteresis at work is observable, not
+/// silent).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdvisorStats {
+    /// Epochs closed by [`AdaptiveAdvisor::tick`].
+    pub epochs: u64,
+    /// Cached views created at runtime.
+    pub views_created: u64,
+    /// Existing cached views widened (dropped and re-created with extra
+    /// columns) because the working set's column footprint grew.
+    pub views_widened: u64,
+    /// Supporting indexes created on advisor-managed views.
+    pub indexes_created: u64,
+    /// Advisor-created views dropped again after going cold.
+    pub views_dropped: u64,
+    /// Creations withheld by hysteresis (recently dropped) or the per-epoch
+    /// limit.
+    pub creates_suppressed: u64,
+    /// Drops withheld by the grace period or remaining patience.
+    pub drops_suppressed: u64,
+    /// L1 ↔ fragment budget rebalance decisions taken.
+    pub budget_moves: u64,
+    /// Total bytes of budget moved by those decisions.
+    pub bytes_rebalanced: u64,
+}
+
+/// An advisor-created view under observation.
+#[derive(Debug)]
+struct TrackedView {
+    table: String,
+    age: u32,
+    cold: u32,
+}
+
+/// Counter snapshot of one cache tier at the previous epoch boundary, so a
+/// tick reasons about *this epoch's* deltas, not lifetime totals.
+#[derive(Debug, Default, Clone, Copy)]
+struct TierMark {
+    hits: u64,
+    pressure: u64, // evictions + admission rejects
+}
+
+impl TierMark {
+    fn of(s: &crate::result_cache::ResultCacheStats) -> TierMark {
+        TierMark {
+            hits: s.hits,
+            pressure: s.evictions + s.admission_rejects,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AdvisorInner {
+    /// Observation window: statement text → occurrences since last tick.
+    window: BTreeMap<String, f64>,
+    /// Views this advisor created and still owns.
+    tracked: BTreeMap<String, TrackedView>,
+    /// view name → epochs since the advisor dropped it (re-create
+    /// hysteresis).
+    recently_dropped: BTreeMap<String, u32>,
+    stmt_mark: TierMark,
+    frag_mark: TierMark,
+    stats: AdvisorStats,
+    log: VecDeque<String>,
+}
+
+/// Cap on distinct statements per window: beyond it, new texts are
+/// ignored until the next tick (the hot set is long since inside).
+const WINDOW_CAP: usize = 4096;
+/// Decision-log lines retained for `explain` output.
+const LOG_CAP: usize = 64;
+
+/// The online cache advisor: attach with [`crate::CacheServer::set_advisor`],
+/// then close epochs with [`crate::CacheServer::advisor_tick`] (the bench
+/// harness ticks every N interactions; a real deployment would tick on a
+/// timer). Each tick re-runs the offline [`recommend`] analysis over the
+/// statements observed since the last tick and acts on it: cached views
+/// are created through the ordinary DDL + bulk-populate path, cold
+/// advisor-created views are dropped, and the statement/fragment cache
+/// byte budgets are re-partitioned toward the tier showing both hits and
+/// pressure. Every decision — and every hysteresis suppression — is
+/// logged as an `advisor:` line.
+pub struct AdaptiveAdvisor {
+    cfg: AdvisorConfig,
+    inner: Mutex<AdvisorInner>,
+}
+
+impl AdaptiveAdvisor {
+    pub fn new(cfg: AdvisorConfig) -> AdaptiveAdvisor {
+        AdaptiveAdvisor {
+            cfg,
+            inner: Mutex::new(AdvisorInner::default()),
+        }
+    }
+
+    /// Records one executed statement into the current window.
+    pub fn observe(&self, sql: &str) {
+        let mut inner = self.inner.lock();
+        if inner.window.len() >= WINDOW_CAP && !inner.window.contains_key(sql) {
+            return;
+        }
+        *inner.window.entry(sql.to_string()).or_insert(0.0) += 1.0;
+    }
+
+    /// Lifetime decision counters.
+    pub fn stats(&self) -> AdvisorStats {
+        self.inner.lock().stats
+    }
+
+    /// The last `n` decision-log lines, oldest first.
+    pub fn log_tail(&self, n: usize) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .log
+            .iter()
+            .skip(inner.log.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Creates the supporting indexes of a freshly created or widened view
+    /// — without them, point queries on non-key columns cost a full local
+    /// scan and the optimizer keeps routing them to the backend.
+    fn build_indexes(
+        &self,
+        server: &crate::CacheServer,
+        view: &str,
+        indexes: &[(String, String)],
+        epoch_log: &mut Vec<String>,
+    ) {
+        for (index, col) in indexes {
+            match server.create_index_on_view(index, view, &[col.clone()]) {
+                Ok(()) => {
+                    self.inner.lock().stats.indexes_created += 1;
+                    epoch_log.push(format!("advisor: index {index} on {view}({col})"));
+                }
+                Err(e) => {
+                    epoch_log.push(format!("advisor: index {index} failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Closes the current epoch against `server`; returns this epoch's
+    /// decision lines. See the type-level docs for what a tick does.
+    pub fn tick(&self, server: &crate::CacheServer) -> Vec<String> {
+        let mut epoch_log: Vec<String> = Vec::new();
+        // Drain the window and advance hysteresis clocks under the lock;
+        // all server-side actions run with it released (observe() from
+        // concurrent sessions must never wait on replication DDL).
+        let window = {
+            let mut inner = self.inner.lock();
+            inner.stats.epochs += 1;
+            let window: Vec<WorkloadEntry> = std::mem::take(&mut inner.window)
+                .into_iter()
+                .map(|(sql, frequency)| WorkloadEntry { sql, frequency })
+                .collect();
+            for since in inner.recently_dropped.values_mut() {
+                *since += 1;
+            }
+            let grace = self.cfg.grace_epochs;
+            inner.recently_dropped.retain(|_, since| *since <= grace);
+            window
+        };
+
+        let backend = server.backend();
+        let traffic = {
+            let db = backend.db.read();
+            gather_traffic(&db, &window)
+        };
+        let recs = {
+            let db = backend.db.read();
+            recommend(&db, &window, &self.cfg.options).unwrap_or_default()
+        };
+
+        // Base tables already covered by SOME cached view on this server
+        // (static-deployed or advisor-created), with the columns that view
+        // actually carries: never create a second view over the same table,
+        // but DO widen one whose column footprint the workload outgrew.
+        let covered: BTreeMap<String, (String, BTreeSet<String>)> = {
+            let db = server.db.read();
+            db.catalog
+                .views()
+                .filter(|v| v.is_cached)
+                .filter_map(|v| {
+                    let base = v.base_object().map(mtc_types::normalize_ident)?;
+                    let cols: BTreeSet<String> = db
+                        .table_ref(&v.name)
+                        .map(|t| {
+                            t.schema().columns().iter().map(|c| c.name.clone()).collect()
+                        })
+                        .unwrap_or_default();
+                    Some((base, (v.name.clone(), cols)))
+                })
+                .collect()
+        };
+
+        // --- Create / widen phase -----------------------------------------
+        let mut created = 0usize;
+        for rec in &recs {
+            let table = mtc_types::normalize_ident(
+                rec.view_name.strip_prefix("cv_").unwrap_or(&rec.view_name),
+            );
+            if let Some((view, existing)) = covered.get(&table) {
+                // The table is served locally. If this epoch's statements
+                // reference columns the view doesn't carry (the phase shift
+                // changed the column footprint, not just the table set),
+                // those statements are silently routing remote: widen the
+                // view — drop and re-create with the union — under the same
+                // per-epoch creation budget.
+                let missing: Vec<String> = rec
+                    .columns
+                    .iter()
+                    .filter(|c| !existing.contains(*c))
+                    .cloned()
+                    .collect();
+                if missing.is_empty() {
+                    continue; // fully covered — nothing to decide
+                }
+                if created >= self.cfg.max_creates_per_epoch {
+                    let mut inner = self.inner.lock();
+                    inner.stats.creates_suppressed += 1;
+                    epoch_log.push(format!(
+                        "advisor: suppress widen {view} (epoch limit {})",
+                        self.cfg.max_creates_per_epoch
+                    ));
+                    continue;
+                }
+                let merged: BTreeSet<String> =
+                    existing.union(&rec.columns.iter().cloned().collect()).cloned().collect();
+                let ordered: Vec<String> = {
+                    let db = backend.db.read();
+                    match db.table_ref(&table) {
+                        Ok(t) => t
+                            .schema()
+                            .columns()
+                            .iter()
+                            .map(|c| c.name.clone())
+                            .filter(|c| merged.contains(c))
+                            .collect(),
+                        Err(_) => continue,
+                    }
+                };
+                let select = format!("SELECT {} FROM {table}", ordered.join(", "));
+                let outcome = server
+                    .drop_cached_view(view)
+                    .and_then(|()| server.create_cached_view(view, &select));
+                match outcome {
+                    Ok(()) => {
+                        created += 1;
+                        {
+                            let mut inner = self.inner.lock();
+                            inner.stats.views_widened += 1;
+                            if let Some(t) = inner.tracked.get_mut(view) {
+                                t.cold = 0;
+                            }
+                        }
+                        epoch_log.push(format!(
+                            "advisor: widen {view} (+{})",
+                            missing.join(", +")
+                        ));
+                        // The re-created backing table lost its indexes:
+                        // rebuild the supporting ones for this window.
+                        self.build_indexes(server, view, &rec.indexes, &mut epoch_log);
+                    }
+                    Err(e) => {
+                        epoch_log.push(format!("advisor: widen {view} failed: {e}"));
+                    }
+                }
+                continue;
+            }
+            let mut inner = self.inner.lock();
+            if inner.recently_dropped.contains_key(&rec.view_name) {
+                inner.stats.creates_suppressed += 1;
+                epoch_log.push(format!(
+                    "advisor: suppress create {} (dropped {} epochs ago, hysteresis)",
+                    rec.view_name, inner.recently_dropped[&rec.view_name]
+                ));
+                continue;
+            }
+            if created >= self.cfg.max_creates_per_epoch {
+                inner.stats.creates_suppressed += 1;
+                epoch_log.push(format!(
+                    "advisor: suppress create {} (epoch limit {})",
+                    rec.view_name, self.cfg.max_creates_per_epoch
+                ));
+                continue;
+            }
+            drop(inner);
+            let Ok(Statement::CreateView { query, .. }) = parse_statement(&rec.create_sql)
+            else {
+                continue;
+            };
+            match server.create_cached_view(&rec.view_name, &query.to_string()) {
+                Ok(()) => {
+                    created += 1;
+                    {
+                        let mut inner = self.inner.lock();
+                        inner.stats.views_created += 1;
+                        inner.tracked.insert(
+                            rec.view_name.clone(),
+                            TrackedView {
+                                table: table.clone(),
+                                age: 0,
+                                cold: 0,
+                            },
+                        );
+                    }
+                    epoch_log.push(format!(
+                        "advisor: create {} (benefit {:.0}, maintenance {:.0})",
+                        rec.view_name, rec.benefit, rec.maintenance
+                    ));
+                    self.build_indexes(server, &rec.view_name, &rec.indexes, &mut epoch_log);
+                }
+                Err(e) => {
+                    epoch_log.push(format!(
+                        "advisor: create {} failed: {e}",
+                        rec.view_name
+                    ));
+                }
+            }
+        }
+
+        // --- Drop phase ---------------------------------------------------
+        let mut to_drop: Vec<String> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let cfg = &self.cfg;
+            let AdvisorInner { tracked, stats, .. } = &mut *inner;
+            let mut suppressed: Vec<String> = Vec::new();
+            for (view, t) in tracked.iter_mut() {
+                t.age += 1;
+                let reads = traffic.get(&t.table).map(|x| x.read_freq).unwrap_or(0.0);
+                if reads > 0.0 {
+                    t.cold = 0;
+                    continue;
+                }
+                t.cold += 1;
+                if t.age <= cfg.grace_epochs || t.cold < cfg.drop_patience {
+                    stats.drops_suppressed += 1;
+                    suppressed.push(format!(
+                        "advisor: suppress drop {view} (cold {}/{} epochs, age {})",
+                        t.cold, cfg.drop_patience, t.age
+                    ));
+                } else {
+                    to_drop.push(view.clone());
+                }
+            }
+            epoch_log.extend(suppressed);
+        }
+        for view in to_drop {
+            match server.drop_cached_view(&view) {
+                Ok(()) => {
+                    let mut inner = self.inner.lock();
+                    inner.stats.views_dropped += 1;
+                    inner.tracked.remove(&view);
+                    inner.recently_dropped.insert(view.clone(), 0);
+                    epoch_log.push(format!(
+                        "advisor: drop {view} (cold {} epochs)",
+                        self.cfg.drop_patience
+                    ));
+                }
+                Err(e) => {
+                    epoch_log.push(format!("advisor: drop {view} failed: {e}"));
+                    self.inner.lock().tracked.remove(&view);
+                }
+            }
+        }
+
+        // --- Budget rebalance ---------------------------------------------
+        // Per-epoch deltas of each tier. The tier that shows BOTH more hits
+        // and real pressure (evictions / admission rejects) this epoch is
+        // starved; feed it from the other tier, one damped step at a time.
+        if server.fragment_cache.is_enabled() {
+            let stmt_now = TierMark::of(&server.result_cache.stats());
+            let frag_now = TierMark::of(&server.fragment_cache.stats());
+            let mut inner = self.inner.lock();
+            let d_stmt_hits = stmt_now.hits.saturating_sub(inner.stmt_mark.hits);
+            let d_frag_hits = frag_now.hits.saturating_sub(inner.frag_mark.hits);
+            let d_stmt_pressure = stmt_now.pressure.saturating_sub(inner.stmt_mark.pressure);
+            let d_frag_pressure = frag_now.pressure.saturating_sub(inner.frag_mark.pressure);
+            inner.stmt_mark = stmt_now;
+            inner.frag_mark = frag_now;
+            drop(inner);
+            // 1.5× margin: a near-tie never moves bytes back and forth.
+            let rebalance = if d_frag_pressure > 0
+                && d_frag_hits as f64 > 1.5 * d_stmt_hits as f64
+            {
+                Some((&server.result_cache, &server.fragment_cache, "L1->fragment"))
+            } else if d_stmt_pressure > 0 && d_stmt_hits as f64 > 1.5 * d_frag_hits as f64 {
+                Some((&server.fragment_cache, &server.result_cache, "fragment->L1"))
+            } else {
+                None
+            };
+            if let Some((donor, taker, dir)) = rebalance {
+                let step = ((donor.budget() as f64 * self.cfg.rebalance_step) as u64)
+                    .min(donor.budget().saturating_sub(self.cfg.min_budget));
+                if step > 0 {
+                    donor.set_budget(donor.budget() - step);
+                    taker.set_budget(taker.budget() + step);
+                    let mut inner = self.inner.lock();
+                    inner.stats.budget_moves += 1;
+                    inner.stats.bytes_rebalanced += step;
+                    epoch_log.push(format!(
+                        "advisor: rebalance {step}B {dir} (hits Δ stmt {d_stmt_hits} frag {d_frag_hits}, pressure Δ stmt {d_stmt_pressure} frag {d_frag_pressure})"
+                    ));
+                }
+            }
+        }
+
+        let mut inner = self.inner.lock();
+        for line in &epoch_log {
+            if inner.log.len() >= LOG_CAP {
+                inner.log.pop_front();
+            }
+            inner.log.push_back(line.clone());
+        }
+        epoch_log
     }
 }
 
@@ -225,7 +726,7 @@ mod tests {
     use mtc_storage::RowChange;
     use mtc_types::{row, Column, DataType, Schema};
 
-    fn db() -> Database {
+    pub(super) fn db() -> Database {
         let mut db = Database::new("d");
         db.create_table(
             "item",
@@ -363,5 +864,175 @@ mod trace_tests {
         // Tracing is off again: no further growth.
         conn.query("SELECT i_title FROM item WHERE i_id = 1").unwrap();
         assert!(backend.stop_statement_trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod scoring_tests {
+    use super::*;
+
+    #[test]
+    fn scoring_is_reads_times_rows_versus_writes_times_apply_cost() {
+        // benefit = read_freq × row_count, maintenance = write_freq × 3:
+        // the exact quantities the create/drop threshold compares.
+        let db = super::tests::db();
+        let workload = vec![
+            WorkloadEntry {
+                sql: "SELECT i_title FROM item WHERE i_id = @id".into(),
+                frequency: 40.0,
+            },
+            WorkloadEntry {
+                sql: "UPDATE item SET i_cost = 1 WHERE i_id = @id".into(),
+                frequency: 7.0,
+            },
+        ];
+        let recs = recommend(&db, &workload, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        let rec = &recs[0];
+        assert_eq!(rec.benefit, 40.0 * 5000.0, "read_freq x row_count");
+        assert_eq!(rec.maintenance, 7.0 * 3.0, "write_freq x apply cost");
+
+        // The threshold is benefit >= ratio × maintenance: push the ratio
+        // above benefit/maintenance and the same workload yields nothing.
+        let strict = AdvisorOptions {
+            min_benefit_ratio: (40.0 * 5000.0) / (7.0 * 3.0) + 1.0,
+        };
+        assert!(recommend(&db, &workload, &strict).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_columns_become_supporting_indexes_except_the_key() {
+        let db = super::tests::db();
+        let workload = vec![
+            WorkloadEntry {
+                sql: "SELECT i_cost FROM item WHERE i_title = 'rust'".into(),
+                frequency: 30.0,
+            },
+            WorkloadEntry {
+                sql: "SELECT i_title FROM item WHERE i_id = @id".into(),
+                frequency: 30.0,
+            },
+        ];
+        let recs = recommend(&db, &workload, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        // i_title is filtered on and not the key: it gets an index. i_id is
+        // the primary key of the backing table: no redundant index.
+        assert_eq!(
+            recs[0].indexes,
+            vec![("ix_cv_item_i_title".to_string(), "i_title".to_string())],
+            "{:?}",
+            recs[0]
+        );
+    }
+}
+
+#[cfg(test)]
+mod deploy_tests {
+    use super::*;
+    use crate::{BackendServer, CacheServer};
+    use mtc_replication::ReplicationHub;
+    use mtc_util::sync::Mutex as SyncMutex;
+    use std::sync::Arc;
+
+    fn backend() -> Arc<BackendServer> {
+        let backend = BackendServer::new("b");
+        backend
+            .run_script(
+                "CREATE TABLE item (i_id INT NOT NULL PRIMARY KEY, i_title VARCHAR, i_cost FLOAT)",
+            )
+            .unwrap();
+        let rows: Vec<String> = (1..=500)
+            .map(|i| format!("INSERT INTO item VALUES ({i}, 't{i}', {i}.5)"))
+            .collect();
+        backend.run_script(&rows.join(";")).unwrap();
+        backend.analyze();
+        backend
+    }
+
+    /// Satellite proof of the §7 loop: recommendations deploy through the
+    /// ordinary DDL path and the traced workload is then answered locally —
+    /// including point queries on a non-key column, which need the
+    /// recommended supporting index to win the local-vs-remote cost race.
+    #[test]
+    fn recommended_views_deploy_and_answer_the_workload_locally() {
+        let backend = backend();
+        let workload = vec![
+            WorkloadEntry {
+                sql: "SELECT i_title FROM item WHERE i_id = @id".into(),
+                frequency: 50.0,
+            },
+            WorkloadEntry {
+                sql: "SELECT i_id, i_cost FROM item WHERE i_title = @t".into(),
+                frequency: 50.0,
+            },
+        ];
+        let recs = recommend(&backend.db.read(), &workload, &AdvisorOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1, "{recs:?}");
+
+        let hub = Arc::new(SyncMutex::new(ReplicationHub::new(backend.db.clone())));
+        let cache = CacheServer::create("c", backend, hub);
+        for rec in &recs {
+            let Ok(Statement::CreateView { query, .. }) = parse_statement(&rec.create_sql)
+            else {
+                panic!("recommendation must parse: {}", rec.create_sql);
+            };
+            cache.create_cached_view(&rec.view_name, &query.to_string()).unwrap();
+            for (index, col) in &rec.indexes {
+                cache
+                    .create_index_on_view(index, &rec.view_name, &[col.clone()])
+                    .unwrap();
+            }
+        }
+
+        for (sql, expect) in [
+            ("SELECT i_title FROM item WHERE i_id = 7", "t7"),
+            ("SELECT i_title FROM item WHERE i_title = 't9'", "t9"),
+        ] {
+            let r = cache.execute(sql, &Default::default(), "dbo").unwrap();
+            assert_eq!(r.rows.len(), 1, "{sql}");
+            assert_eq!(r.rows[0][0], mtc_types::Value::str(expect), "{sql}");
+            assert_eq!(
+                r.metrics.remote_rtts, 0,
+                "the deployed view + index must answer `{sql}` locally"
+            );
+        }
+    }
+
+    /// The widen path: a view created for a narrow column footprint is
+    /// dropped and re-created with the union when the observed workload
+    /// outgrows it, and the widened statement then routes locally.
+    #[test]
+    fn tick_widens_a_view_when_the_column_footprint_grows() {
+        let backend = backend();
+        let hub = Arc::new(SyncMutex::new(ReplicationHub::new(backend.db.clone())));
+        let cache = CacheServer::create("c", backend, hub);
+        cache
+            .create_cached_view("cv_item", "SELECT i_id, i_title FROM item")
+            .unwrap();
+
+        let advisor = Arc::new(AdaptiveAdvisor::new(AdvisorConfig::default()));
+        cache.set_advisor(Some(advisor.clone()));
+        // The observed phase needs i_cost, which cv_item doesn't carry.
+        for _ in 0..20 {
+            cache
+                .execute(
+                    "SELECT i_cost FROM item WHERE i_id = 3",
+                    &Default::default(),
+                    "dbo",
+                )
+                .unwrap();
+        }
+        let decisions = cache.advisor_tick();
+        assert!(
+            decisions.iter().any(|l| l.starts_with("advisor: widen cv_item (+i_cost")),
+            "{decisions:?}"
+        );
+        assert_eq!(advisor.stats().views_widened, 1);
+
+        let r = cache
+            .execute("SELECT i_cost FROM item WHERE i_id = 3", &Default::default(), "dbo")
+            .unwrap();
+        assert_eq!(r.metrics.remote_rtts, 0, "widened view must serve locally");
+        assert_eq!(r.rows[0][0], mtc_types::Value::Float(3.5));
     }
 }

@@ -15,8 +15,9 @@ use mtc_storage::{DbSnapshot, Lsn, ProcedureDef, SnapshotDb, ViewMeta};
 use mtc_types::{Column, Error, Result, Schema};
 
 use crate::backend::{check_select_permissions, BackendServer};
+use crate::fragment::FragmentGateway;
 use crate::plan_cache::{param_signature, CachedPlan, PlanCache};
-use crate::result_cache::{RemoteGateway, ResultCache};
+use crate::result_cache::{RemoteGateway, ResultCache, ResultCacheConfig};
 use crate::stats::SharedServerStats;
 
 /// An MTCache server: shadow database + cached views + transparent routing.
@@ -48,6 +49,13 @@ pub struct CacheServer {
     /// Shared (`Arc`) because the replication hub holds it as an
     /// [`mtc_replication::InvalidationSink`].
     pub result_cache: Arc<ResultCache>,
+    /// Intermediate-result (fragment) cache: memoized local join/aggregate
+    /// subplan results keyed by compiled-plan fingerprint, with the same
+    /// currency lineage as statement results (see [`crate::fragment`]).
+    /// Disabled by default — [`CacheServer::set_fragment_caching`] turns it
+    /// on. Shared (`Arc`) because the replication hub holds it as a second
+    /// [`mtc_replication::InvalidationSink`] on this server's database.
+    pub fragment_cache: Arc<ResultCache>,
     /// Fleet wiring: the peer-shared L2 result-cache tier, probed on L1
     /// misses and written through on backend fetches. `None` outside a
     /// fleet (single-node behaviour unchanged).
@@ -67,6 +75,10 @@ pub struct CacheServer {
     /// fragment to a vanished peer is discarded, never executed.
     /// Single-node servers keep their private counter pinned at 0.
     topology: Mutex<Arc<AtomicU64>>,
+    /// The attached online advisor, if any: observes this server's
+    /// statement stream and, on [`CacheServer::advisor_tick`], adapts the
+    /// cached-view set and cache budgets (see [`crate::advisor`]).
+    advisor: Mutex<Option<Arc<crate::advisor::AdaptiveAdvisor>>>,
 }
 
 /// A named, weakly-held peer a cache server can route plan fragments to.
@@ -96,13 +108,23 @@ impl CacheServer {
         result_cache: ResultCache,
     ) -> Arc<CacheServer> {
         let result_cache = Arc::new(result_cache);
+        // The fragment cache starts with the statement cache's budget but
+        // disabled; the adaptive advisor (or a test) enables it and
+        // re-partitions the budgets at runtime.
+        let fragment_cache = Arc::new(ResultCache::new(ResultCacheConfig::with_budget(
+            result_cache.budget(),
+        )));
+        fragment_cache.set_enabled(false);
         let shadow = backend.db.read().shadow_clone();
         let db = Arc::new(SnapshotDb::new(shadow));
         // The replication stream doubles as the invalidation stream: every
         // replicated transaction that reaches this server's database also
-        // flushes dependent cached results (see `crate::result_cache`).
+        // flushes dependent cached results (see `crate::result_cache`) —
+        // statement-level answers and memoized fragments alike.
         hub.lock()
             .register_invalidation_sink(&db, result_cache.clone());
+        hub.lock()
+            .register_invalidation_sink(&db, fragment_cache.clone());
         Arc::new(CacheServer {
             name: name.to_string(),
             db,
@@ -114,11 +136,43 @@ impl CacheServer {
             stats: SharedServerStats::default(),
             plan_cache: PlanCache::default(),
             result_cache,
+            fragment_cache,
             l2: Mutex::new(None),
             peer_caches: Mutex::new(Vec::new()),
             peers: Mutex::new(Vec::new()),
             topology: Mutex::new(Arc::new(AtomicU64::new(0))),
+            advisor: Mutex::new(None),
         })
+    }
+
+    /// Turns intermediate-result (fragment) caching on or off. Off (the
+    /// default), queries execute exactly as before — no memo probes, no
+    /// admissions, metrics unchanged.
+    pub fn set_fragment_caching(&self, on: bool) {
+        self.fragment_cache.set_enabled(on);
+    }
+
+    /// Attaches (or detaches, with `None`) an online advisor. The advisor
+    /// observes every statement executed through [`CacheServer::execute`]
+    /// and adapts on [`CacheServer::advisor_tick`].
+    pub fn set_advisor(&self, advisor: Option<Arc<crate::advisor::AdaptiveAdvisor>>) {
+        *self.advisor.lock() = advisor;
+    }
+
+    /// The attached advisor, if any.
+    pub fn advisor(&self) -> Option<Arc<crate::advisor::AdaptiveAdvisor>> {
+        self.advisor.lock().clone()
+    }
+
+    /// Closes the current advisor epoch: the attached advisor consumes the
+    /// observation window and this server's counters, then creates/drops
+    /// cached views and re-partitions cache budgets. Returns the decision
+    /// log lines of this epoch (empty without an advisor).
+    pub fn advisor_tick(&self) -> Vec<String> {
+        match self.advisor() {
+            Some(a) => a.tick(self),
+            None => Vec::new(),
+        }
     }
 
     /// Attaches (or clears) the fleet's shared L2 result-cache tier.
@@ -248,6 +302,28 @@ impl CacheServer {
         Ok(())
     }
 
+    /// Drops a cached view at runtime: tombstones its replication
+    /// subscription, removes the view and its backing table from the shadow
+    /// database, and bumps the catalog version so every plan, statement
+    /// result and memoized fragment compiled against the old catalog is
+    /// discarded. The inverse of [`CacheServer::create_cached_view`] — the
+    /// adaptive advisor's eviction path.
+    pub fn drop_cached_view(&self, name: &str) -> Result<()> {
+        let sub = {
+            let mut subs = self.subscriptions.lock();
+            let pos = subs.iter().position(|(v, _)| v == name).ok_or_else(|| {
+                Error::catalog(format!("`{name}` is not a cached view of this server"))
+            })?;
+            subs.remove(pos).1
+        };
+        self.hub.lock().unsubscribe(sub);
+        let mut db = self.db.write();
+        db.catalog.drop_view(name)?; // bumps the catalog version
+        db.drop_table(name)?;
+        db.catalog.remove_stats(name);
+        Ok(())
+    }
+
     /// Copies a secondary index definition from the backend onto a cached
     /// view's backing table ("all indexes on the cache servers were
     /// identical to indexes on the backend server", §6.1).
@@ -308,6 +384,9 @@ impl CacheServer {
     /// procedures are forwarded to the backend.
     pub fn execute(&self, sql: &str, params: &Bindings, principal: &str) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
+        if let Some(advisor) = self.advisor.lock().as_ref() {
+            advisor.observe(sql);
+        }
         self.execute_statement(&stmt, params, principal)
     }
 
@@ -481,6 +560,16 @@ impl CacheServer {
             gateway = gateway.with_peers(&peers);
         }
 
+        // Fragment memo for this execution, pinned to the same snapshot the
+        // query scans. `None` while fragment caching is disabled: the
+        // engine then takes the exact pre-memo code path.
+        let fragment = self.fragment_cache.is_enabled().then(|| {
+            FragmentGateway::new(&self.fragment_cache, &db, version, self.clock.now_ms())
+        });
+        let memo = fragment
+            .as_ref()
+            .map(|f| f as &dyn mtc_engine::FragmentMemo);
+
         // Permission checks run on every execution, cached plan or not.
         let perm = check_select_permissions(&db, sel, principal);
         if cacheable && perm.is_ok() {
@@ -492,7 +581,7 @@ impl CacheServer {
                     work: &options.cost,
                     parallel: self.parallel_ctx(&db),
                 };
-                let result = mtc_engine::execute_compiled(&hit.compiled, &ctx)?;
+                let result = mtc_engine::execute_compiled_with_memo(&hit.compiled, &ctx, memo)?;
                 self.stats.record_query(&result.metrics, result.rows.len());
                 return Ok(result);
             }
@@ -565,7 +654,7 @@ impl CacheServer {
                     topology_version: topology,
                 },
             );
-            mtc_engine::execute_compiled(&cached.compiled, &ctx)?
+            mtc_engine::execute_compiled_with_memo(&cached.compiled, &ctx, memo)?
         } else {
             // Freshness-routed plan: computed fresh, executed, never cached.
             execute(&opt.physical, &ctx)?
@@ -715,8 +804,25 @@ impl CacheServer {
             ));
         }
         let rs = self.result_cache.stats();
+        // Advisor visibility: the decision log of recent epochs, one
+        // `advisor:` line per create/drop/rebalance, plus the live fragment
+        // cache counters when intermediate-result caching is on.
+        let mut advisor = String::new();
+        if self.fragment_cache.is_enabled() {
+            let fs = self.fragment_cache.stats();
+            advisor.push_str(&format!(
+                "fragment cache: {} entries, {} bytes (hits {}, misses {}, invalidations {})\n",
+                fs.entries, fs.bytes, fs.hits, fs.misses, fs.invalidations
+            ));
+        }
+        if let Some(a) = self.advisor() {
+            for line in a.log_tail(8) {
+                advisor.push_str(&line);
+                advisor.push('\n');
+            }
+        }
         Ok(format!(
-            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\nresult cache: {} entries, {} bytes (hits {}, misses {}, currency rejects {}, invalidations {})\n{routing}{}",
+            "estimated cost: {:.1}\nestimated rows: {:.0}\nplan cache: {} (hits {}, misses {}, invalidations {})\nresult cache: {} entries, {} bytes (hits {}, misses {}, currency rejects {}, invalidations {})\n{advisor}{routing}{}",
             opt.est_cost,
             opt.est_rows,
             if cached { "cached" } else { "cold" },

@@ -48,6 +48,7 @@ use mtc_replication::ReplicationHub;
 use mtc_storage::Lsn;
 use mtc_types::{Error, Result};
 
+use crate::advisor::{AdaptiveAdvisor, AdvisorConfig};
 use crate::backend::BackendServer;
 use crate::cache::{CacheServer, PeerHandle};
 use crate::result_cache::{ResultCache, ResultCacheConfig};
@@ -206,6 +207,14 @@ pub struct Fleet {
     /// on crash AND rejoin, so plan-cache entries whose placements
     /// reference the old membership are invalidated everywhere at once.
     topology: Arc<AtomicU64>,
+    /// Advisor configuration once [`Fleet::enable_advisor`] ran (`None`
+    /// before): rejoining nodes get a fresh advisor from it, so adaptation
+    /// survives membership churn.
+    advisor_cfg: Mutex<Option<AdvisorConfig>>,
+    /// Per-slot L1 pressure marks (evictions + admission rejects at the
+    /// last fleet tick) — [`Fleet::advisor_tick`]'s cross-node rebalance
+    /// reasons about this epoch's deltas.
+    advisor_marks: Mutex<Vec<u64>>,
 }
 
 impl Fleet {
@@ -232,6 +241,8 @@ impl Fleet {
             slots: Mutex::new(Vec::new()),
             router: Mutex::new(Router::new(cfg.vnodes)),
             topology: Arc::new(AtomicU64::new(0)),
+            advisor_cfg: Mutex::new(None),
+            advisor_marks: Mutex::new(Vec::new()),
         };
         {
             let mut slots = fleet.slots.lock();
@@ -273,6 +284,12 @@ impl Fleet {
             server.set_l2(Some(l2.clone()));
         }
         (self.provision)(&server)?;
+        // A node (re)joining an advisor-enabled fleet adapts from scratch:
+        // fresh advisor, fresh window, fragment caching on.
+        if let Some(cfg) = self.advisor_cfg.lock().clone() {
+            server.set_fragment_caching(true);
+            server.set_advisor(Some(Arc::new(AdaptiveAdvisor::new(cfg))));
+        }
         Ok(server)
     }
 
@@ -443,6 +460,79 @@ impl Fleet {
     /// The fleet-wide placement-topology version (bumped by crash/rejoin).
     pub fn topology_version(&self) -> u64 {
         self.topology.load(Ordering::Acquire)
+    }
+
+    /// Turns the adaptive advisor on fleet-wide: every live node gets its
+    /// own [`AdaptiveAdvisor`] (independent windows — nodes see different
+    /// session slices) plus fragment caching, and nodes rejoining later
+    /// inherit the same configuration.
+    pub fn enable_advisor(&self, cfg: AdvisorConfig) {
+        *self.advisor_cfg.lock() = Some(cfg.clone());
+        for node in self.nodes() {
+            node.set_fragment_caching(true);
+            node.set_advisor(Some(Arc::new(AdaptiveAdvisor::new(cfg.clone()))));
+        }
+    }
+
+    /// Closes one fleet advisor epoch: ticks every live node's advisor
+    /// (view create/drop + local L1↔fragment rebalance), then runs the
+    /// cross-node step — the slot with the most L1 pressure this epoch
+    /// (evictions + admission rejects) is fed a damped budget step from the
+    /// slot with the least, when the imbalance exceeds 2×. Returns all
+    /// decision lines of the epoch.
+    pub fn advisor_tick(&self) -> Vec<String> {
+        let live: Vec<(usize, Arc<CacheServer>)> = {
+            let slots = self.slots.lock();
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.server.clone().map(|srv| (i, srv)))
+                .collect()
+        };
+        let mut log: Vec<String> = Vec::new();
+        for (_, node) in &live {
+            log.extend(node.advisor_tick());
+        }
+        let Some(cfg) = self.advisor_cfg.lock().clone() else {
+            return log;
+        };
+        let mut marks = self.advisor_marks.lock();
+        marks.resize(self.node_count(), 0);
+        let mut pressures: Vec<(usize, u64)> = Vec::new();
+        for (i, node) in &live {
+            let s = node.result_cache.stats();
+            let now = s.evictions + s.admission_rejects;
+            pressures.push((*i, now.saturating_sub(marks[*i])));
+            marks[*i] = now;
+        }
+        drop(marks);
+        if pressures.len() < 2 {
+            return log;
+        }
+        let &(hi, d_hi) = pressures.iter().max_by_key(|(_, d)| *d).unwrap();
+        let &(lo, d_lo) = pressures.iter().min_by_key(|(_, d)| *d).unwrap();
+        // 2× hysteresis margin, and only when the starved node actually
+        // thrashed this epoch.
+        if hi == lo || d_hi < 2 * d_lo.max(1) {
+            return log;
+        }
+        let (Some(donor), Some(taker)) = (self.node(lo), self.node(hi)) else {
+            return log;
+        };
+        let donor_budget = donor.result_cache.budget();
+        let step = ((donor_budget as f64 * cfg.rebalance_step) as u64)
+            .min(donor_budget.saturating_sub(cfg.min_budget));
+        if step > 0 {
+            donor.result_cache.set_budget(donor_budget - step);
+            let taker_budget = taker.result_cache.budget();
+            taker.result_cache.set_budget(taker_budget + step);
+            log.push(format!(
+                "advisor: fleet rebalance {step}B {}→{} (L1 pressure Δ {d_lo} vs {d_hi})",
+                donor.name(),
+                taker.name()
+            ));
+        }
+        log
     }
 }
 

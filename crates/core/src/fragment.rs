@@ -1,0 +1,124 @@
+//! Intermediate-result (fragment) caching: memoized join/aggregate
+//! subplan results with full replication-currency tracking.
+//!
+//! The engine's [`mtc_engine::FragmentMemo`] hook fires on every local
+//! `HashJoin`/`HashAggregate` subtree root during compiled execution. This
+//! module supplies the cache-server side of that hook: a gateway that
+//! stores drained fragment rows in a dedicated [`ResultCache`] keyed by
+//! the *normalized compiled-plan fingerprint* (operator shape with
+//! parameter slots abstracted, plus the resolved parameter values), and
+//! stamps each entry with the same currency lineage the statement-level
+//! result cache uses:
+//!
+//! * **commit LSN** — the minimum applied-watermark LSN over every cached
+//!   view the fragment scanned, taken from the *same immutable snapshot*
+//!   the query executed against. A fragment is exactly as fresh as the
+//!   laggiest view it read.
+//! * **invalidation tables** — the backend *source* tables behind those
+//!   views (via [`ViewMeta::base_object`]), so the replication hub's
+//!   publisher-side invalidation stream and locally forwarded DML raise
+//!   the same watermarks that flush statement results.
+//! * **catalog version** — DDL (new views, drops) flushes fragments like
+//!   it flushes plans and statement results.
+//!
+//! A fragment scanning any object without a replication watermark (a
+//! shadow table populated by some non-replicated path) is never admitted:
+//! we could not invalidate it correctly, so we refuse to remember it.
+//!
+//! Serving a memoized fragment is *not* a staleness upgrade: the memo
+//! answers with rows computed from replicated local data, which lags the
+//! backend by design (§4); invalidation keeps the memo no staler than the
+//! local views themselves.
+
+use mtc_engine::{FragmentMemo, QueryResult};
+use mtc_storage::DbSnapshot;
+use mtc_types::{normalize_ident, Row, Schema};
+
+use crate::result_cache::ResultCache;
+
+/// Per-execution fragment-memo gateway: borrows the server's fragment
+/// cache and the snapshot the query scans, so admitted entries carry the
+/// snapshot's watermarks (never the live subscription state, which may
+/// have advanced past what this execution observed).
+pub struct FragmentGateway<'a> {
+    cache: &'a ResultCache,
+    snap: &'a DbSnapshot,
+    catalog_version: u64,
+    now_ms: i64,
+}
+
+impl<'a> FragmentGateway<'a> {
+    pub fn new(
+        cache: &'a ResultCache,
+        snap: &'a DbSnapshot,
+        catalog_version: u64,
+        now_ms: i64,
+    ) -> FragmentGateway<'a> {
+        FragmentGateway {
+            cache,
+            snap,
+            catalog_version,
+            now_ms,
+        }
+    }
+
+    /// Backend source table behind one scanned object: the base table of a
+    /// cached view, or the object itself when it is not a view (then it IS
+    /// the replicated name the hub publishes invalidations under).
+    fn source_table(&self, object: &str) -> String {
+        let base = self
+            .snap
+            .catalog
+            .view(object)
+            .and_then(|v| v.base_object().map(str::to_string));
+        normalize_ident(&base.unwrap_or_else(|| object.to_string()))
+    }
+}
+
+impl FragmentMemo for FragmentGateway<'_> {
+    fn lookup(&self, key: &str) -> Option<Vec<Row>> {
+        // No currency bound: the memo may be exactly as stale as the local
+        // views themselves (bounded statements bypass the plan cache and
+        // re-route before execution, so a bound never reaches a fragment).
+        self.cache
+            .lookup(key, "", self.catalog_version, None, self.now_ms)
+            .map(|r| r.rows)
+    }
+
+    fn admit(&self, key: &str, objects: &[String], rows: &[Row], work: f64) {
+        let mut tables = Vec::with_capacity(objects.len());
+        let mut commit_lsn = u64::MAX;
+        for obj in objects {
+            // Refuse to memoize anything we cannot invalidate: every
+            // scanned object must carry a replication watermark.
+            let Some(mark) = self.snap.watermark(obj) else {
+                return;
+            };
+            commit_lsn = commit_lsn.min(mark.lsn.0);
+            tables.push(self.source_table(obj));
+        }
+        if commit_lsn == u64::MAX {
+            // Constant fragment scanning nothing: not worth an entry.
+            return;
+        }
+        tables.sort();
+        tables.dedup();
+        // The admission rule wants the recomputation cost in the result's
+        // metrics (`local_work`): that is what a future hit saves.
+        let mut result = QueryResult {
+            schema: Schema::new(vec![]),
+            rows: rows.to_vec(),
+            metrics: Default::default(),
+        };
+        result.metrics.local_work = work;
+        self.cache.admit(
+            key,
+            "",
+            &result,
+            tables,
+            commit_lsn,
+            self.now_ms,
+            self.catalog_version,
+        );
+    }
+}

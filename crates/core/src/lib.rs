@@ -58,14 +58,17 @@ pub mod cache;
 pub mod connection;
 pub mod dml;
 pub mod fleet;
+pub mod fragment;
 pub mod plan_cache;
 pub mod procs;
 pub mod result_cache;
 pub mod scripting;
 pub mod stats;
 
+pub use advisor::{AdaptiveAdvisor, AdvisorConfig, AdvisorStats};
 pub use backend::BackendServer;
 pub use cache::{CacheServer, CurrencyDecision, PeerHandle};
+pub use fragment::FragmentGateway;
 pub use connection::{Connection, ServerHandle};
 pub use fleet::{fnv1a64, Fleet, FleetConfig, Router};
 pub use plan_cache::{param_signature, CachedPlan, CacheStats, PlanCache};

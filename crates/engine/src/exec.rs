@@ -95,6 +95,12 @@ pub struct ExecMetrics {
     /// Estimated bytes received over peer links (subset of
     /// `bytes_transferred`).
     pub peer_bytes: u64,
+    /// Join/aggregate subtrees probed against the intermediate-result memo
+    /// (see [`crate::stream::FragmentMemo`]). Zero when no memo is attached.
+    pub fragment_probes: u64,
+    /// Fragment probes answered from the memo: the subtree's compute was
+    /// skipped and its memoized rows were replayed.
+    pub fragment_hits: u64,
 }
 
 impl ExecMetrics {
@@ -114,6 +120,8 @@ impl ExecMetrics {
         self.coalesced_calls += other.coalesced_calls;
         self.peer_calls += other.peer_calls;
         self.peer_rtts += other.peer_rtts;
+        self.fragment_probes += other.fragment_probes;
+        self.fragment_hits += other.fragment_hits;
         self.peer_rows += other.peer_rows;
         self.peer_bytes += other.peer_bytes;
     }

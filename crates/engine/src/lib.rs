@@ -39,6 +39,7 @@ pub use exec::{
     QueryResult, RemoteExecutor, RemoteOutcome,
 };
 pub use logical::{AggCall, AggFunc, DataLocation, LogicalPlan};
+pub use stream::{execute_compiled_with_memo, FragmentMemo};
 pub use parallel::{ParallelCtx, PARALLEL_THRESHOLD};
 pub use optimizer::{
     optimize, optimize_with_placement, CostModel, LinkCost, Optimized, OptimizerOptions, PeerSite,

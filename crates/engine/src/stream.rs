@@ -89,6 +89,30 @@ pub(crate) struct StreamCtx<'e> {
     /// round trip. `RefCell` is fine: streams run on the driving thread —
     /// morsel parallelism happens *inside* local operators, never here.
     pub prefetched: std::cell::RefCell<HashMap<&'e str, std::collections::VecDeque<QueryResult>>>,
+    /// Intermediate-result memo probed for fully local join/aggregate
+    /// subtrees (see [`FragmentMemo`]); `None` executes every fragment.
+    pub memo: Option<&'e dyn FragmentMemo>,
+}
+
+/// A memo for intermediate (subplan) results: the caller-provided cache the
+/// executor probes before computing a fully local join or aggregate subtree
+/// and offers the computed rows to afterwards.
+///
+/// The `key` is a canonical fingerprint of the *compiled* subtree — operator
+/// shapes, objects, indexes and expressions with parameters abstracted to
+/// slots (the plan-cache normalization) — concatenated with the resolved
+/// parameter values, so two statements sharing a subplan shape and bindings
+/// share an entry. `objects` names every table/view the subtree scanned;
+/// the implementation owns currency: it decides validity (invalidation
+/// watermarks, catalog versions) and may decline admission entirely. `work`
+/// is the local work units computing the fragment cost — the entry's
+/// benefit in a cost-aware admission rule.
+pub trait FragmentMemo {
+    /// Returns the memoized rows for `key`, if a currently valid entry
+    /// exists.
+    fn lookup(&self, key: &str) -> Option<Vec<Row>>;
+    /// Offers a freshly computed fragment for admission.
+    fn admit(&self, key: &str, objects: &[String], rows: &[Row], work: f64);
 }
 
 /// A pull-based operator: yields `Some(batch)` until exhausted.
@@ -108,6 +132,17 @@ type BoxStream<'e> = Box<dyn BatchStream<'e> + 'e>;
 /// via [`RemoteExecutor::execute_remote_batch`]; each `RemoteStream` then
 /// consumes its prefetched result instead of paying its own round trip.
 pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<QueryResult> {
+    execute_compiled_with_memo(query, ctx, None)
+}
+
+/// [`execute_compiled`] with an intermediate-result memo attached: fully
+/// local join/aggregate subtrees are probed against (and admitted to)
+/// `memo` — see [`FragmentMemo`]. `None` is exactly `execute_compiled`.
+pub fn execute_compiled_with_memo(
+    query: &CompiledQuery,
+    ctx: &ExecContext<'_>,
+    memo: Option<&dyn FragmentMemo>,
+) -> Result<QueryResult> {
     let resolved = query.slots.resolve(ctx.params);
     let env = EvalEnv {
         params: &resolved,
@@ -121,6 +156,7 @@ pub fn execute_compiled(query: &CompiledQuery, ctx: &ExecContext<'_>) -> Result<
         env,
         parallel: ctx.parallel.as_ref().filter(|p| p.dop > 1),
         prefetched: std::cell::RefCell::new(HashMap::new()),
+        memo,
     };
     let mut metrics = ExecMetrics::default();
     if let Some(remote) = cx.remote {
@@ -217,10 +253,141 @@ fn collect_certain_remotes<'p>(
     Ok(())
 }
 
+/// Builds the stream for `plan`, first consulting the attached
+/// [`FragmentMemo`] (if any) for join/aggregate subtrees that are fully
+/// local: a memo hit replays the memoized rows instead of building (or
+/// pulling) the subtree at all; a miss computes the fragment eagerly under
+/// its own metrics, offers it for admission, and replays the computed rows.
+/// Everything non-memoizable falls straight through to [`build_op`].
+fn build<'e>(
+    plan: &'e CompiledPlan,
+    cx: &StreamCtx<'e>,
+    m: &mut ExecMetrics,
+) -> Result<BoxStream<'e>> {
+    if let Some(memo) = cx.memo {
+        if matches!(
+            plan,
+            CompiledPlan::HashJoin { .. } | CompiledPlan::HashAggregate { .. }
+        ) && fragment_is_local(plan)
+        {
+            let key = fragment_key(plan, cx);
+            m.fragment_probes += 1;
+            if let Some(rows) = memo.lookup(&key) {
+                m.fragment_hits += 1;
+                m.local_rows += rows.len() as u64;
+                return Ok(replay(rows));
+            }
+            // Miss: compute the fragment eagerly under its own metrics so
+            // its cost can ride into the memo as the entry's benefit.
+            let mut fm = ExecMetrics::default();
+            let mut stream = build_op(plan, cx, &mut fm)?;
+            let mut rows: Vec<Row> = Vec::new();
+            while let Some(batch) = stream.next_batch(cx, &mut fm)? {
+                batch.append_rows(&mut rows);
+            }
+            drop(stream);
+            let mut objects = Vec::new();
+            fragment_objects(plan, &mut objects);
+            objects.sort();
+            objects.dedup();
+            memo.admit(&key, &objects, &rows, fm.local_work);
+            m.absorb(&fm);
+            return Ok(replay(rows));
+        }
+    }
+    build_op(plan, cx, m)
+}
+
+/// Canonical fingerprint of a compiled subtree plus the statement's
+/// resolved parameter values. The `Debug` rendering of [`CompiledPlan`] is
+/// deterministic and parameter-abstracted (slots, not values) — the same
+/// normalization the plan cache keys on — so two statements sharing the
+/// subplan shape produce the same prefix; appending every resolved slot
+/// value is a conservative superset of the slots the subtree actually
+/// reads (never a false hit, possibly a missed share).
+fn fragment_key(plan: &CompiledPlan, cx: &StreamCtx<'_>) -> String {
+    format!("{plan:?}|{:?}", cx.env.params)
+}
+
+/// True when the subtree contains no [`CompiledPlan::Remote`] node: the
+/// fragment executes entirely against the local snapshot, so replaying it
+/// is governed by the snapshot's replication watermarks alone.
+fn fragment_is_local(plan: &CompiledPlan) -> bool {
+    match plan {
+        CompiledPlan::Remote { .. } => false,
+        CompiledPlan::Nothing
+        | CompiledPlan::SeqScan { .. }
+        | CompiledPlan::ClusteredSeek { .. }
+        | CompiledPlan::IndexSeek { .. }
+        | CompiledPlan::ExtremeSeek { .. } => true,
+        CompiledPlan::Filter { input, .. }
+        | CompiledPlan::Project { input, .. }
+        | CompiledPlan::HashAggregate { input, .. }
+        | CompiledPlan::Sort { input, .. }
+        | CompiledPlan::Top { input, .. }
+        | CompiledPlan::Distinct { input } => fragment_is_local(input),
+        CompiledPlan::NestedLoopJoin { left, right, .. }
+        | CompiledPlan::HashJoin { left, right, .. } => {
+            fragment_is_local(left) && fragment_is_local(right)
+        }
+        CompiledPlan::IndexNlJoin { outer, .. } => fragment_is_local(outer),
+        CompiledPlan::UnionAll { inputs, .. } => inputs.iter().all(fragment_is_local),
+    }
+}
+
+/// Collects every table/view a local subtree scans — the objects whose
+/// replication watermarks govern a memoized fragment's validity.
+fn fragment_objects(plan: &CompiledPlan, out: &mut Vec<String>) {
+    match plan {
+        CompiledPlan::SeqScan { object, .. }
+        | CompiledPlan::ClusteredSeek { object, .. }
+        | CompiledPlan::IndexSeek { object, .. }
+        | CompiledPlan::ExtremeSeek { object, .. } => out.push(object.clone()),
+        CompiledPlan::Filter { input, .. }
+        | CompiledPlan::Project { input, .. }
+        | CompiledPlan::HashAggregate { input, .. }
+        | CompiledPlan::Sort { input, .. }
+        | CompiledPlan::Top { input, .. }
+        | CompiledPlan::Distinct { input } => fragment_objects(input, out),
+        CompiledPlan::NestedLoopJoin { left, right, .. }
+        | CompiledPlan::HashJoin { left, right, .. } => {
+            fragment_objects(left, out);
+            fragment_objects(right, out);
+        }
+        CompiledPlan::IndexNlJoin {
+            outer,
+            inner_object,
+            ..
+        } => {
+            out.push(inner_object.clone());
+            fragment_objects(outer, out);
+        }
+        CompiledPlan::UnionAll { inputs, .. } => {
+            for input in inputs {
+                fragment_objects(input, out);
+            }
+        }
+        CompiledPlan::Nothing | CompiledPlan::Remote { .. } => {}
+    }
+}
+
+/// Wraps owned rows as a one-batch stream (empty rows ⇒ empty stream).
+fn replay<'e>(rows: Vec<Row>) -> BoxStream<'e> {
+    let batches = if rows.is_empty() {
+        Vec::new()
+    } else {
+        let width = rows[0].len();
+        vec![RowBatch::from_rows(rows, width)]
+    };
+    Box::new(PrefetchedStream {
+        batches: batches.into_iter(),
+    })
+}
+
 /// Builds the operator tree for `plan`. Table/index resolution (and the
 /// shadow-table refusal) happens here, so a UnionAll branch whose guard is
 /// closed never touches the catalog — `build` for branches runs lazily.
-fn build<'e>(
+fn build_op<'e>(
     plan: &'e CompiledPlan,
     cx: &StreamCtx<'e>,
     m: &mut ExecMetrics,

@@ -298,6 +298,23 @@ impl ReplicationHub {
         detached
     }
 
+    /// Detaches a single subscription — the hub-side half of dropping one
+    /// cached view while its node stays up. The subscription is tombstoned
+    /// exactly like a crashed node's (no further deliveries, no truncation
+    /// pin, ignored by [`drained`](ReplicationHub::drained)) so existing
+    /// [`SubscriptionId`]s stay stable; invalidation sinks for the target
+    /// remain registered because the node's other views still need them.
+    /// Returns false if the id is unknown or already detached.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        match self.subscriptions.get_mut(id.0) {
+            Some(sub) if !sub.detached => {
+                sub.detached = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The LSN *past* the last transaction applied to every live
     /// subscription targeting `target` — i.e. the node's applied LSN: all
     /// publisher transactions below it are fully reflected on that node.

@@ -11,6 +11,7 @@ use mtc_types::{Result, Value};
 use mtcache::Connection;
 
 use crate::datagen::Scale;
+use crate::mix::KeyDist;
 use crate::schema::SUBJECTS;
 use crate::session::Session;
 
@@ -103,7 +104,8 @@ impl InteractionOutcome {
     }
 }
 
-/// Runs one interaction for `session` against `conn`.
+/// Runs one interaction for `session` against `conn`, drawing item keys
+/// uniformly (the TPC-W default).
 pub fn run_interaction(
     interaction: Interaction,
     conn: &Connection,
@@ -111,10 +113,23 @@ pub fn run_interaction(
     scale: &Scale,
     rng: &mut impl Rng,
 ) -> Result<InteractionOutcome> {
+    run_interaction_with_keys(interaction, conn, session, scale, rng, &KeyDist::Uniform)
+}
+
+/// Runs one interaction with an explicit item-key distribution — the
+/// skewed / phase-shifting workloads route every item draw through `keys`.
+pub fn run_interaction_with_keys(
+    interaction: Interaction,
+    conn: &Connection,
+    session: &mut Session,
+    scale: &Scale,
+    rng: &mut impl Rng,
+    keys: &KeyDist,
+) -> Result<InteractionOutcome> {
     let mut out = InteractionOutcome::default();
     session.now_ms += 1;
     let now = session.now_ms;
-    let rand_item = rng.gen_range(1..=scale.items as i64);
+    let rand_item = keys.sample(scale.items as i64, rng);
     let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
 
     match interaction {

@@ -27,6 +27,6 @@ pub mod session;
 
 pub use datagen::{generate, Scale};
 pub use deploy::{configure_cache, CACHED_PROCS};
-pub use interactions::{run_interaction, Interaction, InteractionOutcome};
-pub use mix::{Mix, Workload};
+pub use interactions::{run_interaction, run_interaction_with_keys, Interaction, InteractionOutcome};
+pub use mix::{KeyDist, Mix, Phase, PhaseSchedule, Workload};
 pub use session::Session;

@@ -1,4 +1,7 @@
-//! The three TPC-W workload mixes.
+//! The three TPC-W workload mixes, plus the skewed / phase-shifting
+//! workloads the adaptive-advisor experiment drives: item-key
+//! distributions ([`KeyDist`]) and multi-phase schedules
+//! ([`PhaseSchedule`]) that move the working set under the cache.
 
 use mtc_util::rng::Rng;
 
@@ -122,6 +125,178 @@ impl Mix {
     }
 }
 
+/// How interactions draw their random item key from `1..=items`.
+///
+/// TPC-W proper draws uniformly; real storefront traffic is skewed. The
+/// advisor experiments use these to concentrate (and then *move*) the hot
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// The benchmark default: every item equally likely.
+    Uniform,
+    /// Zipf-like skew via a log-uniform draw (`k = n^u`, `u ~ U[0,1)`):
+    /// density ∝ 1/k, so low keys are drawn orders of magnitude more often
+    /// than high ones. `offset` rotates the hot end to a different region
+    /// of the keyspace (fraction of `n`, wrapping) — shifting `offset`
+    /// between phases moves the working set without changing its shape.
+    Zipf { offset: f64 },
+    /// Flash crowd: with probability `p_hot` draw uniformly from the small
+    /// hot set (`hot_frac` of the keyspace, starting at `offset`),
+    /// otherwise uniformly from everything.
+    Hot {
+        hot_frac: f64,
+        p_hot: f64,
+        offset: f64,
+    },
+}
+
+impl KeyDist {
+    /// Draws one item key in `1..=n`.
+    pub fn sample(&self, n: i64, rng: &mut impl Rng) -> i64 {
+        let n = n.max(1);
+        match *self {
+            KeyDist::Uniform => rng.gen_range(1..=n),
+            KeyDist::Zipf { offset } => {
+                let u = rng.gen_range(0.0..1.0);
+                let k = (n as f64).powf(u) as i64; // 1..=n, mass at the low end
+                let shift = (offset * n as f64) as i64;
+                (k - 1 + shift).rem_euclid(n) + 1
+            }
+            KeyDist::Hot {
+                hot_frac,
+                p_hot,
+                offset,
+            } => {
+                let hot = ((hot_frac * n as f64) as i64).clamp(1, n);
+                let start = (offset * n as f64) as i64;
+                if rng.gen_range(0.0..1.0) < p_hot {
+                    let k = rng.gen_range(0..hot);
+                    (start + k).rem_euclid(n) + 1
+                } else {
+                    rng.gen_range(1..=n)
+                }
+            }
+        }
+    }
+}
+
+impl Mix {
+    /// Account-heavy mix: the working set shifts from the item catalog to
+    /// customer/account reads (login, order inquiry, buy pages) — traffic
+    /// the static TPC-W cache configuration does not cover, so a frozen
+    /// cache pays a backend round trip per page until an advisor reacts.
+    /// Best-seller listings stay in the mix as the shared join fragment.
+    pub fn account_heavy() -> Mix {
+        use Interaction::*;
+        Mix {
+            name: "AccountHeavy",
+            weights: vec![
+                (OrderInquiry, 36.00),
+                (CustomerRegistration, 22.00),
+                (BuyRequest, 18.00),
+                (Home, 12.00),
+                (BestSellers, 8.00),
+                (ProductDetail, 4.00),
+            ],
+        }
+    }
+}
+
+/// One phase of a shifting workload: a mix, an item-key distribution and a
+/// duration in interactions.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    pub name: &'static str,
+    pub mix: Mix,
+    pub keys: KeyDist,
+    pub interactions: usize,
+}
+
+/// A workload as a sequence of phases; interaction index `i` belongs to the
+/// phase whose cumulative span contains it (clamping to the last phase).
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// Total scheduled interactions.
+    pub fn total(&self) -> usize {
+        self.phases.iter().map(|p| p.interactions).sum()
+    }
+
+    /// The phase interaction `i` falls in, and `i`'s offset within it.
+    pub fn phase_at(&self, i: usize) -> (usize, &Phase) {
+        let mut at = i;
+        for (idx, p) in self.phases.iter().enumerate() {
+            if at < p.interactions || idx == self.phases.len() - 1 {
+                return (idx, p);
+            }
+            at -= p.interactions;
+        }
+        unreachable!("schedule has at least one phase")
+    }
+
+    /// The advisor experiment's shifting working set: a Zipf-skewed
+    /// item-browsing phase (fully covered by the static TPC-W cache
+    /// configuration), then an abrupt shift to account-heavy traffic the
+    /// static configuration never caches. The shifted phase draws keys
+    /// uniformly across the customer base: per-statement result caching
+    /// cannot absorb the spread (every key is cold again after the next
+    /// account write invalidates the table), but a table-level cached view
+    /// — exactly what the advisor deploys — covers all of it.
+    pub fn shifting_working_set(per_phase: usize) -> PhaseSchedule {
+        PhaseSchedule {
+            phases: vec![
+                Phase {
+                    name: "browse-items",
+                    mix: Workload::Browsing.mix(),
+                    keys: KeyDist::Zipf { offset: 0.0 },
+                    interactions: per_phase,
+                },
+                Phase {
+                    name: "account-shift",
+                    mix: Mix::account_heavy(),
+                    keys: KeyDist::Uniform,
+                    interactions: per_phase,
+                },
+            ],
+        }
+    }
+
+    /// A flash crowd: uniform browsing, a burst where 90% of traffic
+    /// hammers 1% of the catalog, then back to uniform.
+    pub fn flash_crowd(per_phase: usize) -> PhaseSchedule {
+        let browse = Workload::Browsing.mix();
+        PhaseSchedule {
+            phases: vec![
+                Phase {
+                    name: "steady",
+                    mix: browse.clone(),
+                    keys: KeyDist::Uniform,
+                    interactions: per_phase,
+                },
+                Phase {
+                    name: "flash-crowd",
+                    mix: browse.clone(),
+                    keys: KeyDist::Hot {
+                        hot_frac: 0.01,
+                        p_hot: 0.9,
+                        offset: 0.25,
+                    },
+                    interactions: per_phase,
+                },
+                Phase {
+                    name: "cooldown",
+                    mix: browse,
+                    keys: KeyDist::Uniform,
+                    interactions: per_phase,
+                },
+            ],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +331,73 @@ mod tests {
         for w in Workload::ALL {
             assert_eq!(w.mix().weights.len(), 14, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn key_dists_stay_in_range_and_skew_where_claimed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 1000i64;
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { offset: 0.0 },
+            KeyDist::Zipf { offset: 0.5 },
+            KeyDist::Hot {
+                hot_frac: 0.01,
+                p_hot: 0.9,
+                offset: 0.25,
+            },
+        ] {
+            for _ in 0..5000 {
+                let k = dist.sample(n, &mut rng);
+                assert!((1..=n).contains(&k), "{dist:?} drew {k}");
+            }
+        }
+        // Zipf with offset 0: the bottom decile dominates.
+        let zipf = KeyDist::Zipf { offset: 0.0 };
+        let low = (0..5000)
+            .filter(|_| zipf.sample(n, &mut rng) <= n / 10)
+            .count();
+        assert!(low > 3000, "Zipf bottom decile got {low}/5000 draws");
+        // Shifting the offset moves the hot region off the bottom decile.
+        let shifted = KeyDist::Zipf { offset: 0.5 };
+        let low_shifted = (0..5000)
+            .filter(|_| shifted.sample(n, &mut rng) <= n / 10)
+            .count();
+        assert!(
+            low_shifted < low / 4,
+            "offset must move the hot set: {low_shifted} vs {low}"
+        );
+        // Flash crowd: ~90% of draws land in the 1% hot window.
+        let hot = KeyDist::Hot {
+            hot_frac: 0.01,
+            p_hot: 0.9,
+            offset: 0.25,
+        };
+        let start = (0.25 * n as f64) as i64;
+        let in_hot = (0..5000)
+            .filter(|_| {
+                let k = hot.sample(n, &mut rng);
+                k > start && k <= start + 10
+            })
+            .count();
+        assert!(in_hot > 4000, "flash crowd drew only {in_hot}/5000 hot keys");
+    }
+
+    #[test]
+    fn phase_schedules_partition_interactions() {
+        let sched = PhaseSchedule::shifting_working_set(100);
+        assert_eq!(sched.total(), 200);
+        assert_eq!(sched.phase_at(0).1.name, "browse-items");
+        assert_eq!(sched.phase_at(99).1.name, "browse-items");
+        assert_eq!(sched.phase_at(100).1.name, "account-shift");
+        // Clamps to the last phase past the end.
+        assert_eq!(sched.phase_at(10_000).1.name, "account-shift");
+        let crowd = PhaseSchedule::flash_crowd(50);
+        assert_eq!(crowd.total(), 150);
+        assert_eq!(crowd.phase_at(60).0, 1);
+        assert_eq!(crowd.phase_at(120).1.name, "cooldown");
+        // The account-heavy mix is all Order-class plus a browse tail.
+        let acct = Mix::account_heavy();
+        assert!(acct.browse_fraction() < 0.30, "{}", acct.browse_fraction());
     }
 }

@@ -9,7 +9,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-for exp in hotpath concurrency resultcache fleet placement; do
+for exp in hotpath concurrency resultcache fleet placement advisor; do
     echo "==> exp_$exp"
     cargo run --release -q -p mtc-bench --bin "exp_$exp"
 done

@@ -22,6 +22,9 @@ cargo test -q --test fleet_smoke
 echo "==> cargo test -q --test placement_smoke (placement floors vs committed BENCH_placement.json)"
 cargo test -q --test placement_smoke
 
+echo "==> cargo test -q --test advisor_smoke (adaptive-advisor floors vs committed BENCH_advisor.json)"
+cargo test -q --test advisor_smoke
+
 # Tier-2: release-mode perf gate. The full-size hot-path run must stay
 # within 20% of the committed streaming floor (tests/hotpath_smoke.rs,
 # STREAMING_US_FLOOR); debug timings are meaningless, hence --release.

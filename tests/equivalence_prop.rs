@@ -666,3 +666,68 @@ fn fleet_placement_agrees_across_dop() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive advisor + intermediate-result caching: runtime cache-design
+// changes and fragment memoization must be invisible in the results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn advisor_and_fragment_cache_are_invisible_across_shapes() {
+    // The online advisor creates cached views and supporting indexes in the
+    // middle of a workload, and the fragment memo replays join/aggregate
+    // subtrees from cache memory. Both are pure optimizations: for every
+    // query shape, with every combination of advisor on/off × fragment
+    // cache on/off × dop {1, 4}, the cache server must return bit-identical
+    // rows before a tick, after a tick (when the advisor may have deployed
+    // new views), and on the memo-served repeat — all equal to the
+    // backend's own answer.
+    use mtcache_repro::cache::{AdaptiveAdvisor, AdvisorConfig};
+
+    let backend = join_db();
+    let make_cache = |dop: usize| {
+        let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+        let mut cache = CacheServer::create("cache-adv", backend.clone(), hub);
+        Arc::get_mut(&mut cache).expect("freshly created server").options.dop = dop;
+        cache
+    };
+    check::run(
+        &Config::cases(10),
+        "advisor_and_fragment_cache_are_invisible_across_shapes",
+        gen_shape,
+        |sql| {
+            let reference = Connection::connect(backend.clone()).query(sql).unwrap();
+            for dop in [1usize, 4] {
+                for fragment in [false, true] {
+                    for advisor in [false, true] {
+                        let label = format!("dop={dop} fragment={fragment} advisor={advisor}");
+                        let cache = make_cache(dop);
+                        cache.set_fragment_caching(fragment);
+                        if advisor {
+                            cache.set_advisor(Some(Arc::new(AdaptiveAdvisor::new(
+                                AdvisorConfig::default(),
+                            ))));
+                        }
+                        let conn = Connection::connect(cache.clone());
+                        let cold = conn.query(sql).unwrap();
+                        assert_eq!(cold.rows, reference.rows, "cold, {label}: {sql}");
+                        // Close an epoch: the advisor may create cached
+                        // views and indexes at runtime. The answer must
+                        // not move.
+                        let decisions = cache.advisor_tick();
+                        let after = conn.query(sql).unwrap();
+                        assert_eq!(
+                            after.rows, reference.rows,
+                            "after tick {decisions:?}, {label}: {sql}"
+                        );
+                        // Served repeat: result cache and fragment memo now
+                        // both have a shot at answering from memory.
+                        let served = conn.query(sql).unwrap();
+                        assert_eq!(served.schema, after.schema, "served schema, {label}: {sql}");
+                        assert_eq!(served.rows, reference.rows, "served, {label}: {sql}");
+                    }
+                }
+            }
+        },
+    );
+}

@@ -370,3 +370,87 @@ fn concurrent_identical_queries_partition_into_hits_followers_and_leaders() {
         "hits + followers + leaders must cover all threads: {rc:?} {st:?}"
     );
 }
+
+#[test]
+fn runtime_budget_resize_shrinks_evicts_and_grows_lazily() {
+    let clock = ManualClock::new(0);
+    let backend = BackendServer::with_clock("backend", Arc::new(clock.clone()));
+    backend
+        .run_script("CREATE TABLE t (id INT NOT NULL PRIMARY KEY, val FLOAT)")
+        .unwrap();
+    let rows: Vec<String> = (1..=400)
+        .map(|i| format!("INSERT INTO t VALUES ({i}, {i}.5)"))
+        .collect();
+    backend.run_script(&rows.join(";")).unwrap();
+    backend.analyze();
+    let hub = Arc::new(Mutex::new(ReplicationHub::new(backend.db.clone())));
+    const BUDGET: u64 = 64 * 1024;
+    let cache = CacheServer::create_with_result_cache(
+        "cache",
+        backend,
+        hub,
+        ResultCache::new(ResultCacheConfig::with_budget(BUDGET)),
+    );
+    assert_eq!(cache.result_cache.budget(), BUDGET);
+
+    // Fill: 30 uniform point results fit comfortably in 64 KiB.
+    for i in 1..=30 {
+        cache
+            .execute(
+                &format!("SELECT val FROM t WHERE id = {i}"),
+                &Default::default(),
+                "dbo",
+            )
+            .unwrap();
+    }
+    let before = cache.result_cache.stats();
+    assert_eq!(before.inserts, 30);
+    assert_eq!(before.evictions, 0, "{before:?}");
+
+    // Shrink at runtime: the advisor's resize hook evicts from the cold
+    // end until resident bytes fit, WITHOUT flushing counters or entries
+    // that still fit.
+    const SMALL: u64 = 4 * 1024;
+    cache.result_cache.set_budget(SMALL);
+    assert_eq!(cache.result_cache.budget(), SMALL);
+    let s = cache.result_cache.stats();
+    assert!(s.bytes <= SMALL, "resident bytes fit the new budget: {s:?}");
+    assert!(s.evictions > 0, "shrinking must evict: {s:?}");
+    assert!(s.entries > 0, "the hot end survives the shrink: {s:?}");
+    assert_eq!(s.inserts, before.inserts, "counters survive the resize: {s:?}");
+
+    // Coldest-first: the most recent key is still resident, the oldest is
+    // not.
+    let r = cache
+        .execute("SELECT val FROM t WHERE id = 30", &Default::default(), "dbo")
+        .unwrap();
+    assert_eq!(r.metrics.remote_rtts, 0, "hottest entry survives the shrink");
+    let r = cache
+        .execute("SELECT val FROM t WHERE id = 1", &Default::default(), "dbo")
+        .unwrap();
+    assert_eq!(r.metrics.remote_rtts, 1, "coldest entry was evicted");
+
+    // Grow back: takes effect lazily — no eviction churn, and the cache
+    // re-admits a working set larger than the small budget allowed.
+    let evictions_at_small = cache.result_cache.stats().evictions;
+    cache.result_cache.set_budget(BUDGET);
+    assert_eq!(cache.result_cache.budget(), BUDGET);
+    for i in 100..=140 {
+        cache
+            .execute(
+                &format!("SELECT val FROM t WHERE id = {i}"),
+                &Default::default(),
+                "dbo",
+            )
+            .unwrap();
+    }
+    let s = cache.result_cache.stats();
+    assert_eq!(
+        s.evictions, evictions_at_small,
+        "growing must not evict anything: {s:?}"
+    );
+    let r = cache
+        .execute("SELECT val FROM t WHERE id = 100", &Default::default(), "dbo")
+        .unwrap();
+    assert_eq!(r.metrics.remote_rtts, 0, "the grown cache holds the new set");
+}
